@@ -1,0 +1,131 @@
+"""Ablation benches for the model design choices (DESIGN.md §5).
+
+* **CRF layer** — tagger with the linear-chain CRF vs independent per-token
+  softmax decoding (Section 4.1 argues the CRF is "paramount");
+* **extractor quality** — end-to-end NDCG with the neural extraction
+  pipeline vs the gold-label oracle (how much headline performance the
+  extraction stage costs);
+* **pairing heuristics vs naive word distance** — the motivating comparison
+  of Section 5.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import bench_epochs, bench_scale, print_table
+from repro.bert import pretrained_encoder
+from repro.core import (
+    HeuristicPairer,
+    OracleExtractor,
+    Saccs,
+    SaccsConfig,
+    SequenceTagger,
+    SubjectiveTag,
+    TagExtractor,
+    TaggerTrainer,
+    TaggerTrainingConfig,
+    TreePairingHeuristic,
+    WordDistanceHeuristic,
+    evaluate_tagger,
+)
+from repro.data import (
+    CatalogConfig,
+    CrowdSimulator,
+    QueryConfig,
+    ReviewConfig,
+    WorldConfig,
+    build_pairing_dataset,
+    build_tagging_dataset,
+    build_world,
+    generate_query_sets,
+)
+from repro.ir import mean_ndcg
+from repro.text import ChunkParser, ConceptualSimilarity, PosLexicon, restaurant_lexicon
+
+
+def test_ablation_crf(benchmark):
+    dataset = build_tagging_dataset("S1", scale=bench_scale())
+    scores = {}
+    for use_crf in (True, False):
+        encoder = pretrained_encoder("restaurants")
+        tagger = SequenceTagger(encoder, np.random.default_rng(0), use_crf=use_crf)
+        TaggerTrainer(tagger, TaggerTrainingConfig(epochs=bench_epochs())).fit(dataset.train)
+        scores["BiLSTM-CRF" if use_crf else "BiLSTM-softmax"] = evaluate_tagger(tagger, dataset.test).f1 * 100
+    print_table(
+        "Ablation: CRF layer (Section 4.1)",
+        ["Decoder", "F1"],
+        [[k, f"{v:.2f}"] for k, v in scores.items()],
+    )
+    assert scores["BiLSTM-CRF"] > scores["BiLSTM-softmax"] - 0.5
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_ablation_pairing_heuristics(benchmark):
+    """Tree heuristic vs word distance on gold spans (Section 5.1's claim)."""
+    dataset = build_pairing_dataset("restaurants", num_sentences=300, seed=13)
+    parser = ChunkParser(PosLexicon(restaurant_lexicon()))
+    heuristics = {
+        "word distance (naive)": WordDistanceHeuristic(direction="opinions"),
+        "parse tree (ours)": TreePairingHeuristic(parser, direction="opinions"),
+    }
+    from repro.core import instances_from_examples
+
+    instances = instances_from_examples(dataset.examples)
+    gold = [e.label for e in dataset.examples]
+    scores = {}
+    for name, heuristic in heuristics.items():
+        correct = 0
+        for instance, label in zip(instances, gold):
+            proposed = heuristic.pairs(instance.tokens, instance.aspect_spans, instance.opinion_spans)
+            correct += int((instance.candidate in proposed) == label)
+        scores[name] = correct / len(instances) * 100
+    print_table(
+        "Ablation: pairing heuristic vs word distance (Section 5.1)",
+        ["Heuristic", "Accuracy %"],
+        [[k, f"{v:.2f}"] for k, v in scores.items()],
+    )
+    assert scores["parse tree (ours)"] > scores["word distance (naive)"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_ablation_extractor_oracle_gap(benchmark):
+    """How much end-to-end NDCG the neural extraction stage costs vs gold."""
+    world = build_world(
+        WorldConfig(
+            catalog=CatalogConfig(num_entities=60),
+            reviews=ReviewConfig(mean_reviews_per_entity=14.0),
+        )
+    )
+    table = CrowdSimulator(world).build_sat_table()
+    similarity = ConceptualSimilarity(restaurant_lexicon())
+    dims = [d.name for d in world.dimensions]
+    all_ids = [e.entity_id for e in world.entities]
+    queries = [list(q.dimensions) for q in generate_query_sets(QueryConfig(queries_per_level=20))["Short"]]
+
+    encoder = pretrained_encoder("restaurants")
+    tagger = SequenceTagger(encoder, np.random.default_rng(0))
+    TaggerTrainer(tagger, TaggerTrainingConfig(epochs=bench_epochs())).fit(
+        build_tagging_dataset("S1", scale=bench_scale()).train
+    )
+    parser = ChunkParser(PosLexicon(restaurant_lexicon()))
+    neural = TagExtractor(tagger, HeuristicPairer([TreePairingHeuristic(parser, direction="opinions")]))
+
+    scores = {}
+    for name, extractor in (("oracle extractor", OracleExtractor()), ("neural extractor", neural)):
+        saccs = Saccs(world.entities, world.reviews, extractor, similarity, SaccsConfig())
+        saccs.build_index([SubjectiveTag.from_text(d) for d in dims])
+        rankings = [
+            [e for e, _ in saccs.answer_tags([SubjectiveTag.from_text(d) for d in q])]
+            for q in queries
+        ]
+        scores[name] = mean_ndcg(queries, rankings, table.sat, all_ids)
+    print_table(
+        "Ablation: extraction quality (oracle vs neural pipeline)",
+        ["Extractor", "NDCG@10 (Short)"],
+        [[k, f"{v:.3f}"] for k, v in scores.items()],
+    )
+    # the neural pipeline should stay within striking distance of the oracle
+    assert scores["neural extractor"] > scores["oracle extractor"] - 0.12
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

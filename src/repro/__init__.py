@@ -1,0 +1,25 @@
+"""repro — reproduction of "Subjectivity Aware Conversational Search Services".
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch autodiff + neural layers (PyTorch substitute).
+``repro.bert``
+    Miniature BERT: tokenizer, masked-LM pretraining, domain post-training.
+``repro.text``
+    Lexicons, concept taxonomy, conceptual similarity, constituency parser.
+``repro.data``
+    Synthetic world model: entities, reviews, Yelp attributes, S1–S4 tagging
+    datasets, pairing datasets, simulated crowdsourcing.
+``repro.weak``
+    Data programming (Snorkel substitute): labeling functions, majority vote,
+    probabilistic generative label model.
+``repro.ir``
+    BM25 retrieval, query expansion, ranking metrics (NDCG).
+``repro.core``
+    The paper's contribution: subjective-tag extraction (tagging + pairing),
+    the subjective tag index with degrees of truth, filtering & ranking, the
+    SACCS facade, and the IR/SIM baselines.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,33 @@
+"""Configuration of the miniature BERT."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["MiniBertConfig"]
+
+
+@dataclass(frozen=True)
+class MiniBertConfig:
+    """Architecture + training hyper-parameters.
+
+    The defaults give a ~0.4M-parameter model: large enough to develop useful
+    contextual embeddings and attention structure over the synthetic
+    language, small enough to pre-train in seconds on a CPU.
+    """
+
+    vocab_size: int = 1200
+    dim: int = 64
+    num_layers: int = 2
+    num_heads: int = 4
+    ffn_dim: int = 128
+    max_positions: int = 48
+    dropout: float = 0.1
+    max_pieces_per_word: int = 4
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def __post_init__(self):
+        if self.dim % self.num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")

@@ -1,0 +1,86 @@
+"""Pre-training corpora for the miniature BERT.
+
+Mirrors the paper's setup (Section 4.2): the *general* corpus plays the role
+of Wikipedia — broad text that deliberately excludes domain jargon and
+idioms, so the base model "does not know that *a killer* is a widely used
+idiom in the restaurant jargon".  Per-domain *post-training* corpora are
+jargon-rich review text, the analogue of Xu et al.'s review corpora.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.realize import AxisSpec, RealizerConfig, SentenceRealizer, axes_from_lexicon
+from repro.text.lexicon import lexicon_for_domain
+from repro.utils.rng import SeedSequence
+
+__all__ = ["general_corpus", "domain_corpus"]
+
+_DOMAINS = ("restaurants", "electronics", "hotels")
+
+
+def _common_register_axes(domain: str) -> List[AxisSpec]:
+    """Domain axes with jargon/idiom opinions removed (general text only)."""
+    lexicon = lexicon_for_domain(domain)
+    axes = []
+    for axis in axes_from_lexicon(lexicon):
+        positive = tuple(op for op in axis.positive if op.register == "common")
+        negative = tuple(op for op in axis.negative if op.register == "common")
+        if not positive and not negative:
+            continue
+        axes.append(AxisSpec(axis.name, axis.aspect_surfaces, positive, negative))
+    return axes
+
+
+def _sentences(
+    realizer: SentenceRealizer,
+    count: int,
+    rng: np.random.Generator,
+) -> List[List[str]]:
+    sentences: List[List[str]] = []
+    axes = realizer.axes
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.18:
+            sentence = realizer.filler_sentence()
+        elif roll < 0.26:
+            sentence = realizer.aspect_only_sentence()
+        elif roll < 0.36:
+            sentence = realizer.neutral_predicate_sentence()
+        elif roll < 0.75:
+            axis = axes[rng.integers(len(axes))]
+            sentence = realizer.subjective_sentence([(axis, 1 if rng.random() < 0.6 else -1)])
+        else:
+            a = axes[rng.integers(len(axes))]
+            b = axes[rng.integers(len(axes))]
+            sentence = realizer.subjective_sentence(
+                [(a, 1 if rng.random() < 0.6 else -1), (b, 1 if rng.random() < 0.6 else -1)]
+            )
+        sentences.append(sentence.tokens)
+    return sentences
+
+
+def general_corpus(num_sentences: int = 3000, seed: int = 2021) -> List[List[str]]:
+    """Jargon-free text mixed over all domains (the 'Wikipedia' analogue)."""
+    seeds = SeedSequence(seed).child("bert-corpus/general")
+    per_domain = num_sentences // len(_DOMAINS)
+    sentences: List[List[str]] = []
+    for domain in _DOMAINS:
+        rng = seeds.rng(domain)
+        axes = _common_register_axes(domain)
+        realizer = SentenceRealizer(lexicon_for_domain(domain), axes, RealizerConfig(), rng)
+        sentences.extend(_sentences(realizer, per_domain, rng))
+    order = seeds.rng("shuffle").permutation(len(sentences))
+    return [sentences[i] for i in order]
+
+
+def domain_corpus(domain: str, num_sentences: int = 1500, seed: int = 2021) -> List[List[str]]:
+    """Jargon-rich in-domain review text (the post-training corpus)."""
+    seeds = SeedSequence(seed).child(f"bert-corpus/{domain}")
+    rng = seeds.rng("sentences")
+    lexicon = lexicon_for_domain(domain)
+    realizer = SentenceRealizer(lexicon, axes_from_lexicon(lexicon), RealizerConfig(), rng)
+    return _sentences(realizer, num_sentences, rng)

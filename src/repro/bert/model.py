@@ -1,0 +1,131 @@
+"""The miniature BERT model: piece embeddings → word pooling → transformer.
+
+Words are decomposed into subword pieces by the tokenizer; the model embeds
+pieces, mean-pools each word's pieces into one vector, adds position
+embeddings and runs a transformer encoder *at word level*.  Word-level
+attention maps are exactly what the pairing heuristic of Section 5.1 reads,
+so this design removes the piece→word attention bookkeeping real BERT needs.
+
+A masked-language-model head on top of the word vectors drives pre-training
+and domain post-training.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bert.config import MiniBertConfig
+from repro.nn import Embedding, LayerNorm, Linear, Module, TransformerEncoder
+from repro.nn.tensor import Tensor
+
+__all__ = ["MiniBert", "BatchEncoding"]
+
+
+class BatchEncoding:
+    """Dense batched view of piece ids: ``(B, T_words, max_pieces)``."""
+
+    def __init__(self, piece_ids: np.ndarray, piece_mask: np.ndarray, word_mask: np.ndarray):
+        self.piece_ids = piece_ids
+        self.piece_mask = piece_mask
+        self.word_mask = word_mask
+
+    @property
+    def batch_size(self) -> int:
+        return self.piece_ids.shape[0]
+
+    @property
+    def num_words(self) -> int:
+        return self.piece_ids.shape[1]
+
+    @classmethod
+    def from_piece_lists(
+        cls,
+        sentences: Sequence[List[List[int]]],
+        pad_id: int,
+        max_pieces: int,
+        max_words: Optional[int] = None,
+    ) -> "BatchEncoding":
+        """Pad a batch of per-word piece-id lists into dense arrays."""
+        if not sentences:
+            raise ValueError("empty batch")
+        longest = max(len(s) for s in sentences)
+        width = min(longest, max_words) if max_words else longest
+        width = max(width, 1)
+        batch = len(sentences)
+        piece_ids = np.full((batch, width, max_pieces), pad_id, dtype=np.int64)
+        piece_mask = np.zeros((batch, width, max_pieces), dtype=np.float64)
+        word_mask = np.zeros((batch, width), dtype=np.float64)
+        for b, sentence in enumerate(sentences):
+            for w, pieces in enumerate(sentence[:width]):
+                count = min(len(pieces), max_pieces)
+                piece_ids[b, w, :count] = pieces[:count]
+                piece_mask[b, w, :count] = 1.0
+                word_mask[b, w] = 1.0
+        return cls(piece_ids, piece_mask, word_mask)
+
+
+class MiniBert(Module):
+    """Word-level BERT encoder with an MLM head."""
+
+    def __init__(self, config: MiniBertConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.piece_embedding = Embedding(config.vocab_size, config.dim, rng)
+        self.position_embedding = Embedding(config.max_positions, config.dim, rng)
+        self.embedding_norm = LayerNorm(config.dim)
+        self.encoder = TransformerEncoder(
+            config.num_layers,
+            config.dim,
+            config.num_heads,
+            config.ffn_dim,
+            rng,
+            dropout=config.dropout,
+        )
+        self.mlm_head = Linear(config.dim, config.vocab_size, rng)
+
+    # ------------------------------------------------------------- embedding
+
+    def embed_words(self, batch: BatchEncoding) -> Tensor:
+        """Pool piece embeddings into word embeddings: ``(B, T, dim)``."""
+        piece_vectors = self.piece_embedding(batch.piece_ids)  # (B, T, P, D)
+        mask = batch.piece_mask[..., None]
+        counts = np.maximum(batch.piece_mask.sum(axis=-1, keepdims=True), 1.0)
+        pooled = (piece_vectors * mask).sum(axis=2) / counts
+        return pooled
+
+    def _positions(self, batch: BatchEncoding) -> np.ndarray:
+        steps = min(batch.num_words, self.config.max_positions)
+        positions = np.arange(batch.num_words) % self.config.max_positions
+        return np.broadcast_to(positions, (batch.batch_size, batch.num_words))
+
+    # --------------------------------------------------------------- forward
+
+    def forward(
+        self,
+        batch: BatchEncoding,
+        input_embeddings: Optional[Tensor] = None,
+    ) -> Tensor:
+        """Contextual word representations ``(B, T, dim)``.
+
+        ``input_embeddings`` lets callers substitute perturbed word
+        embeddings (the FGSM adversarial path) while reusing positions and
+        the encoder stack.
+        """
+        words = input_embeddings if input_embeddings is not None else self.embed_words(batch)
+        positions = self.position_embedding(self._positions(batch))
+        hidden = self.embedding_norm(words + positions)
+        return self.encoder(hidden, mask=batch.word_mask)
+
+    __call__ = forward
+
+    def mlm_logits(self, batch: BatchEncoding) -> Tensor:
+        """Vocabulary logits per word position (for masked-LM training)."""
+        return self.mlm_head(self.forward(batch))
+
+    # ----------------------------------------------------------- introspection
+
+    def attention_maps(self) -> List[np.ndarray]:
+        """Per-layer ``(B, heads, T, T)`` word-level attention of the last call."""
+        return self.encoder.attention_maps()

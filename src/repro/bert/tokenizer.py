@@ -1,0 +1,165 @@
+"""WordPiece-style subword tokenizer for the miniature BERT.
+
+Vocabulary is learned from a corpus by BPE-style merge training over
+characters; encoding is greedy longest-match (as in WordPiece).  Subwords
+matter here for the same reason they matter in the paper's stack: typo-bearing
+and rare words ("la carte", "deliciuos") decompose into known pieces instead
+of collapsing to a single UNK, which is what gives the tagger a fighting
+chance on noisy input.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["WordPieceTokenizer", "PAD", "UNK", "CLS", "SEP", "MASK", "SPECIAL_TOKENS"]
+
+PAD = "[PAD]"
+UNK = "[UNK]"
+CLS = "[CLS]"
+SEP = "[SEP]"
+MASK = "[MASK]"
+SPECIAL_TOKENS = [PAD, UNK, CLS, SEP, MASK]
+
+_CONTINUATION = "##"
+
+
+class WordPieceTokenizer:
+    """Trainable subword tokenizer with greedy longest-match encoding."""
+
+    def __init__(self, vocab: Optional[Dict[str, int]] = None, max_pieces_per_word: int = 4):
+        self.vocab: Dict[str, int] = vocab or {}
+        self.max_pieces_per_word = max_pieces_per_word
+
+    # ---------------------------------------------------------------- special
+
+    @property
+    def pad_id(self) -> int:
+        return self.vocab[PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self.vocab[UNK]
+
+    @property
+    def mask_id(self) -> int:
+        return self.vocab[MASK]
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    # --------------------------------------------------------------- training
+
+    @classmethod
+    def train(
+        cls,
+        corpus: Iterable[Sequence[str]],
+        vocab_size: int = 1200,
+        min_frequency: int = 2,
+        max_pieces_per_word: int = 4,
+    ) -> "WordPieceTokenizer":
+        """Learn a subword vocabulary from tokenised sentences.
+
+        Starts from single characters (plus their ``##`` continuations) and
+        repeatedly merges the most frequent adjacent piece pair, BPE-style,
+        until ``vocab_size`` is reached.
+        """
+        word_counts: Counter = Counter()
+        for sentence in corpus:
+            word_counts.update(token.lower() for token in sentence)
+
+        # Represent each word as its current piece decomposition.
+        decompositions: Dict[str, List[str]] = {}
+        for word in word_counts:
+            pieces = [word[0]] + [f"{_CONTINUATION}{ch}" for ch in word[1:]]
+            decompositions[word] = pieces
+
+        vocab: Dict[str, int] = {tok: i for i, tok in enumerate(SPECIAL_TOKENS)}
+
+        def add(piece: str) -> None:
+            if piece not in vocab:
+                vocab[piece] = len(vocab)
+
+        for pieces in decompositions.values():
+            for piece in pieces:
+                add(piece)
+
+        while len(vocab) < vocab_size:
+            pair_counts: Counter = Counter()
+            for word, pieces in decompositions.items():
+                count = word_counts[word]
+                for a, b in zip(pieces, pieces[1:]):
+                    pair_counts[(a, b)] += count
+            if not pair_counts:
+                break
+            (best_a, best_b), freq = pair_counts.most_common(1)[0]
+            if freq < min_frequency:
+                break
+            merged = best_a + best_b[len(_CONTINUATION):] if best_b.startswith(_CONTINUATION) else best_a + best_b
+            add(merged)
+            for word, pieces in decompositions.items():
+                out: List[str] = []
+                i = 0
+                while i < len(pieces):
+                    if i + 1 < len(pieces) and pieces[i] == best_a and pieces[i + 1] == best_b:
+                        out.append(merged)
+                        i += 2
+                    else:
+                        out.append(pieces[i])
+                        i += 1
+                decompositions[word] = out
+
+        return cls(vocab=vocab, max_pieces_per_word=max_pieces_per_word)
+
+    # --------------------------------------------------------------- encoding
+
+    def encode_word(self, word: str) -> List[int]:
+        """Greedy longest-match piece ids for one word (truncated)."""
+        word = word.lower()
+        pieces: List[int] = []
+        start = 0
+        while start < len(word) and len(pieces) < self.max_pieces_per_word:
+            end = len(word)
+            found = None
+            while end > start:
+                candidate = word[start:end] if start == 0 else f"{_CONTINUATION}{word[start:end]}"
+                if candidate in self.vocab:
+                    found = self.vocab[candidate]
+                    break
+                end -= 1
+            if found is None:
+                pieces.append(self.unk_id)
+                start += 1
+            else:
+                pieces.append(found)
+                start = end
+        if not pieces:
+            pieces = [self.unk_id]
+        return pieces
+
+    def encode_words(self, tokens: Sequence[str]) -> List[List[int]]:
+        """Piece ids per word for a tokenised sentence."""
+        return [self.encode_word(token) for token in tokens]
+
+    # ------------------------------------------------------------- persistence
+
+    def to_arrays(self) -> Dict[str, object]:
+        """Serialisable view (used by the artifact cache)."""
+        import numpy as np
+
+        items = sorted(self.vocab.items(), key=lambda kv: kv[1])
+        joined = "\n".join(piece for piece, _ in items)
+        return {
+            "pieces": np.frombuffer(joined.encode("utf-8"), dtype=np.uint8).copy(),
+            "max_pieces": np.array([self.max_pieces_per_word]),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, object]) -> "WordPieceTokenizer":
+        import numpy as np
+
+        joined = bytes(np.asarray(arrays["pieces"], dtype=np.uint8)).decode("utf-8")
+        vocab = {piece: i for i, piece in enumerate(joined.split("\n"))}
+        return cls(vocab=vocab, max_pieces_per_word=int(arrays["max_pieces"][0]))

@@ -1,0 +1,187 @@
+"""Command-line interface: generate worlds, build indexes, run searches.
+
+Usage (after ``pip install -e .`` / ``python setup.py develop``)::
+
+    python -m repro world generate --entities 60 --reviews 15 --out world.json
+    python -m repro world show --path world.json
+    python -m repro index build --world world.json --out index.json
+    python -m repro search --world world.json --index index.json \
+        "delicious food" "nice staff"
+    python -m repro datasets
+
+All CLI paths use the oracle extractor (gold review annotations) so they run
+in seconds; the neural pipeline lives in the examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_world_generate(args: argparse.Namespace) -> int:
+    from repro.data import (
+        CatalogConfig,
+        FraudConfig,
+        ReviewConfig,
+        WorldConfig,
+        build_world,
+        inject_fraud,
+        save_world,
+    )
+
+    config = WorldConfig(
+        catalog=CatalogConfig(num_entities=args.entities, seed=args.seed),
+        reviews=ReviewConfig(mean_reviews_per_entity=args.reviews, seed=args.seed),
+    )
+    world = build_world(config)
+    if args.fraud:
+        campaigns = inject_fraud(world, FraudConfig(seed=args.seed))
+        print(f"injected {len(campaigns)} fraud campaigns")
+    save_world(world, args.out)
+    print(f"wrote {len(world.entities)} entities / {world.num_reviews} reviews to {args.out}")
+    return 0
+
+
+def _cmd_world_show(args: argparse.Namespace) -> int:
+    from repro.data import load_world
+
+    world = load_world(args.path)
+    print(f"entities: {len(world.entities)}   reviews: {world.num_reviews}")
+    stars = [e.stars for e in world.entities]
+    print(f"stars: min={min(stars)} mean={np.mean(stars):.2f} max={max(stars)}")
+    print("sample entities:")
+    for entity in world.entities[: args.limit]:
+        review_count = len(world.reviews.get(entity.entity_id, []))
+        print(f"  {entity.entity_id}  {entity.name:<24} {entity.stars} stars  {review_count} reviews")
+    if args.entity:
+        for review in world.reviews.get(args.entity, [])[: args.limit]:
+            print(f"  [{review.review_id}] {review.text}")
+    return 0
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    from repro.core import OracleExtractor, Saccs, SaccsConfig, SubjectiveTag, save_index
+    from repro.data import load_world
+    from repro.text import ConceptualSimilarity, restaurant_lexicon
+
+    world = load_world(args.world)
+    similarity = ConceptualSimilarity(restaurant_lexicon())
+    config = SaccsConfig(theta_index=args.theta, theta_mode=args.theta_mode)
+    review_filter = None
+    if args.filter_fraud:
+        from repro.core import FakeReviewFilter
+
+        review_filter = FakeReviewFilter()
+    saccs = Saccs(
+        world.entities, world.reviews, OracleExtractor(), similarity, config,
+        review_filter=review_filter,
+    )
+    tags = [SubjectiveTag.from_text(d.name) for d in world.dimensions]
+    if args.tags:
+        tags = [SubjectiveTag.from_text(t) for t in args.tags]
+    saccs.build_index(tags)
+    save_index(saccs.index, args.out)
+    print(f"indexed {len(saccs.index)} tags over {len(world.entities)} entities -> {args.out}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.core import SubjectiveTag, load_index
+    from repro.core.filtering import FilterConfig, filter_and_rank
+    from repro.data import load_world
+    from repro.text import ConceptualSimilarity, restaurant_lexicon
+
+    world = load_world(args.world)
+    similarity = ConceptualSimilarity(restaurant_lexicon())
+    index = load_index(args.index, similarity)
+    name_of = {e.entity_id: e.name for e in world.entities}
+    tags = [SubjectiveTag.from_text(t) for t in args.tags]
+    tag_sets = []
+    for tag in tags:
+        mapping = index.lookup(tag)
+        if not mapping:
+            mapping = index.lookup_similar(tag, theta_filter=args.theta)
+            print(f"(tag {tag.text!r} not indexed; combined similar tags)")
+        tag_sets.append(mapping)
+    results = filter_and_rank(
+        [e.entity_id for e in world.entities],
+        tag_sets,
+        FilterConfig(top_k=args.top_k),
+    )
+    print(f"query: {', '.join(t.text for t in tags)}")
+    for rank, (entity_id, score) in enumerate(results, start=1):
+        print(f"  {rank:2d}. {name_of.get(entity_id, entity_id):<26} {score:.3f}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.data import DATASET_SPECS
+
+    print(f"{'id':<4}{'description':<26}{'domain':<14}{'train':>7}{'test':>7}")
+    for spec in DATASET_SPECS.values():
+        print(
+            f"{spec.key:<4}{spec.description:<26}{spec.domain:<14}"
+            f"{spec.train_size:>7}{spec.test_size:>7}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__.split("\n")[0])
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    world = subparsers.add_parser("world", help="generate or inspect worlds")
+    world_sub = world.add_subparsers(dest="world_command", required=True)
+    generate = world_sub.add_parser("generate", help="generate a world snapshot")
+    generate.add_argument("--entities", type=int, default=60)
+    generate.add_argument("--reviews", type=float, default=15.0)
+    generate.add_argument("--seed", type=int, default=2021)
+    generate.add_argument("--fraud", action="store_true", help="inject fake-review campaigns")
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=_cmd_world_generate)
+    show = world_sub.add_parser("show", help="summarise a world snapshot")
+    show.add_argument("--path", required=True)
+    show.add_argument("--entity", help="print this entity's reviews")
+    show.add_argument("--limit", type=int, default=5)
+    show.set_defaults(func=_cmd_world_show)
+
+    index = subparsers.add_parser("index", help="build tag indexes")
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    build = index_sub.add_parser("build", help="build a subjective tag index")
+    build.add_argument("--world", required=True)
+    build.add_argument("--out", required=True)
+    build.add_argument("--tags", nargs="*", help="tags to index (default: the 18 dimensions)")
+    build.add_argument("--theta", type=float, default=0.70)
+    build.add_argument("--theta-mode", choices=["static", "dynamic"], default="static")
+    build.add_argument("--filter-fraud", action="store_true", help="drop suspicious reviews")
+    build.set_defaults(func=_cmd_index_build)
+
+    search = subparsers.add_parser("search", help="answer a subjective query")
+    search.add_argument("--world", required=True)
+    search.add_argument("--index", required=True)
+    search.add_argument("--top-k", type=int, default=10)
+    search.add_argument("--theta", type=float, default=0.60)
+    search.add_argument("tags", nargs="+", help='subjective tags, e.g. "delicious food"')
+    search.set_defaults(func=_cmd_search)
+
+    datasets = subparsers.add_parser("datasets", help="list the S1-S4 benchmarks")
+    datasets.set_defaults(func=_cmd_datasets)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Task-oriented dialog shim: intent recognition, slot filling, search API.
+
+SACCS assumes "the underlying dialog system is already equipped with intent
+recognition and slot filling" (Section 3); this module provides that
+substrate.  Intent detection and slot filling are pattern/lexicon-based —
+deliberately simple, since the paper treats them as solved inputs — and the
+search API filters the entity catalog by the *objective* slots only,
+returning results ordered by star rating (what Yelp would do), oblivious to
+any subjective phrases in the utterance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.data.schema import Entity
+from repro.text.tokenize import word_tokenize
+
+__all__ = ["ParsedUtterance", "IntentRecognizer", "SearchApi", "DialogSystem"]
+
+_SEARCH_MARKERS = {
+    "restaurant", "restaurants", "eat", "dinner", "lunch", "place", "table",
+    "food", "reservation", "hotel", "stay",
+}
+_KNOWN_CUISINES = {"italian", "french", "japanese", "mexican", "indian", "chinese", "thai"}
+_KNOWN_CITIES = {"montreal", "lyon", "melbourne", "paris", "tokyo", "trento", "sydney"}
+
+
+@dataclass
+class ParsedUtterance:
+    """Intent + objective slots extracted from a user utterance."""
+
+    text: str
+    tokens: List[str]
+    intent: str
+    slots: Dict[str, str] = field(default_factory=dict)
+
+
+class IntentRecognizer:
+    """Keyword-based intent recognition + slot filling."""
+
+    def parse(self, utterance: str) -> ParsedUtterance:
+        """Detect the intent and fill cuisine/city slots."""
+        tokens = word_tokenize(utterance)
+        token_set = set(tokens)
+        intent = "searchRestaurant" if token_set & _SEARCH_MARKERS else "unknown"
+        slots: Dict[str, str] = {}
+        for token in tokens:
+            if token in _KNOWN_CUISINES and "cuisine" not in slots:
+                slots["cuisine"] = token
+            if token in _KNOWN_CITIES and "city" not in slots:
+                slots["city"] = token
+        return ParsedUtterance(text=utterance, tokens=tokens, intent=intent, slots=slots)
+
+
+class SearchApi:
+    """The objective search service (the Yelp/TripAdvisor stand-in).
+
+    Filters by slots and orders by stars; knows nothing about subjectivity.
+    """
+
+    def __init__(self, entities: Sequence[Entity]):
+        self.entities = list(entities)
+
+    def search(self, slots: Dict[str, str]) -> List[Entity]:
+        """Entities matching every provided slot, best-rated first."""
+        results = [
+            entity
+            for entity in self.entities
+            if ("cuisine" not in slots or entity.cuisine == slots["cuisine"])
+            and ("city" not in slots or entity.city == slots["city"])
+        ]
+        results.sort(key=lambda e: (-e.stars, e.entity_id))
+        return results
+
+
+class DialogSystem:
+    """Intent recognizer + search API, bundled (Algorithm 1's ``search_api``)."""
+
+    def __init__(self, entities: Sequence[Entity]):
+        self.recognizer = IntentRecognizer()
+        self.api = SearchApi(entities)
+
+    def search(self, utterance: str) -> List[Entity]:
+        """Parse the utterance and return objectively-filtered entities."""
+        parsed = self.recognizer.parse(utterance)
+        if parsed.intent != "searchRestaurant":
+            return []
+        return self.api.search(parsed.slots)

@@ -1,0 +1,101 @@
+"""Evaluation metrics for tagging (span F1) and pairing (classification).
+
+Tagging follows the NER convention the paper cites: an aspect/opinion counts
+as correctly extracted only if its exact token span matches the ground truth
+(Section 6.3).  F1 is micro-averaged over aspect and opinion chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.text.labels import labels_to_spans
+
+__all__ = ["SpanF1", "span_f1", "ClassificationReport", "classification_report"]
+
+
+@dataclass
+class SpanF1:
+    """Micro precision/recall/F1 over exact-match chunks."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    predicted: int
+    gold: int
+
+
+def span_f1(
+    gold_labels: Sequence[Sequence[str]],
+    predicted_labels: Sequence[Sequence[str]],
+) -> SpanF1:
+    """Exact-span micro F1 over aspect + opinion chunks.
+
+    Both inputs are lists of IOB label sequences, aligned sentence by
+    sentence.
+    """
+    if len(gold_labels) != len(predicted_labels):
+        raise ValueError("gold and predicted sentence counts differ")
+    true_positives = 0
+    num_predicted = 0
+    num_gold = 0
+    for gold, predicted in zip(gold_labels, predicted_labels):
+        if len(gold) != len(predicted):
+            raise ValueError("label sequences misaligned within a sentence")
+        gold_aspects, gold_opinions = labels_to_spans(gold)
+        pred_aspects, pred_opinions = labels_to_spans(predicted)
+        for gold_spans, pred_spans in (
+            (gold_aspects, pred_aspects),
+            (gold_opinions, pred_opinions),
+        ):
+            gold_set = set(gold_spans)
+            pred_set = set(pred_spans)
+            true_positives += len(gold_set & pred_set)
+            num_predicted += len(pred_set)
+            num_gold += len(gold_set)
+    precision = true_positives / num_predicted if num_predicted else 0.0
+    recall = true_positives / num_gold if num_gold else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return SpanF1(precision, recall, f1, true_positives, num_predicted, num_gold)
+
+
+@dataclass
+class ClassificationReport:
+    """Binary classification metrics (the pairing evaluation's columns)."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+    def row(self, name: str) -> str:
+        return (
+            f"{name:<22} acc={self.accuracy * 100:6.2f} p={self.precision * 100:6.2f} "
+            f"r={self.recall * 100:6.2f} f1={self.f1 * 100:6.2f}"
+        )
+
+
+def classification_report(gold: Sequence[int], predicted: Sequence[int]) -> ClassificationReport:
+    """Accuracy / precision / recall / F1 with 1 as the positive class."""
+    if len(gold) != len(predicted):
+        raise ValueError("gold and predicted lengths differ")
+    if not gold:
+        raise ValueError("empty evaluation set")
+    tp = fp = fn = tn = 0
+    for g, p in zip(gold, predicted):
+        if p == 1 and g == 1:
+            tp += 1
+        elif p == 1 and g == 0:
+            fp += 1
+        elif p == 0 and g == 1:
+            fn += 1
+        else:
+            tn += 1
+    accuracy = (tp + tn) / len(gold)
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return ClassificationReport(accuracy, precision, recall, f1, len(gold))

@@ -1,0 +1,133 @@
+"""Filtering & ranking of search results by subjective tags (Algorithm 1).
+
+Given the objective search results ``S_api`` and, per subjective tag ``t``
+in the utterance, an entity→score set ``S_t`` (from the index, exact or
+similarity-combined), the algorithm intersects the sets and ranks the
+surviving entities by their aggregated degrees of truth (Section 3.3:
+arithmetic mean across tags, which the authors found to work best; product
+and min are provided for the ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FilterConfig", "aggregate_scores", "filter_and_rank"]
+
+_AGGREGATORS: Dict[str, Callable[[Sequence[float]], float]] = {
+    "mean": lambda scores: float(np.mean(scores)),
+    "product": lambda scores: float(np.prod(scores)),
+    "min": lambda scores: float(np.min(scores)),
+}
+
+
+@dataclass
+class FilterConfig:
+    """Ranking knobs.
+
+    ``mode`` controls the set combination of Algorithm 1 line 11:
+
+    * ``"soft"`` (default) — an entity absent from some tag's set
+      contributes a degree of 0 for that tag and is ranked by the aggregate
+      over *all* query tags.  An entity matching no tag at all is dropped.
+      This is the natural reading once scores are aggregated by mean: being
+      unmentioned for one tag lowers the aggregate instead of annihilating
+      an otherwise excellent candidate.
+    * ``"strict"`` — the literal set intersection: only entities present in
+      every tag's set survive (kept for the ablation; with many query tags
+      it empties quickly).
+    """
+
+    aggregation: str = "mean"
+    top_k: Optional[int] = 10
+    mode: str = "soft"
+    #: strict mode only: append near-miss entities (present in some tag
+    #: sets) after the full intersection instead of returning a short list.
+    backfill: bool = True
+
+    def __post_init__(self):
+        if self.aggregation not in _AGGREGATORS:
+            raise ValueError(f"unknown aggregation {self.aggregation!r}; options: {sorted(_AGGREGATORS)}")
+        if self.mode not in ("soft", "strict"):
+            raise ValueError("mode must be 'soft' or 'strict'")
+
+
+def aggregate_scores(per_tag_scores: Sequence[float], aggregation: str = "mean") -> float:
+    """Combine one entity's degrees of truth across tags (Section 3.3)."""
+    if not per_tag_scores:
+        raise ValueError("no scores to aggregate")
+    return _AGGREGATORS[aggregation](per_tag_scores)
+
+
+def filter_and_rank(
+    api_entity_ids: Sequence[str],
+    tag_sets: Sequence[Mapping[str, float]],
+    config: Optional[FilterConfig] = None,
+) -> List[Tuple[str, float]]:
+    """Algorithm 1 lines 11–12: intersect and rank.
+
+    Parameters
+    ----------
+    api_entity_ids:
+        ``S_api`` — entities surviving the objective filters, in API order.
+    tag_sets:
+        one entity→degree mapping per subjective tag in the utterance.
+
+    Returns
+    -------
+    ``(entity_id, aggregated_score)`` pairs, best first.
+    """
+    config = config or FilterConfig()
+    if not tag_sets:
+        # No subjective signal: the API order stands.
+        ranked = [(entity_id, 0.0) for entity_id in api_entity_ids]
+        return ranked[: config.top_k] if config.top_k else ranked
+
+    if config.mode == "soft":
+        result = _soft_rank(api_entity_ids, tag_sets, config)
+    else:
+        result = _strict_rank(api_entity_ids, tag_sets, config)
+    return result[: config.top_k] if config.top_k else result
+
+
+def _soft_rank(
+    api_entity_ids: Sequence[str],
+    tag_sets: Sequence[Mapping[str, float]],
+    config: FilterConfig,
+) -> List[Tuple[str, float]]:
+    scored: List[Tuple[str, float]] = []
+    for entity_id in api_entity_ids:
+        scores = [tag_set.get(entity_id, 0.0) for tag_set in tag_sets]
+        if not any(score > 0 for score in scores):
+            continue
+        scored.append((entity_id, aggregate_scores(scores, config.aggregation)))
+    scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    if not scored:
+        # No entity matched any subjective tag: fall back to the API order
+        # rather than answering with nothing.
+        return [(entity_id, 0.0) for entity_id in api_entity_ids]
+    return scored
+
+
+def _strict_rank(
+    api_entity_ids: Sequence[str],
+    tag_sets: Sequence[Mapping[str, float]],
+    config: FilterConfig,
+) -> List[Tuple[str, float]]:
+    strict: List[Tuple[str, float]] = []
+    partial: List[Tuple[int, float, str]] = []
+    for entity_id in api_entity_ids:
+        scores = [tag_set[entity_id] for tag_set in tag_sets if entity_id in tag_set]
+        if len(scores) == len(tag_sets):
+            strict.append((entity_id, aggregate_scores(scores, config.aggregation)))
+        elif scores:
+            partial.append((len(scores), aggregate_scores(scores, config.aggregation), entity_id))
+    strict.sort(key=lambda pair: (-pair[1], pair[0]))
+    result = strict
+    if config.backfill:
+        partial.sort(key=lambda triple: (-triple[0], -triple[1], triple[2]))
+        result = strict + [(entity_id, score) for _, score, entity_id in partial]
+    return result

@@ -1,0 +1,113 @@
+"""Fake-review filtering (implements the paper's Section-7 future work).
+
+"We have to differentiate between truthful and fake reviews in order to
+provide a transparent search experience."  The filter scores each review of
+an entity against three signatures of astroturfing:
+
+* **duplication** — maximum token-shingle Jaccard similarity against the
+  entity's other reviews (ghost-writers recycle templates);
+* **extremity** — all mentioned dimensions share one sign at near-maximal
+  strength (organic reviews mix praise and gripes);
+* **uniformity** — low lexical diversity across the review's sentences.
+
+The combined suspicion score is thresholded; ``Saccs.ingest_reviews`` can
+take the filter and drop suspicious reviews before indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.data.schema import Review
+
+__all__ = ["FraudFilterConfig", "FakeReviewFilter"]
+
+
+@dataclass
+class FraudFilterConfig:
+    """Scoring weights and decision threshold."""
+
+    shingle_size: int = 3
+    duplication_weight: float = 0.55
+    extremity_weight: float = 0.30
+    uniformity_weight: float = 0.15
+    #: reviews scoring above this are dropped.
+    threshold: float = 0.62
+
+
+def _shingles(tokens: Sequence[str], size: int) -> Set[Tuple[str, ...]]:
+    if len(tokens) < size:
+        return {tuple(tokens)} if tokens else set()
+    return {tuple(tokens[i : i + size]) for i in range(len(tokens) - size + 1)}
+
+
+def _jaccard(a: Set, b: Set) -> float:
+    if not a or not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+class FakeReviewFilter:
+    """Scores and filters an entity's reviews for astroturf signatures."""
+
+    def __init__(self, config: FraudFilterConfig | None = None):
+        self.config = config or FraudFilterConfig()
+
+    # ------------------------------------------------------------- signals
+
+    def duplication_score(self, review: Review, others: Sequence[Review]) -> float:
+        """Max shingle-Jaccard against the entity's other reviews."""
+        own = _shingles(review.tokens, self.config.shingle_size)
+        best = 0.0
+        for other in others:
+            if other.review_id == review.review_id:
+                continue
+            best = max(best, _jaccard(own, _shingles(other.tokens, self.config.shingle_size)))
+        return best
+
+    def extremity_score(self, review: Review) -> float:
+        """1.0 when every mention shares one sign at near-max strength."""
+        polarities = list(review.mentions.values())
+        if not polarities:
+            return 0.0
+        signs = {np.sign(p) for p in polarities if p != 0}
+        if len(signs) != 1:
+            return 0.0
+        return float(np.mean([min(abs(p) / 0.85, 1.0) for p in polarities]))
+
+    def uniformity_score(self, review: Review) -> float:
+        """1 - type/token ratio: recycled phrasing scores high."""
+        tokens = review.tokens
+        if not tokens:
+            return 0.0
+        return 1.0 - len(set(tokens)) / len(tokens)
+
+    # ------------------------------------------------------------ decisions
+
+    def suspicion(self, review: Review, others: Sequence[Review]) -> float:
+        """Weighted combination of the three signals, in [0, 1]."""
+        config = self.config
+        return (
+            config.duplication_weight * self.duplication_score(review, others)
+            + config.extremity_weight * self.extremity_score(review)
+            + config.uniformity_weight * self.uniformity_score(review)
+        )
+
+    def filter_reviews(self, reviews: Sequence[Review]) -> List[Review]:
+        """The subset of ``reviews`` judged organic."""
+        return [
+            review
+            for review in reviews
+            if self.suspicion(review, reviews) <= self.config.threshold
+        ]
+
+    def flagged(self, reviews: Sequence[Review]) -> List[str]:
+        """Review ids judged fake (for precision/recall evaluation)."""
+        return [
+            review.review_id
+            for review in reviews
+            if self.suspicion(review, reviews) > self.config.threshold
+        ]

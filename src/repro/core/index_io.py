@@ -1,0 +1,76 @@
+"""JSON persistence for the subjective tag index.
+
+Index construction reads every review; for a production-shaped service the
+index is built offline and loaded at query time.  The snapshot stores both
+the tag→entity mappings (for instant queries) and the per-entity extracted
+review tags (so later indexing rounds can still adopt new tags without
+re-reading reviews).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.index import SubjectiveTagIndex
+from repro.core.tags import SubjectiveTag
+from repro.text.similarity import ConceptualSimilarity
+
+__all__ = ["save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+
+
+def save_index(index: SubjectiveTagIndex, path: Union[str, Path]) -> None:
+    """Write an index snapshot to ``path`` (JSON)."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "theta_index": index.theta_index,
+        "normalize_degrees": index.normalize_degrees,
+        "review_count_mode": index.review_count_mode,
+        "entries": {
+            tag.text: mapping for tag, mapping in index._entries.items()
+        },
+        "entity_tags": {
+            entity_id: [[t.text for t in review_tags] for review_tags in per_review]
+            for entity_id, per_review in index._entity_tags.items()
+        },
+        "entity_review_counts": dict(index._entity_review_counts),
+    }
+    with Path(path).open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def load_index(path: Union[str, Path], similarity: ConceptualSimilarity) -> SubjectiveTagIndex:
+    """Load an index snapshot written by :func:`save_index`.
+
+    The similarity oracle is not serialised (it is code, not data) and must
+    be supplied by the caller.
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported index format version: {version!r}")
+    index = SubjectiveTagIndex(
+        similarity,
+        theta_index=payload["theta_index"],
+        normalize_degrees=payload["normalize_degrees"],
+        review_count_mode=payload["review_count_mode"],
+    )
+    index._entries = {
+        SubjectiveTag.from_text(text): dict(mapping)
+        for text, mapping in payload["entries"].items()
+    }
+    index._entity_tags = {
+        entity_id: [
+            [SubjectiveTag.from_text(t) for t in review_tags]
+            for review_tags in per_review
+        ]
+        for entity_id, per_review in payload["entity_tags"].items()
+    }
+    index._entity_review_counts = {
+        entity_id: int(count) for entity_id, count in payload["entity_review_counts"].items()
+    }
+    return index

@@ -1,0 +1,320 @@
+"""The pairing module (Section 5): heuristics → data programming → classifier.
+
+Pipeline (Figure 6):
+
+1. Seven labeling functions (two parse-tree, five attention-head) vote on
+   whether a candidate (aspect, opinion) pair is a correct extraction.
+2. A label model (majority vote, or the probabilistic generative model)
+   aggregates the votes into training labels — no ground truth needed.
+3. A discriminative classifier (two-layer network with sigmoid over BERT
+   features) trains on those labels and generalises beyond the heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.bert.encoder import BertWordEncoder
+from repro.core.heuristics import AttentionPairingHeuristic, PairingHeuristic, TreePairingHeuristic
+from repro.data.pairing import PairingExample
+from repro.data.schema import Span
+from repro.nn import Adam, Linear, Module, Tensor
+from repro.nn import functional as F
+from repro.nn.tensor import no_grad
+from repro.text.parser import ChunkParser
+from repro.weak import GenerativeLabelModel, LabelingFunction, MajorityVoteModel, apply_labeling_functions
+
+__all__ = [
+    "PairingInstance",
+    "instances_from_examples",
+    "heuristic_labeling_function",
+    "default_labeling_functions",
+    "select_attention_heads",
+    "PairingClassifier",
+    "PairingPipeline",
+]
+
+Pair = Tuple[Span, Span]
+
+
+@dataclass(frozen=True)
+class PairingInstance:
+    """One candidate pair in the context of its sentence's full span sets."""
+
+    tokens: Tuple[str, ...]
+    aspect_spans: Tuple[Span, ...]
+    opinion_spans: Tuple[Span, ...]
+    candidate: Pair
+
+
+def instances_from_examples(examples: Sequence[PairingExample]) -> List[PairingInstance]:
+    """Lift flat examples into instances carrying their sentence's span sets.
+
+    The span sets are the union of candidate spans over all examples sharing
+    the sentence (the benchmark enumerates the full cross product, so this
+    recovers exactly the tagger-extracted sets).
+    """
+    by_sentence: Dict[Tuple[str, ...], Tuple[set, set]] = {}
+    for example in examples:
+        aspects, opinions = by_sentence.setdefault(example.tokens, (set(), set()))
+        aspects.add(example.aspect_span)
+        opinions.add(example.opinion_span)
+    return [
+        PairingInstance(
+            tokens=example.tokens,
+            aspect_spans=tuple(sorted(by_sentence[example.tokens][0])),
+            opinion_spans=tuple(sorted(by_sentence[example.tokens][1])),
+            candidate=(example.aspect_span, example.opinion_span),
+        )
+        for example in examples
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Labeling functions
+# ---------------------------------------------------------------------------
+
+
+def heuristic_labeling_function(heuristic: PairingHeuristic) -> LabelingFunction:
+    """Wrap a pairing heuristic as a binary labeling function (Section 5.2).
+
+    Votes 1 if the candidate belongs to the heuristic's proposed pair set,
+    0 otherwise (the procedure the paper describes — no abstention).
+    """
+
+    def vote(instance: PairingInstance) -> int:
+        proposed = heuristic.pairs(instance.tokens, instance.aspect_spans, instance.opinion_spans)
+        return 1 if instance.candidate in proposed else 0
+
+    return LabelingFunction(heuristic.name, vote)
+
+
+def select_attention_heads(
+    encoder: BertWordEncoder,
+    instances: Sequence[PairingInstance],
+    labels: Sequence[int],
+    top_k: int = 5,
+) -> List[Tuple[int, int, float]]:
+    """Rank all (layer, head) coordinates by pairing accuracy on a dev set.
+
+    This automates the paper's "qualitative analysis" used to choose the
+    five attention labeling functions.  Returns ``(layer, head, accuracy)``
+    triples, best first.
+    """
+    config = encoder.config
+    results: List[Tuple[int, int, float]] = []
+    for layer in range(config.num_layers):
+        for head in range(config.num_heads):
+            heuristic = AttentionPairingHeuristic(encoder, layer, head)
+            lf = heuristic_labeling_function(heuristic)
+            votes = [lf(inst) for inst in instances]
+            accuracy = float(np.mean([v == g for v, g in zip(votes, labels)]))
+            results.append((layer, head, accuracy))
+    results.sort(key=lambda t: -t[2])
+    return results[:top_k]
+
+
+def default_labeling_functions(
+    encoder: BertWordEncoder,
+    parser: ChunkParser,
+    attention_heads: Sequence[Tuple[int, int]],
+    attention_margin: float = 1.2,
+) -> List[LabelingFunction]:
+    """The paper's seven LFs: two tree-based plus five attention heads.
+
+    Attention LFs use a confidence margin so they only assert pairs the
+    head is sure about — reproducing the high-precision / low-recall LF
+    profile of Table 5.
+    """
+    lfs = [
+        heuristic_labeling_function(TreePairingHeuristic(parser, direction="opinions")),
+        heuristic_labeling_function(TreePairingHeuristic(parser, direction="aspects")),
+    ]
+    for layer, head in attention_heads:
+        lfs.append(
+            heuristic_labeling_function(
+                AttentionPairingHeuristic(encoder, layer, head, margin=attention_margin)
+            )
+        )
+    return lfs
+
+
+# ---------------------------------------------------------------------------
+# Discriminative classifier
+# ---------------------------------------------------------------------------
+
+
+class PairingClassifier(Module):
+    """Two-layer sigmoid classifier over BERT features (Section 5.2).
+
+    Features per instance: contextual mean vectors of the aspect span, the
+    opinion span and the whole sentence, their element-wise interaction,
+    plus two surface scalars (normalised token distance and a
+    clause-boundary indicator) that stand in for positional encodings.
+    """
+
+    _BOUNDARIES = {".", "!", "?", ";", "but", "while", "though"}
+
+    def __init__(self, encoder: BertWordEncoder, hidden: int = 32, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.encoder = encoder
+        dim = encoder.dim
+        self.feature_dim = 4 * dim + 2
+        self.hidden_layer = Linear(self.feature_dim, hidden, rng)
+        self.output_layer = Linear(hidden, 1, rng)
+
+    # ---------------------------------------------------------------- features
+
+    def featurize(self, instances: Sequence[PairingInstance]) -> np.ndarray:
+        """Dense feature matrix ``(N, feature_dim)``; BERT runs batched."""
+        features = np.zeros((len(instances), self.feature_dim))
+        batch_size = 64
+        with no_grad():
+            for start in range(0, len(instances), batch_size):
+                chunk = instances[start : start + batch_size]
+                hidden, mask, _ = self.encoder.encode([list(i.tokens) for i in chunk])
+                vectors = hidden.data
+                for row, instance in enumerate(chunk):
+                    features[start + row] = self._instance_features(instance, vectors[row], mask[row])
+        return features
+
+    def _instance_features(self, instance: PairingInstance, vectors: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        steps = int(mask.sum())
+        (a_start, a_end), (o_start, o_end) = instance.candidate
+        a_end = min(a_end, steps) or 1
+        o_end = min(o_end, steps) or 1
+        aspect_vec = vectors[min(a_start, steps - 1) : a_end].mean(axis=0)
+        opinion_vec = vectors[min(o_start, steps - 1) : o_end].mean(axis=0)
+        sentence_vec = vectors[:steps].mean(axis=0)
+        interaction = aspect_vec * opinion_vec
+        distance = abs(((a_start + a_end) / 2) - ((o_start + o_end) / 2)) / max(steps, 1)
+        lo, hi = sorted((min(a_start, steps - 1), min(o_start, steps - 1)))
+        between = instance.tokens[lo:hi]
+        boundary = 1.0 if any(t in self._BOUNDARIES for t in between) else 0.0
+        return np.concatenate(
+            [aspect_vec, opinion_vec, sentence_vec, interaction, [distance, boundary]]
+        )
+
+    # ------------------------------------------------------------------ model
+
+    def logits(self, features: np.ndarray) -> Tensor:
+        hidden = self.hidden_layer(Tensor(features)).tanh()
+        return self.output_layer(hidden).reshape(len(features))
+
+    def fit(
+        self,
+        instances: Sequence[PairingInstance],
+        labels: Sequence[int],
+        epochs: int = 30,
+        batch_size: int = 32,
+        learning_rate: float = 5e-3,
+        seed: int = 0,
+        balance: bool = True,
+    ) -> List[float]:
+        """Train on (instances, labels); returns per-epoch mean losses.
+
+        ``balance`` reweights the positive class by the label imbalance —
+        weak labels from high-precision/low-recall labeling functions
+        under-report positives, and without the correction the classifier
+        inherits their recall ceiling.
+        """
+        features = self.featurize(instances)
+        targets = np.asarray(labels, dtype=np.float64)
+        pos_weight = 1.0
+        if balance and targets.sum() > 0:
+            pos_weight = float((len(targets) - targets.sum()) / targets.sum())
+        rng = np.random.default_rng(seed)
+        optimizer = Adam(self.parameters(), lr=learning_rate)
+        history: List[float] = []
+        for _ in range(epochs):
+            order = rng.permutation(len(features))
+            losses = []
+            for start in range(0, len(order), batch_size):
+                idx = order[start : start + batch_size]
+                loss = F.binary_cross_entropy_with_logits(
+                    self.logits(features[idx]), targets[idx], pos_weight=pos_weight
+                )
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+            history.append(float(np.mean(losses)))
+        return history
+
+    def predict_proba(self, instances: Sequence[PairingInstance]) -> np.ndarray:
+        """P(correct extraction) per instance."""
+        features = self.featurize(instances)
+        with no_grad():
+            logits = self.logits(features).data
+        return 1.0 / (1.0 + np.exp(-logits))
+
+    def predict(self, instances: Sequence[PairingInstance]) -> np.ndarray:
+        """Hard 0/1 labels."""
+        return (self.predict_proba(instances) >= 0.5).astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Full pipeline
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PairingPipeline:
+    """Figure 6 end-to-end: LFs → label model → discriminative classifier."""
+
+    labeling_functions: List[LabelingFunction]
+    label_model: str = "majority"  # or "probabilistic"
+    classifier: Optional[PairingClassifier] = None
+    votes_: Optional[np.ndarray] = None
+    weak_labels_: Optional[np.ndarray] = None
+    weak_probs_: Optional[np.ndarray] = None
+
+    def weak_label(self, instances: Sequence[PairingInstance]) -> np.ndarray:
+        """Aggregate LF votes into probabilistic labels (no ground truth)."""
+        votes = apply_labeling_functions(self.labeling_functions, instances)
+        if self.label_model == "majority":
+            probs = MajorityVoteModel().predict_proba(votes)
+        elif self.label_model == "probabilistic":
+            probs = GenerativeLabelModel().fit(votes).predict_proba(votes)
+        else:
+            raise ValueError(f"unknown label model {self.label_model!r}")
+        self.votes_ = votes
+        self.weak_probs_ = probs
+        self.weak_labels_ = (probs >= 0.5).astype(np.int64)
+        return self.weak_labels_
+
+    def fit(
+        self,
+        instances: Sequence[PairingInstance],
+        confidence_threshold: float = 0.8,
+        **fit_kwargs,
+    ) -> "PairingPipeline":
+        """Create weak labels and train the discriminative classifier.
+
+        Following Snorkel practice, the classifier trains only on the
+        examples the label model is confident about (posterior ≥ threshold
+        either way); it then generalises to the ambiguous rest through its
+        features — which is how the discriminative model ends up *better*
+        than the label model that taught it.
+        """
+        if self.classifier is None:
+            raise ValueError("pipeline needs a classifier to fit")
+        self.weak_label(instances)
+        probs = self.weak_probs_
+        confident = (probs >= confidence_threshold) | (probs <= 1.0 - confidence_threshold)
+        if confident.sum() < 10:  # degenerate LF set: fall back to everything
+            confident = np.ones(len(instances), dtype=bool)
+        train_instances = [inst for inst, keep in zip(instances, confident) if keep]
+        train_labels = self.weak_labels_[confident]
+        self.classifier.fit(train_instances, train_labels, **fit_kwargs)
+        return self
+
+    def predict(self, instances: Sequence[PairingInstance]) -> np.ndarray:
+        """Classifier predictions (requires :meth:`fit`)."""
+        if self.classifier is None:
+            raise ValueError("pipeline has no trained classifier")
+        return self.classifier.predict(instances)

@@ -1,0 +1,121 @@
+"""User profiles: preference-aware re-ranking (Section-7 future work).
+
+"Subjective digital assistants should be able to take into account user
+profiles and adjust their search and interaction behavior accordingly."
+
+A :class:`UserProfile` keeps an exponentially-smoothed weight per subjective
+dimension, learned from interactions: every query mention bumps the queried
+dimensions, and every *choice* the user makes bumps the dimensions the
+chosen entity is strong in.  At ranking time the profile turns the uniform
+mean of Algorithm 1 into a weighted mean, so a user who consistently cares
+about ambiance sees ambiance-strong entities first when their query is
+ambiguous about priorities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.tags import SubjectiveTag
+
+__all__ = ["UserProfile", "personalized_rank"]
+
+
+@dataclass
+class UserProfile:
+    """Per-user preference weights over subjective dimensions."""
+
+    user_id: str
+    #: dimension name -> weight; missing dimensions default to 1.0.
+    weights: Dict[str, float] = field(default_factory=dict)
+    #: smoothing factor for updates (higher = adapts faster).
+    learning_rate: float = 0.3
+    #: weights are clipped to this range to keep ranking stable.
+    min_weight: float = 0.25
+    max_weight: float = 4.0
+
+    def weight_of(self, dimension: str) -> float:
+        """Current weight for a dimension (1.0 if never observed)."""
+        return self.weights.get(dimension, 1.0)
+
+    def _bump(self, dimension: str, factor: float) -> None:
+        current = self.weight_of(dimension)
+        updated = (1 - self.learning_rate) * current + self.learning_rate * current * factor
+        self.weights[dimension] = float(np.clip(updated, self.min_weight, self.max_weight))
+
+    # -------------------------------------------------------------- learning
+
+    def record_query(self, tags: Sequence[SubjectiveTag], dimension_of) -> None:
+        """A query mention is weak evidence the user cares about a dimension.
+
+        ``dimension_of`` maps a tag to its dimension name (or ``None``);
+        typically ``lambda tag: resolve_dimension(tag, similarity)``.
+        """
+        for tag in tags:
+            dimension = dimension_of(tag)
+            if dimension is not None:
+                self._bump(dimension, 1.25)
+
+    def record_choice(
+        self,
+        chosen_entity_quality: Mapping[str, float],
+        shown_mean_quality: Mapping[str, float],
+    ) -> None:
+        """The user picked an entity: reinforce the dimensions it stands out in.
+
+        ``shown_mean_quality`` is the per-dimension mean over the result list
+        the user saw; dimensions where the chosen entity beats the list mean
+        are treated as revealed preferences.
+        """
+        for dimension, quality in chosen_entity_quality.items():
+            baseline = shown_mean_quality.get(dimension, 0.5)
+            edge = quality - baseline
+            if edge > 0.05:
+                self._bump(dimension, 1.0 + min(edge, 0.5))
+            elif edge < -0.05:
+                self._bump(dimension, 1.0 / (1.0 + min(-edge, 0.5)))
+
+    # --------------------------------------------------------------- serving
+
+    def normalized_weights(self, dimensions: Sequence[str]) -> Dict[str, float]:
+        """Weights over ``dimensions`` rescaled to mean 1 (ranking-safe)."""
+        raw = np.array([self.weight_of(d) for d in dimensions], dtype=float)
+        if raw.sum() == 0:
+            return {d: 1.0 for d in dimensions}
+        raw *= len(raw) / raw.sum()
+        return dict(zip(dimensions, raw))
+
+
+def personalized_rank(
+    tag_sets: Sequence[Mapping[str, float]],
+    tag_dimensions: Sequence[Optional[str]],
+    profile: UserProfile,
+    api_entity_ids: Sequence[str],
+    top_k: Optional[int] = 10,
+) -> List[Tuple[str, float]]:
+    """Weighted-mean variant of Algorithm 1's ranking.
+
+    ``tag_sets[i]`` is the entity→degree mapping for the i-th query tag and
+    ``tag_dimensions[i]`` its resolved dimension (``None`` → weight 1).
+    """
+    if len(tag_sets) != len(tag_dimensions):
+        raise ValueError("tag_sets and tag_dimensions must align")
+    if not tag_sets:
+        return [(entity_id, 0.0) for entity_id in (api_entity_ids[:top_k] if top_k else api_entity_ids)]
+    weights = np.array(
+        [profile.weight_of(d) if d is not None else 1.0 for d in tag_dimensions], dtype=float
+    )
+    weights /= weights.sum()
+    scored: List[Tuple[str, float]] = []
+    for entity_id in api_entity_ids:
+        scores = np.array([tag_set.get(entity_id, 0.0) for tag_set in tag_sets])
+        if not np.any(scores > 0):
+            continue
+        scored.append((entity_id, float(np.dot(weights, scores))))
+    scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    if not scored:
+        scored = [(entity_id, 0.0) for entity_id in api_entity_ids]
+    return scored[:top_k] if top_k else scored

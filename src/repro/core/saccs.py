@@ -1,0 +1,148 @@
+"""The SACCS facade (Figure 1): extraction → indexing → filtering → ranking.
+
+Bundles the whole system behind two entry points:
+
+* :meth:`Saccs.answer` — full conversational path: parse the utterance
+  through the dialog shim, extract subjective tags from it, probe/extend the
+  index, filter and rank.
+* :meth:`Saccs.answer_tags` — the evaluation path of Section 6.2, where the
+  subjective tags are given directly.
+
+Unknown query tags are answered in real time by combining similar index
+tags (Algorithm 1 line 10) and are remembered in the *user tag history*;
+:meth:`run_indexing_round` folds the history into the index, which is how
+SACCS "adapts to new user needs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.dialog import DialogSystem
+from repro.core.extractor import OracleExtractor, TagExtractor
+from repro.core.fraud import FakeReviewFilter
+from repro.core.filtering import FilterConfig, filter_and_rank
+from repro.core.index import SubjectiveTagIndex
+from repro.core.tags import SubjectiveTag
+from repro.data.schema import Entity, Review
+from repro.text.similarity import ConceptualSimilarity
+
+__all__ = ["SaccsConfig", "Saccs"]
+
+
+@dataclass
+class SaccsConfig:
+    """Thresholds and ranking behaviour."""
+
+    theta_index: float = 0.70
+    theta_filter: float = 0.60
+    aggregation: str = "mean"
+    top_k: Optional[int] = 10
+    mode: str = "soft"
+    backfill: bool = True
+    review_count_mode: str = "matched"
+    theta_mode: str = "static"
+
+    def filter_config(self) -> FilterConfig:
+        return FilterConfig(
+            aggregation=self.aggregation,
+            top_k=self.top_k,
+            mode=self.mode,
+            backfill=self.backfill,
+        )
+
+
+class Saccs:
+    """Subjectivity Aware Conversational Search Service."""
+
+    def __init__(
+        self,
+        entities: Sequence[Entity],
+        reviews: Mapping[str, Sequence[Review]],
+        extractor: Union[TagExtractor, OracleExtractor],
+        similarity: ConceptualSimilarity,
+        config: Optional[SaccsConfig] = None,
+        review_filter: Optional["FakeReviewFilter"] = None,
+    ):
+        self.entities = list(entities)
+        self.reviews = reviews
+        self.extractor = extractor
+        self.similarity = similarity
+        self.config = config or SaccsConfig()
+        self.dialog = DialogSystem(self.entities)
+        self.index = SubjectiveTagIndex(
+            similarity,
+            theta_index=self.config.theta_index,
+            review_count_mode=self.config.review_count_mode,
+            theta_mode=self.config.theta_mode,
+        )
+        #: optional fake-review defence (Section 7 future work); suspicious
+        #: reviews are dropped before extraction.
+        self.review_filter = review_filter
+        self.user_tag_history: List[SubjectiveTag] = []
+        self._ingested = False
+
+    # ------------------------------------------------------------- ingestion
+
+    def ingest_reviews(self) -> None:
+        """Extract subjective tags from every review (the extractor pass)."""
+        for entity in self.entities:
+            reviews = list(self.reviews.get(entity.entity_id, []))
+            if self.review_filter is not None:
+                reviews = self.review_filter.filter_reviews(reviews)
+            per_review: List[List[SubjectiveTag]] = []
+            for review in reviews:
+                per_review.append(self.extractor.extract_review(review))
+            self.index.register_entity(entity.entity_id, per_review)
+        self._ingested = True
+
+    def build_index(self, tags: Iterable[SubjectiveTag]) -> None:
+        """Index an initial tag set (ingesting reviews first if needed)."""
+        if not self._ingested:
+            self.ingest_reviews()
+        self.index.build(tags)
+
+    def run_indexing_round(self) -> List[SubjectiveTag]:
+        """Fold the user tag history into the index (Figure 1's loop)."""
+        added = []
+        for tag in self.user_tag_history:
+            if tag not in self.index:
+                self.index.add_tag(tag)
+                added.append(tag)
+        self.user_tag_history.clear()
+        return added
+
+    # --------------------------------------------------------------- queries
+
+    def _tag_set(self, tag: SubjectiveTag) -> Dict[str, float]:
+        """Algorithm 1 lines 7–10: exact lookup or similar-tag combination."""
+        if tag in self.index:
+            return self.index.lookup(tag)
+        self.user_tag_history.append(tag)
+        return self.index.lookup_similar(tag, self.config.theta_filter)
+
+    def answer_tags(
+        self,
+        tags: Sequence[SubjectiveTag],
+        api_entity_ids: Optional[Sequence[str]] = None,
+    ) -> List[Tuple[str, float]]:
+        """Rank entities for a set of subjective tags (evaluation entry point)."""
+        if api_entity_ids is None:
+            api_entity_ids = [entity.entity_id for entity in self.entities]
+        tag_sets = [self._tag_set(tag) for tag in tags]
+        return filter_and_rank(api_entity_ids, tag_sets, self.config.filter_config())
+
+    def answer(self, utterance: str) -> List[Tuple[str, float]]:
+        """Full conversational path for a natural-language utterance."""
+        api_entities = self.dialog.search(utterance)
+        api_ids = [entity.entity_id for entity in api_entities]
+        if isinstance(self.extractor, TagExtractor):
+            parsed = self.dialog.recognizer.parse(utterance)
+            tags = self.extractor.extract(parsed.tokens)
+        else:
+            raise TypeError(
+                "answer() needs a TagExtractor (the oracle extractor has no "
+                "gold labels for arbitrary utterances); use answer_tags()"
+            )
+        return filter_and_rank(api_ids, [self._tag_set(t) for t in tags], self.config.filter_config())

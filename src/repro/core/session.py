@@ -1,0 +1,129 @@
+"""Multi-turn conversational sessions over SACCS.
+
+The paper positions SACCS inside task-oriented dialog systems, where search
+is rarely one-shot: users refine ("make it quick service too"), retract
+("price doesn't matter actually") and re-anchor ("what about in lyon?")
+across turns.  :class:`ConversationSession` keeps the evolving query state —
+objective slots plus the accumulated subjective tags — and re-ranks after
+every turn, optionally through a :class:`~repro.core.profiles.UserProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.extractor import TagExtractor
+from repro.core.profiles import UserProfile, personalized_rank
+from repro.core.saccs import Saccs
+from repro.core.tags import SubjectiveTag
+from repro.text.tokenize import word_tokenize
+
+__all__ = ["Turn", "ConversationSession"]
+
+_RESET_MARKERS = {"start over", "new search", "forget that", "reset"}
+_RETRACT_MARKERS = ("doesn't matter", "does not matter", "drop the", "forget the", "never mind the")
+
+
+@dataclass
+class Turn:
+    """One exchange: what the user said and what the system answered."""
+
+    utterance: str
+    added_tags: List[SubjectiveTag]
+    removed_tags: List[SubjectiveTag]
+    slots: Dict[str, str]
+    results: List[Tuple[str, float]]
+
+
+class ConversationSession:
+    """Stateful refinement loop around a built :class:`Saccs` instance."""
+
+    def __init__(
+        self,
+        saccs: Saccs,
+        profile: Optional[UserProfile] = None,
+        dimension_of=None,
+        top_k: int = 10,
+    ):
+        if not isinstance(saccs.extractor, TagExtractor):
+            raise TypeError("ConversationSession needs a neural TagExtractor (utterances have no gold labels)")
+        self.saccs = saccs
+        self.profile = profile
+        #: maps a tag to its dimension name for profile weighting (optional).
+        self.dimension_of = dimension_of or (lambda tag: None)
+        self.top_k = top_k
+        self.active_tags: List[SubjectiveTag] = []
+        self.slots: Dict[str, str] = {}
+        self.turns: List[Turn] = []
+
+    # --------------------------------------------------------------- updates
+
+    def reset(self) -> None:
+        """Clear the accumulated query state."""
+        self.active_tags.clear()
+        self.slots.clear()
+
+    def _retractions(self, utterance: str) -> List[SubjectiveTag]:
+        """Tags the user asked to drop ("the price doesn't matter")."""
+        lowered = utterance.lower()
+        if not any(marker in lowered for marker in _RETRACT_MARKERS):
+            return []
+        removed = []
+        for tag in self.active_tags:
+            if tag.aspect in lowered:
+                removed.append(tag)
+        return removed
+
+    def say(self, utterance: str) -> Turn:
+        """Process one user turn and return it (with fresh results)."""
+        lowered = utterance.lower()
+        if any(marker in lowered for marker in _RESET_MARKERS):
+            self.reset()
+            turn = Turn(utterance, [], [], dict(self.slots), [])
+            self.turns.append(turn)
+            return turn
+
+        removed = self._retractions(utterance)
+        for tag in removed:
+            self.active_tags.remove(tag)
+
+        parsed = self.saccs.dialog.recognizer.parse(utterance)
+        self.slots.update(parsed.slots)
+        added = []
+        if not removed:  # a retraction turn does not add its aspect back
+            for tag in self.saccs.extractor.extract(parsed.tokens):
+                if tag not in self.active_tags:
+                    self.active_tags.append(tag)
+                    added.append(tag)
+        if self.profile is not None and added:
+            self.profile.record_query(added, self.dimension_of)
+
+        results = self._rank()
+        turn = Turn(utterance, added, removed, dict(self.slots), results)
+        self.turns.append(turn)
+        return turn
+
+    # --------------------------------------------------------------- ranking
+
+    def _rank(self) -> List[Tuple[str, float]]:
+        api_ids = [e.entity_id for e in self.saccs.dialog.api.search(self.slots)]
+        if not self.active_tags:
+            return [(entity_id, 0.0) for entity_id in api_ids[: self.top_k]]
+        tag_sets = [self.saccs._tag_set(tag) for tag in self.active_tags]
+        if self.profile is not None:
+            dimensions = [self.dimension_of(tag) for tag in self.active_tags]
+            return personalized_rank(tag_sets, dimensions, self.profile, api_ids, top_k=self.top_k)
+        from repro.core.filtering import FilterConfig, filter_and_rank
+
+        config = self.saccs.config.filter_config()
+        config.top_k = self.top_k
+        return filter_and_rank(api_ids, tag_sets, config)
+
+    # ------------------------------------------------------------- inspection
+
+    def state_summary(self) -> str:
+        """One-line rendering of the accumulated query state."""
+        tags = ", ".join(t.text for t in self.active_tags) or "(none)"
+        slots = ", ".join(f"{k}={v}" for k, v in self.slots.items()) or "(none)"
+        return f"tags: {tags} | slots: {slots}"

@@ -1,0 +1,129 @@
+"""The sequence tagger: BERT → BiLSTM → CRF (Section 4.1, Figure 3).
+
+Contextual word vectors from the miniature BERT feed a BiLSTM whose output
+is projected to per-label emission scores; a linear-chain CRF decodes the
+IOB sequence under learned (and IOB-grammar-constrained) transitions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bert.encoder import BertWordEncoder
+from repro.bert.model import BatchEncoding
+from repro.nn import BiLSTM, Dropout, LinearChainCRF, Linear, Module
+from repro.nn.tensor import Tensor, no_grad
+from repro.text.labels import ID_TO_LABEL, LABEL_TO_ID, NUM_LABELS, forbidden_transitions, labels_to_spans
+
+__all__ = ["SequenceTagger"]
+
+
+class SequenceTagger(Module):
+    """BERT + BiLSTM + CRF token tagger over word sequences."""
+
+    def __init__(
+        self,
+        encoder: BertWordEncoder,
+        rng: np.random.Generator,
+        lstm_hidden: int = 48,
+        dropout: float = 0.1,
+        decode_beam: Optional[int] = None,
+        use_crf: bool = True,
+    ):
+        super().__init__()
+        self.encoder = encoder
+        # BERT is part of the trained model (fine-tuned with the tagger), so
+        # its attention heads become task-aware — which Section 5.1's
+        # attention pairing heuristic relies on.
+        self.bert = encoder.model
+        self.bilstm = BiLSTM(encoder.dim, lstm_hidden, rng)
+        self.dropout = Dropout(dropout, np.random.default_rng(int(rng.integers(2**32))))
+        self.projection = Linear(2 * lstm_hidden, NUM_LABELS, rng)
+        #: ablation switch: without the CRF, training is per-token cross
+        #: entropy and decoding is independent argmax (no IOB constraints).
+        self.use_crf = use_crf
+        if use_crf:
+            self.crf = LinearChainCRF(NUM_LABELS, rng)
+            self.crf.constrain_transitions(forbidden_transitions())
+        self.decode_beam = decode_beam
+
+    # ---------------------------------------------------------------- forward
+
+    def emissions(
+        self,
+        sentences: Sequence[Sequence[str]],
+        batch: Optional[BatchEncoding] = None,
+        input_embeddings: Optional[Tensor] = None,
+    ) -> Tuple[Tensor, np.ndarray, BatchEncoding]:
+        """Per-token label scores ``(B, T, L)`` plus mask and batch encoding.
+
+        ``input_embeddings`` substitutes (possibly perturbed) word embeddings
+        — the adversarial training path.
+        """
+        batch = batch or self.encoder.batch(sentences)
+        hidden = self.bert.forward(batch, input_embeddings=input_embeddings)
+        features = self.bilstm(self.dropout(hidden), mask=batch.word_mask)
+        return self.projection(features), batch.word_mask, batch
+
+    def loss(
+        self,
+        sentences: Sequence[Sequence[str]],
+        label_ids: np.ndarray,
+        batch: Optional[BatchEncoding] = None,
+        input_embeddings: Optional[Tensor] = None,
+    ) -> Tensor:
+        """Training loss: CRF negative log-likelihood (or token CE w/o CRF)."""
+        emissions, mask, batch = self.emissions(sentences, batch=batch, input_embeddings=input_embeddings)
+        width = emissions.shape[1]
+        if self.use_crf:
+            return self.crf.neg_log_likelihood(emissions, label_ids[:, :width], mask=mask)
+        from repro.nn import functional as F
+
+        return F.cross_entropy(emissions, label_ids[:, :width], mask=mask)
+
+    # --------------------------------------------------------------- decoding
+
+    def predict(self, sentences: Sequence[Sequence[str]]) -> List[List[str]]:
+        """IOB label sequences for a batch of tokenised sentences."""
+        if not sentences:
+            return []
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            emissions, mask, _ = self.emissions(sentences)
+        if self.use_crf:
+            paths = self.crf.decode(emissions.data, mask=mask, beam=self.decode_beam)
+        else:
+            argmax = emissions.data.argmax(axis=-1)
+            paths = [
+                [int(v) for v in row[: int(m.sum())]] for row, m in zip(argmax, mask)
+            ]
+        if was_training:
+            self.train()
+        labels = [[ID_TO_LABEL[i] for i in path] for path in paths]
+        # Pad back to the original sentence length if the encoder truncated.
+        out: List[List[str]] = []
+        for sentence, seq in zip(sentences, labels):
+            if len(seq) < len(sentence):
+                seq = seq + ["O"] * (len(sentence) - len(seq))
+            out.append(seq[: len(sentence)])
+        return out
+
+    def extract_spans(self, tokens: Sequence[str]) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]:
+        """(aspect_spans, opinion_spans) for one sentence."""
+        labels = self.predict([list(tokens)])[0]
+        return labels_to_spans(labels)
+
+    # ------------------------------------------------------------------ utils
+
+    @staticmethod
+    def encode_labels(label_sequences: Sequence[Sequence[str]], width: Optional[int] = None) -> np.ndarray:
+        """Dense ``(B, T)`` label-id array padded with O."""
+        width = width or max(len(seq) for seq in label_sequences)
+        out = np.full((len(label_sequences), width), LABEL_TO_ID["O"], dtype=np.int64)
+        for i, seq in enumerate(label_sequences):
+            for j, label in enumerate(seq[:width]):
+                out[i, j] = LABEL_TO_ID[label]
+        return out

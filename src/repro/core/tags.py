@@ -1,0 +1,52 @@
+"""Subjective tags: the paper's central abstraction (Section 1).
+
+A subjective tag is the concatenation of an aspect term and an opinion term
+("delicious food" = opinion *delicious* + aspect *food*).  Tags are compared
+with conceptual similarity, never by string equality alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["SubjectiveTag"]
+
+
+@dataclass(frozen=True, order=True)
+class SubjectiveTag:
+    """An (aspect, opinion) pair, stored lower-case and whitespace-normal."""
+
+    aspect: str
+    opinion: str
+
+    def __post_init__(self):
+        object.__setattr__(self, "aspect", " ".join(self.aspect.lower().split()))
+        object.__setattr__(self, "opinion", " ".join(self.opinion.lower().split()))
+        if not self.aspect or not self.opinion:
+            raise ValueError("subjective tag needs non-empty aspect and opinion")
+
+    @property
+    def text(self) -> str:
+        """Canonical opinion-first rendering ("delicious food")."""
+        return f"{self.opinion} {self.aspect}"
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        """(aspect, opinion) tuple — the shape similarity oracles consume."""
+        return (self.aspect, self.opinion)
+
+    @classmethod
+    def from_text(cls, text: str) -> "SubjectiveTag":
+        """Parse an opinion-first phrase; the last word is the aspect.
+
+        This matches the canonical rendering ("delicious food", "really
+        quick service" → aspect = last token, opinion = the rest).
+        """
+        words = text.lower().split()
+        if len(words) < 2:
+            raise ValueError(f"cannot parse subjective tag from {text!r}")
+        return cls(aspect=words[-1], opinion=" ".join(words[:-1]))
+
+    def __str__(self) -> str:
+        return self.text

@@ -1,0 +1,146 @@
+"""Simulated crowdsourcing of satisfaction labels (Section 6.2, Ground truth).
+
+The paper asks three Toloka workers to rate how much each review mentions a
+subjective tag, on the scale {0, 1/3, 2/3, 1}, majority-votes the three
+answers, then averages over an entity's reviews to get ``sat(q, e)``.
+
+The simulation reproduces each step:
+
+* the *true* review-level relevance is derived from the generator's own
+  mention records (a strong positive mention of the queried dimension is
+  perfect relevance; a weak or related-dimension mention is partial — the
+  paper's "slow service is somewhat related to terrible service" example);
+* each worker reports the true level shifted by ±1 step with some noise
+  probability (workers are imperfect, per the paper's data-quality remarks);
+* three workers vote; the majority (or median on ties) is kept;
+* review scores average into ``sat(q, e)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dimensions import SubjectiveDimension, dimension_by_name
+from repro.data.schema import Review
+from repro.data.world import World
+from repro.text.lexicon import restaurant_lexicon
+from repro.text.similarity import ConceptualSimilarity
+from repro.utils.rng import SeedSequence
+
+__all__ = ["CrowdConfig", "CrowdSimulator", "SatTable"]
+
+_LEVELS = np.array([0.0, 1 / 3, 2 / 3, 1.0])
+
+
+@dataclass
+class CrowdConfig:
+    """Crowd noise model parameters."""
+
+    workers_per_item: int = 3
+    #: probability that a single worker mis-grades by one level.
+    worker_noise: float = 0.2
+    #: conceptual-similarity threshold for "related dimension" partial credit.
+    related_threshold: float = 0.45
+    seed: int = 2021
+
+
+class SatTable:
+    """Dense ``sat(dimension, entity)`` lookup produced by the crowd."""
+
+    def __init__(self, dimensions: List[str], entity_ids: List[str], values: np.ndarray):
+        self.dimensions = dimensions
+        self.entity_ids = entity_ids
+        self._dim_index = {d: i for i, d in enumerate(dimensions)}
+        self._entity_index = {e: i for i, e in enumerate(entity_ids)}
+        self.values = values
+
+    def sat(self, dimension: str, entity_id: str) -> float:
+        """Crowd-estimated satisfaction of ``dimension`` by ``entity_id``."""
+        return float(self.values[self._dim_index[dimension], self._entity_index[entity_id]])
+
+    def ideal_ranking(self, dimensions: Sequence[str], top_k: Optional[int] = None) -> List[str]:
+        """Entities by mean sat over ``dimensions`` (the iDCG ordering)."""
+        rows = [self._dim_index[d] for d in dimensions]
+        means = self.values[rows].mean(axis=0)
+        order = np.lexsort((np.array(self.entity_ids, dtype=object), -means))
+        ids = [self.entity_ids[i] for i in order]
+        return ids[:top_k] if top_k else ids
+
+
+class CrowdSimulator:
+    """Simulates the Toloka annotation campaign over a generated world."""
+
+    def __init__(self, world: World, config: Optional[CrowdConfig] = None):
+        self.world = world
+        self.config = config or CrowdConfig()
+        self._similarity = ConceptualSimilarity(restaurant_lexicon())
+        self._seeds = SeedSequence(self.config.seed).child("crowd")
+        self._related_cache: Dict[tuple, float] = {}
+
+    # ------------------------------------------------------------- relevance
+
+    def _dimension_relatedness(self, query_dim: str, mentioned_dim: str) -> float:
+        """Similarity between two dimensions' canonical tags (cached)."""
+        key = (query_dim, mentioned_dim)
+        if key not in self._related_cache:
+            tag_a = dimension_by_name(query_dim).canonical_tag
+            tag_b = dimension_by_name(mentioned_dim).canonical_tag
+            self._related_cache[key] = self._similarity.tag_similarity(tag_a, tag_b)
+        return self._related_cache[key]
+
+    def true_relevance(self, dimension: str, review: Review) -> float:
+        """Noise-free review relevance on the 4-level scale."""
+        best = 0.0
+        for mentioned, polarity in review.mentions.items():
+            if mentioned == dimension:
+                if polarity >= 0.55:
+                    level = 1.0
+                elif polarity > 0.0:
+                    level = 2 / 3
+                else:
+                    # Negative mention: the review talks about the dimension
+                    # but asserts its absence.
+                    level = 0.0
+                best = max(best, level)
+            else:
+                related = self._dimension_relatedness(dimension, mentioned)
+                if related >= self.config.related_threshold and polarity > 0:
+                    best = max(best, 1 / 3)
+        return best
+
+    # -------------------------------------------------------------- workers
+
+    def _worker_vote(self, true_level: float, rng: np.random.Generator) -> float:
+        level_index = int(np.argmin(np.abs(_LEVELS - true_level)))
+        if rng.random() < self.config.worker_noise:
+            step = 1 if rng.random() < 0.5 else -1
+            level_index = int(np.clip(level_index + step, 0, len(_LEVELS) - 1))
+        return float(_LEVELS[level_index])
+
+    def judge_review(self, dimension: str, review: Review, rng: np.random.Generator) -> float:
+        """Majority vote of ``workers_per_item`` noisy workers."""
+        true_level = self.true_relevance(dimension, review)
+        votes = [self._worker_vote(true_level, rng) for _ in range(self.config.workers_per_item)]
+        values, counts = np.unique(votes, return_counts=True)
+        if counts.max() > 1:
+            return float(values[np.argmax(counts)])
+        return float(np.median(votes))
+
+    # ----------------------------------------------------------------- table
+
+    def build_sat_table(self, dimensions: Optional[List[str]] = None) -> SatTable:
+        """Annotate every (dimension, review) pair and aggregate to entities."""
+        dims = dimensions or [d.name for d in self.world.dimensions]
+        entity_ids = [e.entity_id for e in self.world.entities]
+        values = np.zeros((len(dims), len(entity_ids)))
+        for j, entity_id in enumerate(entity_ids):
+            reviews = self.world.reviews[entity_id]
+            rng = self._seeds.rng(f"judge/{entity_id}")
+            for i, dim in enumerate(dims):
+                if reviews:
+                    scores = [self.judge_review(dim, review, rng) for review in reviews]
+                    values[i, j] = float(np.mean(scores))
+        return SatTable(dims, entity_ids, values)

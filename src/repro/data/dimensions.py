@@ -1,0 +1,176 @@
+"""The 18 subjective dimensions of the restaurant domain.
+
+Section 6.2 of the paper draws its test tags from Moura & Souki's study of
+the features restaurant-goers care about ("delicious food", "creative
+cooking", "varied menu", "romantic ambiance", ...), choosing 18 of them.
+Here each dimension names a latent quality axis of the synthetic world:
+entities carry a ground-truth value per dimension, reviews realise the
+dimensions in text, and the benchmark queries are sampled from the
+dimensions' canonical tags.
+
+The positive/negative opinion pools are validated against the restaurant
+lexicon at import time, so lexicon and dimensions cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.text.lexicon import DomainLexicon, restaurant_lexicon
+
+__all__ = ["SubjectiveDimension", "restaurant_dimensions", "dimension_by_name"]
+
+
+@dataclass(frozen=True)
+class SubjectiveDimension:
+    """One latent subjective quality axis.
+
+    ``name`` doubles as the canonical subjective-tag text ("delicious food"
+    = opinion ``delicious`` + aspect ``food``).
+    """
+
+    name: str
+    aspect_concept: str
+    canonical_opinion: str
+    positive_opinions: Tuple[str, ...]
+    negative_opinions: Tuple[str, ...]
+    #: extra aspect concepts whose surfaces may realise this dimension
+    #: (e.g. "pizza" realises *delicious food*).
+    extra_aspect_concepts: Tuple[str, ...] = ()
+
+    @property
+    def canonical_tag(self) -> Tuple[str, str]:
+        """(aspect_surface, opinion_surface) of the canonical tag."""
+        aspect_surface = self.name.split()[-1]
+        return (aspect_surface, self.canonical_opinion)
+
+
+_DIMENSIONS: List[SubjectiveDimension] = [
+    SubjectiveDimension(
+        "delicious food", "food", "delicious",
+        ("delicious", "tasty", "phenomenal", "flavorful", "mouthwatering", "good",
+         "great", "amazing", "out of this world", "to die for"),
+        ("bland", "tasteless", "awful", "mediocre", "terrible", "greasy"),
+        extra_aspect_concepts=("pizza", "pasta", "dessert"),
+    ),
+    SubjectiveDimension(
+        "creative cooking", "cooking", "creative",
+        ("creative", "inventive", "on point"),
+        ("uninspired",),
+    ),
+    SubjectiveDimension(
+        "varied menu", "menu", "varied",
+        ("varied", "extensive", "a killer"),
+        ("limited",),
+    ),
+    SubjectiveDimension(
+        "romantic ambiance", "ambiance", "romantic",
+        ("romantic", "charming", "warm"),
+        ("dreary",),
+    ),
+    SubjectiveDimension(
+        "nice staff", "staff", "nice",
+        ("nice", "helpful", "professional", "attentive"),
+        ("rude", "unhelpful", "dismissive"),
+    ),
+    SubjectiveDimension(
+        "quick service", "service", "quick",
+        ("quick", "fast", "prompt"),
+        ("slow", "sluggish", "a bit slow", "terrible"),
+    ),
+    SubjectiveDimension(
+        "clean plates", "plates", "clean",
+        ("clean", "spotless"),
+        ("dirty", "greasy"),
+    ),
+    SubjectiveDimension(
+        "fair prices", "prices", "fair",
+        ("fair", "reasonable", "affordable", "cheap"),
+        ("expensive", "overpriced", "steep"),
+    ),
+    SubjectiveDimension(
+        "generous portions", "portions", "generous",
+        ("generous", "huge"),
+        ("tiny", "skimpy"),
+    ),
+    SubjectiveDimension(
+        "quiet atmosphere", "ambiance", "quiet",
+        ("quiet", "calm", "peaceful"),
+        ("noisy", "loud", "deafening"),
+    ),
+    SubjectiveDimension(
+        "fresh ingredients", "ingredients", "fresh",
+        ("fresh",),
+        ("stale",),
+    ),
+    SubjectiveDimension(
+        "friendly waiters", "waiters", "friendly",
+        ("friendly", "attentive", "helpful"),
+        ("rude", "dismissive"),
+    ),
+    SubjectiveDimension(
+        "beautiful view", "view", "beautiful",
+        ("beautiful", "stunning", "breathtaking", "nice"),
+        ("dreary",),
+    ),
+    SubjectiveDimension(
+        "cozy decor", "decor", "cozy",
+        ("cozy", "stylish", "charming", "beautiful"),
+        ("dated", "dreary"),
+    ),
+    SubjectiveDimension(
+        "great cocktails", "cocktails", "great",
+        ("great", "refreshing", "amazing"),
+        ("watered down",),
+    ),
+    SubjectiveDimension(
+        "fast delivery", "delivery", "fast",
+        ("fast", "quick", "prompt"),
+        ("slow", "a bit slow"),
+    ),
+    SubjectiveDimension(
+        "live music", "music", "live",
+        ("live", "lively"),
+        ("loud", "deafening"),
+    ),
+    SubjectiveDimension(
+        "convenient location", "location", "convenient",
+        ("convenient", "central"),
+        ("remote",),
+    ),
+]
+
+
+def restaurant_dimensions() -> List[SubjectiveDimension]:
+    """The 18 restaurant dimensions, validated against the lexicon."""
+    _validate(_DIMENSIONS, restaurant_lexicon())
+    return list(_DIMENSIONS)
+
+
+def dimension_by_name(name: str) -> SubjectiveDimension:
+    """Look a dimension up by its canonical tag text."""
+    for dim in _DIMENSIONS:
+        if dim.name == name:
+            return dim
+    raise KeyError(f"unknown dimension {name!r}")
+
+
+def _validate(dimensions: List[SubjectiveDimension], lexicon: DomainLexicon) -> None:
+    opinion_index = lexicon.opinion_index()
+    for dim in dimensions:
+        if dim.aspect_concept not in lexicon.aspects:
+            raise ValueError(f"{dim.name}: unknown aspect concept {dim.aspect_concept!r}")
+        for concept in dim.extra_aspect_concepts:
+            if concept not in lexicon.aspects:
+                raise ValueError(f"{dim.name}: unknown extra concept {concept!r}")
+        for word in dim.positive_opinions:
+            entry = opinion_index.get(word)
+            if entry is None or entry.polarity <= 0:
+                raise ValueError(f"{dim.name}: {word!r} is not a known positive opinion")
+        for word in dim.negative_opinions:
+            entry = opinion_index.get(word)
+            if entry is None or entry.polarity >= 0:
+                raise ValueError(f"{dim.name}: {word!r} is not a known negative opinion")
+        if dim.canonical_opinion not in dim.positive_opinions:
+            raise ValueError(f"{dim.name}: canonical opinion missing from positive pool")

@@ -1,0 +1,127 @@
+"""Fraudulent-review injection (the threat model of the paper's Section 7).
+
+The paper lists robustness against paid/fake reviews as future work: "a
+reviewer might have been paid by a business owner to write positive reviews
+about it, or negative reviews about its competitors."  This module injects
+exactly those two campaign types into a generated world so the defence
+(``repro.core.fraud``) has something real to defend against.
+
+Fake campaigns carry the statistical signatures real ones do:
+
+* **template reuse** — one ghost-writer, many near-duplicate reviews;
+* **polarity extremity** — uniformly glowing (promotion) or damning (attack);
+* **target mismatch** — the text contradicts the entity's latent quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dimensions import restaurant_dimensions
+from repro.data.realize import RealizerConfig, SentenceRealizer, axes_from_dimensions
+from repro.data.schema import Entity, LabeledSentence, Review
+from repro.data.world import World
+from repro.text.lexicon import restaurant_lexicon
+from repro.utils.rng import SeedSequence
+
+__all__ = ["FraudConfig", "FraudCampaign", "inject_fraud"]
+
+
+@dataclass
+class FraudConfig:
+    """Shape of the injected campaigns."""
+
+    #: fraction of entities targeted by a promotion campaign (low-quality
+    #: entities buying praise).
+    promotion_fraction: float = 0.15
+    #: fraction targeted by an attack campaign (high-quality competitors
+    #: being smeared).
+    attack_fraction: float = 0.10
+    #: fake reviews added per campaign.
+    reviews_per_campaign: int = 8
+    #: how many distinct sentence realisations a campaign's ghost-writer
+    #: uses; lower = more blatant duplication.
+    template_pool: int = 3
+    seed: int = 99
+
+
+@dataclass
+class FraudCampaign:
+    """Record of one injected campaign (the ground truth for evaluation)."""
+
+    entity_id: str
+    kind: str  # "promotion" | "attack"
+    review_ids: List[str] = field(default_factory=list)
+
+
+def _campaign_reviews(
+    entity: Entity,
+    kind: str,
+    config: FraudConfig,
+    realizer: SentenceRealizer,
+    rng: np.random.Generator,
+) -> List[Review]:
+    """Fabricate one campaign's reviews from a small sentence pool."""
+    sign = 1 if kind == "promotion" else -1
+    axes = realizer.axes
+    # The ghost-writer praises/attacks the most marketable dimensions.
+    chosen_axes = [axes[i] for i in rng.choice(len(axes), size=3, replace=False)]
+    pool: List[LabeledSentence] = []
+    for _ in range(config.template_pool):
+        axis = chosen_axes[int(rng.integers(len(chosen_axes)))]
+        pool.append(realizer.subjective_sentence([(axis, sign, 1.0)]))
+    reviews = []
+    for i in range(config.reviews_per_campaign):
+        # Near-duplicates: 1–2 sentences drawn (with replacement) from the pool.
+        count = 1 + int(rng.random() < 0.5)
+        sentences = [pool[int(rng.integers(len(pool)))] for _ in range(count)]
+        mentions: Dict[str, float] = {}
+        for sentence in sentences:
+            for dim, polarity in sentence.mentions.items():
+                mentions[dim] = polarity
+        reviews.append(
+            Review(
+                review_id=f"{entity.entity_id}-fake-{kind}-{i:02d}",
+                entity_id=entity.entity_id,
+                sentences=sentences,
+                mentions=mentions,
+            )
+        )
+    return reviews
+
+
+def inject_fraud(world: World, config: Optional[FraudConfig] = None) -> List[FraudCampaign]:
+    """Add fake-review campaigns to ``world`` in place; returns the ground truth.
+
+    Promotion targets the *worst* entities (they have the most to gain);
+    attacks target the *best* (they have the most to lose) — which maximises
+    the damage to ranking quality if the fraud goes unfiltered.
+    """
+    config = config or FraudConfig()
+    seeds = SeedSequence(config.seed).child("fraud")
+    rng = seeds.rng("targets")
+    lexicon = restaurant_lexicon()
+    realizer = SentenceRealizer(
+        lexicon,
+        axes_from_dimensions(lexicon, restaurant_dimensions()),
+        RealizerConfig(intensifier_prob=0.5, negation_prob=0.0, multi_opinion_prob=0.0),
+        seeds.rng("text"),
+    )
+
+    by_overall = sorted(world.entities, key=lambda e: float(np.mean(list(e.quality.values()))))
+    num_promo = int(len(world.entities) * config.promotion_fraction)
+    num_attack = int(len(world.entities) * config.attack_fraction)
+    promoted = by_overall[:num_promo]
+    attacked = by_overall[::-1][:num_attack]
+
+    campaigns: List[FraudCampaign] = []
+    for entity, kind in [(e, "promotion") for e in promoted] + [(e, "attack") for e in attacked]:
+        fakes = _campaign_reviews(entity, kind, config, realizer, rng)
+        world.reviews[entity.entity_id].extend(fakes)
+        campaigns.append(
+            FraudCampaign(entity.entity_id, kind, [r.review_id for r in fakes])
+        )
+    return campaigns

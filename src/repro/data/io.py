@@ -1,0 +1,125 @@
+"""JSON persistence for worlds: entities, reviews and labelled sentences.
+
+Generated worlds are deterministic, but serialisation matters for two real
+workflows: inspecting/fixing a world snapshot by hand, and shipping a fixed
+benchmark world between machines (the synthetic analogue of downloading the
+Yelp dataset).  The format is plain JSON, versioned, and round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.data.dimensions import restaurant_dimensions
+from repro.data.schema import Entity, LabeledSentence, Review
+from repro.data.world import World, WorldConfig
+
+__all__ = ["save_world", "load_world", "sentence_to_dict", "sentence_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def sentence_to_dict(sentence: LabeledSentence) -> dict:
+    """JSON-safe view of a labelled sentence."""
+    return {
+        "tokens": list(sentence.tokens),
+        "labels": list(sentence.labels),
+        "pairs": [[list(a), list(o)] for a, o in sentence.pairs],
+        "domain": sentence.domain,
+        "mentions": dict(sentence.mentions),
+    }
+
+
+def sentence_from_dict(payload: dict) -> LabeledSentence:
+    """Inverse of :func:`sentence_to_dict`."""
+    return LabeledSentence(
+        tokens=list(payload["tokens"]),
+        labels=list(payload["labels"]),
+        pairs=[(tuple(a), tuple(o)) for a, o in payload.get("pairs", [])],
+        domain=payload.get("domain", "restaurants"),
+        mentions=dict(payload.get("mentions", {})),
+    )
+
+
+def _review_to_dict(review: Review) -> dict:
+    return {
+        "review_id": review.review_id,
+        "entity_id": review.entity_id,
+        "sentences": [sentence_to_dict(s) for s in review.sentences],
+        "mentions": dict(review.mentions),
+    }
+
+
+def _review_from_dict(payload: dict) -> Review:
+    return Review(
+        review_id=payload["review_id"],
+        entity_id=payload["entity_id"],
+        sentences=[sentence_from_dict(s) for s in payload["sentences"]],
+        mentions=dict(payload.get("mentions", {})),
+    )
+
+
+def _entity_to_dict(entity: Entity) -> dict:
+    return {
+        "entity_id": entity.entity_id,
+        "name": entity.name,
+        "cuisine": entity.cuisine,
+        "city": entity.city,
+        "quality": dict(entity.quality),
+        "attributes": dict(entity.attributes),
+        "stars": entity.stars,
+    }
+
+
+def _entity_from_dict(payload: dict) -> Entity:
+    return Entity(
+        entity_id=payload["entity_id"],
+        name=payload["name"],
+        cuisine=payload["cuisine"],
+        city=payload["city"],
+        quality=dict(payload["quality"]),
+        attributes=dict(payload["attributes"]),
+        stars=float(payload["stars"]),
+    )
+
+
+def save_world(world: World, path: Union[str, Path]) -> None:
+    """Write a world snapshot to ``path`` (JSON)."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "entities": [_entity_to_dict(e) for e in world.entities],
+        "reviews": {
+            entity_id: [_review_to_dict(r) for r in reviews]
+            for entity_id, reviews in world.reviews.items()
+        },
+    }
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def load_world(path: Union[str, Path]) -> World:
+    """Load a world snapshot written by :func:`save_world`.
+
+    The loaded world carries a default :class:`WorldConfig` (the snapshot is
+    the source of truth; the config is informational only).
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported world format version: {version!r}")
+    entities = [_entity_from_dict(e) for e in payload["entities"]]
+    reviews: Dict[str, List[Review]] = {
+        entity_id: [_review_from_dict(r) for r in review_list]
+        for entity_id, review_list in payload["reviews"].items()
+    }
+    return World(
+        entities=entities,
+        reviews=reviews,
+        dimensions=restaurant_dimensions(),
+        config=WorldConfig(),
+    )

@@ -1,0 +1,70 @@
+"""Benchmark query sets (Section 6.2, "Preparing subjective tags").
+
+Queries are uniform random combinations of the 18 subjective tags, grouped
+by difficulty: Short (1–2 tags), Medium (3–4) and Long (5–6), 100 queries
+per level — exactly the paper's protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dimensions import restaurant_dimensions
+from repro.utils.rng import SeedSequence
+
+__all__ = ["QueryConfig", "SubjectiveQuery", "generate_query_sets", "DIFFICULTY_LEVELS"]
+
+DIFFICULTY_LEVELS: Dict[str, Tuple[int, int]] = {
+    "Short": (1, 2),
+    "Medium": (3, 4),
+    "Long": (5, 6),
+}
+
+
+@dataclass(frozen=True)
+class SubjectiveQuery:
+    """One test query: a set of subjective-tag dimension names."""
+
+    dimensions: Tuple[str, ...]
+    difficulty: str
+
+    def utterance(self) -> str:
+        """Render as the natural-language utterance a user would give."""
+        if len(self.dimensions) == 1:
+            body = self.dimensions[0]
+        else:
+            body = ", ".join(self.dimensions[:-1]) + " and " + self.dimensions[-1]
+        return f"I am looking for a restaurant with {body}."
+
+
+@dataclass
+class QueryConfig:
+    """Query sampling parameters."""
+
+    queries_per_level: int = 100
+    seed: int = 2021
+
+
+def generate_query_sets(
+    config: Optional[QueryConfig] = None,
+    dimensions: Optional[Sequence[str]] = None,
+) -> Dict[str, List[SubjectiveQuery]]:
+    """Sample the three difficulty-level query sets."""
+    config = config or QueryConfig()
+    names = list(dimensions) if dimensions else [d.name for d in restaurant_dimensions()]
+    seeds = SeedSequence(config.seed).child("queries")
+    sets: Dict[str, List[SubjectiveQuery]] = {}
+    for level, (low, high) in DIFFICULTY_LEVELS.items():
+        rng = seeds.rng(level)
+        queries: List[SubjectiveQuery] = []
+        for _ in range(config.queries_per_level):
+            size = int(rng.integers(low, high + 1))
+            chosen = rng.choice(len(names), size=size, replace=False)
+            queries.append(
+                SubjectiveQuery(tuple(names[i] for i in sorted(chosen)), difficulty=level)
+            )
+        sets[level] = queries
+    return sets

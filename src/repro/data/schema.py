@@ -1,0 +1,90 @@
+"""Shared data records: labelled sentences, reviews, entities.
+
+These are the artifacts every other layer consumes: the tagger trains on
+:class:`LabeledSentence`, the index builder reads :class:`Review` streams,
+and the baselines query :class:`Entity` attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Span", "PairSpan", "LabeledSentence", "Review", "Entity"]
+
+Span = Tuple[int, int]  # half-open [start, end) token range
+PairSpan = Tuple[Span, Span]  # (aspect span, opinion span)
+
+
+@dataclass
+class LabeledSentence:
+    """One sentence with gold IOB labels and gold aspect–opinion pairs."""
+
+    tokens: List[str]
+    labels: List[str]
+    pairs: List[PairSpan] = field(default_factory=list)
+    domain: str = "restaurants"
+    #: subjective dimensions realised in this sentence, with signed polarity.
+    mentions: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if len(self.tokens) != len(self.labels):
+            raise ValueError(
+                f"tokens/labels length mismatch: {len(self.tokens)} vs {len(self.labels)}"
+            )
+
+    @property
+    def text(self) -> str:
+        from repro.text.tokenize import detokenize
+
+        return detokenize(self.tokens)
+
+    def pair_phrases(self) -> List[Tuple[str, str]]:
+        """Gold (aspect_text, opinion_text) pairs."""
+        out = []
+        for (a_start, a_end), (o_start, o_end) in self.pairs:
+            aspect = " ".join(self.tokens[a_start:a_end])
+            opinion = " ".join(self.tokens[o_start:o_end])
+            out.append((aspect, opinion))
+        return out
+
+
+@dataclass
+class Review:
+    """An online review: several sentences about one entity."""
+
+    review_id: str
+    entity_id: str
+    sentences: List[LabeledSentence]
+    #: net signed polarity per subjective dimension mentioned in the review.
+    mentions: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        return " ".join(s.text for s in self.sentences)
+
+    @property
+    def tokens(self) -> List[str]:
+        out: List[str] = []
+        for sentence in self.sentences:
+            out.extend(sentence.tokens)
+        return out
+
+
+@dataclass
+class Entity:
+    """A reviewable entity (restaurant) with latent subjective quality."""
+
+    entity_id: str
+    name: str
+    cuisine: str
+    city: str
+    #: latent ground-truth quality per subjective dimension, each in [0, 1].
+    quality: Dict[str, float]
+    #: Yelp-style queryable objective attributes (the SIM baseline's inputs).
+    attributes: Dict[str, object]
+    stars: float
+
+    def quality_of(self, dimension: str) -> float:
+        """Latent quality for a dimension (0.5 if the dimension is unknown)."""
+        return self.quality.get(dimension, 0.5)

@@ -1,0 +1,154 @@
+"""Sentence templates that realise subjective dimensions as review text.
+
+Each template is a token pattern with aspect slots (``A1``, ``A2``) and
+opinion slots (``O1``, ``O1b``, ``O2``), plus the gold aspect–opinion pairs
+the pattern expresses.  Realisation fills the slots with (possibly
+multi-word) phrases and returns the token sequence together with exact gold
+spans — which is how the synthetic corpora come with free token-level IOB
+labels and gold pairings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.data.schema import LabeledSentence, PairSpan, Span
+from repro.text.labels import spans_to_labels
+
+__all__ = ["Template", "realize", "SINGLE_PAIR_TEMPLATES", "TWO_PAIR_TEMPLATES", "MULTI_OPINION_TEMPLATES", "FILLER_TEMPLATES", "ASPECT_ONLY_TEMPLATES"]
+
+_ASPECT_SLOTS = {"A1", "A2"}
+_OPINION_SLOTS = {"O1", "O1b", "O1c", "O2"}
+
+
+@dataclass(frozen=True)
+class Template:
+    """A token pattern with slots and the pairs it asserts."""
+
+    items: Tuple[str, ...]
+    pairs: Tuple[Tuple[str, str], ...]
+    positive_only: bool = False
+
+    @property
+    def aspect_slots(self) -> List[str]:
+        return [i for i in self.items if i in _ASPECT_SLOTS]
+
+    @property
+    def opinion_slots(self) -> List[str]:
+        return [i for i in self.items if i in _OPINION_SLOTS]
+
+
+def realize(
+    template: Template,
+    fills: Dict[str, Sequence[str]],
+    domain: str = "restaurants",
+    mentions: Dict[str, float] | None = None,
+) -> LabeledSentence:
+    """Fill a template's slots and return the labelled sentence.
+
+    ``fills`` maps each slot name appearing in the template to its token
+    list (e.g. ``{"A1": ["food"], "O1": ["really", "good"]}``).
+    """
+    tokens: List[str] = []
+    spans: Dict[str, Span] = {}
+    for item in template.items:
+        if item in _ASPECT_SLOTS or item in _OPINION_SLOTS:
+            if item not in fills:
+                raise KeyError(f"missing fill for slot {item!r}")
+            phrase = list(fills[item])
+            if not phrase:
+                raise ValueError(f"empty fill for slot {item!r}")
+            spans[item] = (len(tokens), len(tokens) + len(phrase))
+            tokens.extend(phrase)
+        else:
+            tokens.append(item)
+    aspect_spans = [spans[s] for s in spans if s in _ASPECT_SLOTS]
+    opinion_spans = [spans[s] for s in spans if s in _OPINION_SLOTS]
+    labels = spans_to_labels(len(tokens), aspect_spans, opinion_spans)
+    pairs: List[PairSpan] = [(spans[a], spans[o]) for a, o in template.pairs]
+    return LabeledSentence(tokens=tokens, labels=labels, pairs=pairs, domain=domain, mentions=dict(mentions or {}))
+
+
+def _t(items: Sequence[str], pairs: Sequence[Tuple[str, str]], positive_only: bool = False) -> Template:
+    return Template(tuple(items), tuple(tuple(p) for p in pairs), positive_only)
+
+
+#: One aspect, one opinion.
+SINGLE_PAIR_TEMPLATES: List[Template] = [
+    _t(["the", "A1", "is", "O1", "."], [("A1", "O1")]),
+    _t(["the", "A1", "was", "O1", "."], [("A1", "O1")]),
+    _t(["their", "A1", "is", "O1", "."], [("A1", "O1")]),
+    _t(["O1", "A1", "!"], [("A1", "O1")]),
+    _t(["the", "A1", "here", "is", "O1", "."], [("A1", "O1")]),
+    _t(["we", "found", "the", "A1", "O1", "."], [("A1", "O1")]),
+    _t(["everything", "about", "the", "A1", "felt", "O1", "."], [("A1", "O1")]),
+    _t(["i", "loved", "the", "A1", ",", "it", "was", "O1", "."], [("A1", "O1")], positive_only=True),
+    _t(["honestly", ",", "the", "A1", "was", "O1", "."], [("A1", "O1")]),
+    _t(["the", "A1", "of", "this", "place", "is", "O1", "."], [("A1", "O1")]),
+]
+
+#: Two aspects, two opinions — the pairing-relevant shapes.
+TWO_PAIR_TEMPLATES: List[Template] = [
+    _t(
+        ["the", "A1", "is", "O1", "and", "the", "A2", "is", "O2", "."],
+        [("A1", "O1"), ("A2", "O2")],
+    ),
+    _t(
+        ["the", "A1", "is", "O1", "but", "the", "A2", "is", "O2", "."],
+        [("A1", "O1"), ("A2", "O2")],
+    ),
+    _t(
+        ["the", "A1", "was", "O1", ".", "the", "A2", "was", "O2", "."],
+        [("A1", "O1"), ("A2", "O2")],
+    ),
+    _t(
+        ["O1", "A1", "but", "O2", "A2", "."],
+        [("A1", "O1"), ("A2", "O2")],
+    ),
+    _t(
+        ["the", "A1", "was", "O1", "while", "the", "A2", "was", "O2", "."],
+        [("A1", "O1"), ("A2", "O2")],
+    ),
+]
+
+#: One aspect with coordinated opinions, plus a second aspect — the exact
+#: configuration where word distance mispairs (Section 5's example).
+MULTI_OPINION_TEMPLATES: List[Template] = [
+    _t(
+        ["the", "A1", "is", "O1", ",", "O1b", "and", "O1c", ".", "the", "A2", "is", "O2", "."],
+        [("A1", "O1"), ("A1", "O1b"), ("A1", "O1c"), ("A2", "O2")],
+    ),
+    _t(
+        ["the", "A1", "was", "O1", "and", "O1b", "."],
+        [("A1", "O1"), ("A1", "O1b")],
+    ),
+    _t(
+        ["the", "A1", "is", "O1", ",", "O1b", "and", "O1c", "."],
+        [("A1", "O1"), ("A1", "O1b"), ("A1", "O1c")],
+    ),
+    # Run-on coordination: the trailing opinion of A1 sits right next to the
+    # A2 clause with no punctuation to separate them — hard for word distance
+    # and for parsers alike.
+    _t(
+        ["the", "A1", "is", "O1", ",", "O1b", "and", "O1c", "and", "the", "A2", "is", "O2", "."],
+        [("A1", "O1"), ("A1", "O1b"), ("A1", "O1c"), ("A2", "O2")],
+    ),
+]
+
+#: Objective filler — no aspects, no opinions (pure O labels).
+FILLER_TEMPLATES: List[Template] = [
+    _t(["we", "visited", "on", "a", "friday", "night", "."], []),
+    _t(["i", "will", "definitely", "come", "again", "."], []),
+    _t(["my", "friends", "recommended", "this", "place", "."], []),
+    _t(["we", "stayed", "for", "about", "two", "hours", "."], []),
+    _t(["it", "was", "my", "first", "visit", "here", "."], []),
+    _t(["we", "came", "here", "for", "a", "birthday", "."], []),
+]
+
+#: Aspect mention without any opinion (aspect term labelled, no pair).
+ASPECT_ONLY_TEMPLATES: List[Template] = [
+    _t(["we", "ordered", "the", "A1", "."], []),
+    _t(["i", "tried", "the", "A1", "again", "."], []),
+    _t(["they", "have", "A1", "here", "."], []),
+]

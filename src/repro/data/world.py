@@ -1,0 +1,91 @@
+"""The restaurant world: catalog + reviews + exact ground truth, bundled.
+
+``build_world`` is the one-stop constructor the benchmarks and examples use.
+It also exposes the *noise-free* satisfaction oracle ``true_sat`` — the
+quantity the paper approximates with crowd workers — which the crowd
+simulator perturbs and the NDCG evaluation consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.dimensions import SubjectiveDimension, restaurant_dimensions
+from repro.data.entities import CatalogConfig, generate_catalog
+from repro.data.reviews import ReviewConfig, ReviewGenerator
+from repro.data.schema import Entity, Review
+
+__all__ = ["WorldConfig", "World", "build_world"]
+
+
+@dataclass
+class WorldConfig:
+    """Configuration of the full synthetic world."""
+
+    catalog: CatalogConfig = field(default_factory=CatalogConfig)
+    reviews: ReviewConfig = field(default_factory=ReviewConfig)
+
+    @classmethod
+    def small(cls, seed: int = 2021, num_entities: int = 40, mean_reviews: float = 8.0) -> "WorldConfig":
+        """A scaled-down world for tests and quick runs."""
+        return cls(
+            catalog=CatalogConfig(num_entities=num_entities, seed=seed),
+            reviews=ReviewConfig(mean_reviews_per_entity=mean_reviews, seed=seed),
+        )
+
+
+@dataclass
+class World:
+    """Catalog, reviews and ground truth of one generated world."""
+
+    entities: List[Entity]
+    reviews: Dict[str, List[Review]]
+    dimensions: List[SubjectiveDimension]
+    config: WorldConfig
+
+    @property
+    def entity_index(self) -> Dict[str, Entity]:
+        return {e.entity_id: e for e in self.entities}
+
+    @property
+    def num_reviews(self) -> int:
+        return sum(len(r) for r in self.reviews.values())
+
+    def all_reviews(self) -> List[Review]:
+        """Flat review list across all entities."""
+        out: List[Review] = []
+        for entity in self.entities:
+            out.extend(self.reviews[entity.entity_id])
+        return out
+
+    # ------------------------------------------------------------ oracles
+
+    def true_sat(self, dimension: str, entity_id: str) -> float:
+        """Noise-free satisfaction of a dimension tag by an entity.
+
+        This is the latent quality itself — the quantity crowd annotations
+        estimate in the paper's evaluation protocol.
+        """
+        return self.entity_index[entity_id].quality_of(dimension)
+
+    def ideal_ranking(self, dimensions: List[str], top_k: Optional[int] = None) -> List[str]:
+        """Entities sorted by mean latent quality over ``dimensions``."""
+        scored = [
+            (float(np.mean([e.quality_of(d) for d in dimensions])), e.entity_id)
+            for e in self.entities
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        ids = [entity_id for _, entity_id in scored]
+        return ids[:top_k] if top_k else ids
+
+
+def build_world(config: Optional[WorldConfig] = None) -> World:
+    """Generate the catalog and all reviews."""
+    config = config or WorldConfig()
+    entities = generate_catalog(config.catalog)
+    generator = ReviewGenerator(config.reviews)
+    reviews = generator.corpus(entities)
+    return World(entities=entities, reviews=reviews, dimensions=restaurant_dimensions(), config=config)

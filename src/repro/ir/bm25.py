@@ -1,0 +1,95 @@
+"""Okapi BM25 inverted index (the IR baseline's retrieval model, Section 6.2).
+
+Documents are token lists; queries may carry per-term weights so that the
+synonym-expansion layer (``repro.ir.expansion``) can down-weight expanded
+terms relative to the original query words.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["Bm25Index"]
+
+
+class Bm25Index:
+    """An in-memory BM25 index.
+
+    Standard Okapi scoring with parameters ``k1`` and ``b``; IDF uses the
+    non-negative variant ``log(1 + (N - df + 0.5) / (df + 0.5))``.
+    """
+
+    def __init__(self, k1: float = 1.5, b: float = 0.75):
+        self.k1 = k1
+        self.b = b
+        self._postings: Dict[str, Dict[str, int]] = defaultdict(dict)
+        self._doc_lengths: Dict[str, int] = {}
+        self._finalized = False
+        self._avg_length = 0.0
+
+    # --------------------------------------------------------------- building
+
+    def add_document(self, doc_id: str, tokens: Sequence[str]) -> None:
+        """Add (or replace) a document."""
+        if self._finalized:
+            raise RuntimeError("index already finalized")
+        if doc_id in self._doc_lengths:
+            raise KeyError(f"duplicate document id {doc_id!r}")
+        counts = Counter(token.lower() for token in tokens)
+        for term, count in counts.items():
+            self._postings[term][doc_id] = count
+        self._doc_lengths[doc_id] = sum(counts.values())
+
+    def finalize(self) -> "Bm25Index":
+        """Freeze the index and precompute statistics."""
+        if not self._doc_lengths:
+            raise RuntimeError("cannot finalize an empty index")
+        self._avg_length = sum(self._doc_lengths.values()) / len(self._doc_lengths)
+        self._finalized = True
+        return self
+
+    # ---------------------------------------------------------------- queries
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._doc_lengths)
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term.lower(), {}))
+
+    def idf(self, term: str) -> float:
+        """Non-negative BM25 inverse document frequency."""
+        df = self.document_frequency(term)
+        return math.log(1.0 + (self.num_documents - df + 0.5) / (df + 0.5))
+
+    def score(self, query: Mapping[str, float] | Sequence[str]) -> Dict[str, float]:
+        """BM25 scores for all matching documents.
+
+        ``query`` is either a token list (weights 1.0) or a mapping
+        ``term -> weight``.
+        """
+        if not self._finalized:
+            raise RuntimeError("finalize() the index before querying")
+        if not isinstance(query, Mapping):
+            weights = Counter(t.lower() for t in query)
+        else:
+            weights = {t.lower(): w for t, w in query.items()}
+        scores: Dict[str, float] = defaultdict(float)
+        for term, weight in weights.items():
+            postings = self._postings.get(term)
+            if not postings:
+                continue
+            idf = self.idf(term)
+            for doc_id, tf in postings.items():
+                length_norm = 1.0 - self.b + self.b * self._doc_lengths[doc_id] / self._avg_length
+                scores[doc_id] += weight * idf * tf * (self.k1 + 1) / (tf + self.k1 * length_norm)
+        return dict(scores)
+
+    def rank(self, query: Mapping[str, float] | Sequence[str], top_k: Optional[int] = None) -> List[Tuple[str, float]]:
+        """Documents sorted by descending score (ties broken by id)."""
+        scores = self.score(query)
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:top_k] if top_k else ranked

@@ -1,0 +1,81 @@
+"""Synonym / related-term query expansion for the IR baseline.
+
+The paper strengthens its IR baseline "following the work of [Ganesan &
+Zhai]" with the capability to expand query terms into synonymous and related
+terms.  Expansion here is lexicon-driven:
+
+* an aspect word expands to the other surface forms of its concept and to
+  surfaces of taxonomy neighbours (parent/children), weighted by Wu–Palmer
+  similarity;
+* an opinion word expands to other opinion words with high semantic-vector
+  cosine (same topics, same polarity direction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.text.lexicon import DomainLexicon
+from repro.text.similarity import ConceptualSimilarity
+
+__all__ = ["QueryExpander"]
+
+
+class QueryExpander:
+    """Expands query tokens into weighted term dictionaries."""
+
+    def __init__(
+        self,
+        lexicon: DomainLexicon,
+        similarity: Optional[ConceptualSimilarity] = None,
+        max_expansions_per_term: int = 4,
+        min_weight: float = 0.55,
+    ):
+        self.lexicon = lexicon
+        self.similarity = similarity or ConceptualSimilarity(lexicon)
+        self.max_expansions = max_expansions_per_term
+        self.min_weight = min_weight
+        self._surface_index = lexicon.aspect_surface_index()
+        self._opinion_index = lexicon.opinion_index()
+
+    # ------------------------------------------------------------ expansion
+
+    def expand_term(self, term: str) -> Dict[str, float]:
+        """Weighted expansion of one query term (original term has weight 1)."""
+        term = term.lower()
+        expansion: Dict[str, float] = {term: 1.0}
+        if term in self._surface_index:
+            self._expand_aspect(term, expansion)
+        if term in self._opinion_index:
+            self._expand_opinion(term, expansion)
+        return expansion
+
+    def _expand_aspect(self, term: str, expansion: Dict[str, float]) -> None:
+        candidates: List[tuple] = []
+        for surface in self._surface_index:
+            if surface == term or " " in surface:
+                continue
+            weight = self.similarity.aspect_similarity(term, surface)
+            if weight >= self.min_weight:
+                candidates.append((weight, surface))
+        for weight, surface in sorted(candidates, reverse=True)[: self.max_expansions]:
+            expansion[surface] = max(expansion.get(surface, 0.0), weight)
+
+    def _expand_opinion(self, term: str, expansion: Dict[str, float]) -> None:
+        candidates: List[tuple] = []
+        for other in self._opinion_index:
+            if other == term or " " in other:
+                continue
+            weight = self.similarity.opinion_similarity(term, other)
+            if weight >= self.min_weight:
+                candidates.append((weight, other))
+        for weight, other in sorted(candidates, reverse=True)[: self.max_expansions]:
+            expansion[other] = max(expansion.get(other, 0.0), weight)
+
+    def expand_query(self, tokens: List[str]) -> Dict[str, float]:
+        """Expansion of a full query; overlapping expansions keep max weight."""
+        merged: Dict[str, float] = {}
+        for token in tokens:
+            for term, weight in self.expand_term(token).items():
+                merged[term] = max(merged.get(term, 0.0), weight)
+        return merged

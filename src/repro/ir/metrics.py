@@ -1,0 +1,70 @@
+"""Ranking-quality metrics: the paper's DCG / NDCG (Eqs. 10–11).
+
+The gain of an entity at rank ``j`` for query ``Q = {q_1..q_m}`` is
+``2^{(1/m) * sum_i sat(q_i, e_j)} - 1`` discounted by ``log2(j + 1)``;
+NDCG divides by the ideal-ordering DCG.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence
+
+__all__ = ["dcg", "ndcg", "mean_ndcg"]
+
+SatFn = Callable[[str, str], float]  # (tag/dimension, entity_id) -> [0, 1]
+
+
+def _gain(query: Sequence[str], entity_id: str, sat: SatFn) -> float:
+    mean_sat = sum(sat(q, entity_id) for q in query) / len(query)
+    return 2.0**mean_sat - 1.0
+
+
+def dcg(query: Sequence[str], ranking: Sequence[str], sat: SatFn) -> float:
+    """Discounted cumulative gain of ``ranking`` for ``query`` (Eq. 10)."""
+    if not query:
+        raise ValueError("query must contain at least one tag")
+    total = 0.0
+    for j, entity_id in enumerate(ranking, start=1):
+        total += _gain(query, entity_id, sat) / math.log2(j + 1)
+    return total
+
+
+def ndcg(
+    query: Sequence[str],
+    ranking: Sequence[str],
+    sat: SatFn,
+    all_entities: Sequence[str],
+    top_k: int = 10,
+) -> float:
+    """Normalised DCG at ``top_k`` (Eq. 11).
+
+    The ideal ordering sorts *all* entities by mean satisfaction; NDCG is the
+    ranking's DCG over its top-k divided by the ideal top-k DCG.
+    """
+    ranking = list(ranking)[:top_k]
+    ideal = sorted(
+        all_entities,
+        key=lambda e: (-sum(sat(q, e) for q in query), e),
+    )[:top_k]
+    ideal_score = dcg(query, ideal, sat)
+    if ideal_score == 0.0:
+        return 0.0
+    return dcg(query, ranking, sat) / ideal_score
+
+
+def mean_ndcg(
+    queries: Sequence[Sequence[str]],
+    rankings: Sequence[Sequence[str]],
+    sat: SatFn,
+    all_entities: Sequence[str],
+    top_k: int = 10,
+) -> float:
+    """Arithmetic mean NDCG over a query set (the paper's table entries)."""
+    if len(queries) != len(rankings):
+        raise ValueError("queries and rankings must align")
+    scores = [
+        ndcg(query, ranking, sat, all_entities, top_k=top_k)
+        for query, ranking in zip(queries, rankings)
+    ]
+    return sum(scores) / len(scores)

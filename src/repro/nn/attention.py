@@ -1,0 +1,66 @@
+"""Multi-head self-attention with introspectable attention maps.
+
+The pairing heuristic of Section 5.1 reads raw attention distributions from
+specific ``(layer, head)`` coordinates, so every forward pass stores the
+post-softmax probabilities in :attr:`MultiHeadSelfAttention.last_attention`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.functional import softmax
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["MultiHeadSelfAttention"]
+
+_NEG_INF = -1e9
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention split across ``num_heads`` heads."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.query = Linear(dim, dim, rng)
+        self.key = Linear(dim, dim, rng)
+        self.value = Linear(dim, dim, rng)
+        self.output = Linear(dim, dim, rng)
+        #: ``(B, heads, T, T)`` attention probabilities from the last call.
+        self.last_attention: Optional[np.ndarray] = None
+
+    def _split_heads(self, x: Tensor, batch: int, steps: int) -> Tensor:
+        return x.reshape(batch, steps, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def __call__(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        """Attend within each sequence.
+
+        Parameters
+        ----------
+        x:
+            ``(B, T, dim)`` token representations.
+        mask:
+            ``(B, T)`` validity mask; padded key positions receive ~0 weight.
+        """
+        batch, steps, _ = x.shape
+        q = self._split_heads(self.query(x), batch, steps)
+        k = self._split_heads(self.key(x), batch, steps)
+        v = self._split_heads(self.value(x), batch, steps)
+        scores = q.matmul(k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        if mask is not None:
+            key_mask = np.asarray(mask, dtype=np.float64)[:, None, None, :]  # (B,1,1,T)
+            scores = scores + (1.0 - key_mask) * _NEG_INF
+        probs = softmax(scores, axis=-1)
+        self.last_attention = probs.data.copy()
+        context = probs.matmul(v)  # (B, H, T, dh)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, steps, self.dim)
+        return self.output(merged)

@@ -1,0 +1,173 @@
+"""Linear-chain conditional random field (Section 4.1, Eqs. 4–5).
+
+The CRF sits on top of per-token emission scores and models label-label
+transitions so that, e.g., ``I-AS`` can only follow ``B-AS``/``I-AS``.
+Training maximises the conditional log-likelihood (forward algorithm for the
+partition function); decoding is Viterbi, optionally restricted to a beam as
+the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["LinearChainCRF"]
+
+
+def _logsumexp_tensor(x: Tensor, axis: int) -> Tensor:
+    """Differentiable logsumexp (the max shift is treated as a constant)."""
+    shift = x.data.max(axis=axis, keepdims=True)
+    out = (x - shift).exp().sum(axis=axis, keepdims=True).log() + shift
+    # Drop the reduced axis.
+    new_shape = list(out.shape)
+    del new_shape[axis]
+    return out.reshape(*new_shape)
+
+
+class LinearChainCRF(Module):
+    """CRF layer with learned transition, start and end potentials."""
+
+    def __init__(self, num_labels: int, rng: np.random.Generator):
+        super().__init__()
+        self.num_labels = num_labels
+        self.transitions = Parameter(rng.normal(0.0, 0.1, size=(num_labels, num_labels)))
+        self.start = Parameter(rng.normal(0.0, 0.1, size=(num_labels,)))
+        self.end = Parameter(rng.normal(0.0, 0.1, size=(num_labels,)))
+
+    # -------------------------------------------------------------- training
+
+    def neg_log_likelihood(
+        self,
+        emissions: Tensor,
+        tags: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Mean negative conditional log-likelihood of the gold paths.
+
+        Parameters
+        ----------
+        emissions:
+            ``(B, T, L)`` per-token label scores.
+        tags:
+            ``(B, T)`` gold label ids.
+        mask:
+            ``(B, T)`` validity mask (1 for real tokens).
+        """
+        batch, steps, _ = emissions.shape
+        if mask is None:
+            mask = np.ones((batch, steps))
+        mask = np.asarray(mask, dtype=np.float64)
+        gold = self._path_score(emissions, np.asarray(tags), mask)
+        partition = self._partition(emissions, mask)
+        nll = (partition - gold).sum() * (1.0 / batch)
+        return nll
+
+    def _path_score(self, emissions: Tensor, tags: np.ndarray, mask: np.ndarray) -> Tensor:
+        batch, steps, _ = emissions.shape
+        batch_idx = np.arange(batch)
+        lengths = mask.sum(axis=1).astype(int)
+        last_idx = np.maximum(lengths - 1, 0)
+        last_tags = tags[batch_idx, last_idx]
+
+        score = self.start[tags[:, 0]] + emissions[batch_idx, 0, tags[:, 0]]
+        for t in range(1, steps):
+            m = mask[:, t]
+            trans = self.transitions[tags[:, t - 1], tags[:, t]]
+            emit = emissions[batch_idx, t, tags[:, t]]
+            score = score + (trans + emit) * m
+        score = score + self.end[last_tags]
+        return score
+
+    def _partition(self, emissions: Tensor, mask: np.ndarray) -> Tensor:
+        batch, steps, num_labels = emissions.shape
+        alpha = self.start + emissions[:, 0, :]  # (B, L)
+        for t in range(1, steps):
+            # broadcast: (B, L_prev, 1) + (L_prev, L_next) + (B, 1, L_next)
+            scores = (
+                alpha.reshape(batch, num_labels, 1)
+                + self.transitions
+                + emissions[:, t, :].reshape(batch, 1, num_labels)
+            )
+            new_alpha = _logsumexp_tensor(scores, axis=1)  # (B, L)
+            m = mask[:, t : t + 1]
+            alpha = new_alpha * m + alpha * (1.0 - m)
+        alpha = alpha + self.end
+        return _logsumexp_tensor(alpha, axis=1)  # (B,)
+
+    # -------------------------------------------------------------- decoding
+
+    def decode(
+        self,
+        emissions: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        beam: Optional[int] = None,
+    ) -> List[List[int]]:
+        """Viterbi decoding (optionally beam-restricted) of a score batch.
+
+        Parameters
+        ----------
+        emissions:
+            ``(B, T, L)`` plain numpy scores (no gradients needed to decode).
+        mask:
+            ``(B, T)`` validity mask.
+        beam:
+            if set, only the top-``beam`` states per step are expanded, as in
+            the paper's Viterbi-with-beam-search decoder.  ``None`` (or a
+            value >= L) gives exact Viterbi.
+
+        Returns
+        -------
+        list of per-sequence label-id lists, each of the sequence's true length.
+        """
+        emissions = np.asarray(emissions, dtype=np.float64)
+        batch, steps, num_labels = emissions.shape
+        if mask is None:
+            mask = np.ones((batch, steps))
+        mask = np.asarray(mask, dtype=np.float64)
+        transitions = self.transitions.data
+        start = self.start.data
+        end = self.end.data
+        use_beam = beam is not None and beam < num_labels
+
+        results: List[List[int]] = []
+        for b in range(batch):
+            length = int(mask[b].sum())
+            if length == 0:
+                results.append([])
+                continue
+            score = start + emissions[b, 0]  # (L,)
+            history: List[np.ndarray] = []
+            for t in range(1, length):
+                prev = score
+                if use_beam:
+                    # Prune all but the top-`beam` predecessor states.
+                    keep = np.argsort(prev)[-beam:]
+                    pruned = np.full(num_labels, -np.inf)
+                    pruned[keep] = prev[keep]
+                    prev = pruned
+                total = prev[:, None] + transitions  # (L_prev, L_next)
+                best_prev = np.argmax(total, axis=0)
+                score = total[best_prev, np.arange(num_labels)] + emissions[b, t]
+                history.append(best_prev)
+            score = score + end
+            best_last = int(np.argmax(score))
+            path = [best_last]
+            for back in reversed(history):
+                path.append(int(back[path[-1]]))
+            path.reverse()
+            results.append(path)
+        return results
+
+    def constrain_transitions(self, forbidden: Sequence[tuple], penalty: float = -1e4) -> None:
+        """Hard-wire forbidden (from, to) label transitions with a large penalty.
+
+        Used to encode IOB constraints (e.g. ``O -> I-AS`` impossible) without
+        relying solely on training data.
+        """
+        for src, dst in forbidden:
+            self.transitions.data[src, dst] = penalty

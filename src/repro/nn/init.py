@@ -1,0 +1,41 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "normal", "zeros", "orthogonal"]
+
+
+def xavier_uniform(rng: np.random.Generator, shape, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform init for dense weight matrices."""
+    fan_in, fan_out = _fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(rng: np.random.Generator, shape, std: float = 0.02) -> np.ndarray:
+    """Truncation-free Gaussian init (BERT-style std=0.02 default)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros init (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def orthogonal(rng: np.random.Generator, shape, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal init (recurrent weight matrices)."""
+    rows, cols = shape
+    a = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, _ = np.linalg.qr(a)
+    q = q[:rows, :cols] if rows >= cols else q[:cols, :rows].T
+    return gain * q
+
+
+def _fans(shape) -> tuple:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out

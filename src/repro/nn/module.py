@@ -1,0 +1,98 @@
+"""Module base class: parameter registration, train/eval mode, state dicts."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Module", "Parameter"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable parameter of a module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for neural components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` and :meth:`named_parameters` walk the
+    attribute tree recursively (lists of modules are supported).
+    """
+
+    def __init__(self):
+        self.training = True
+
+    # ---------------------------------------------------------------- traversal
+
+    def _children(self) -> Iterator[Tuple[str, "Module"]]:
+        for name, value in vars(self).items():
+            if isinstance(value, Module):
+                yield name, value
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield f"{name}.{i}", item
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs for this module's subtree."""
+        for name, value in vars(self).items():
+            if isinstance(value, Parameter):
+                yield (f"{prefix}{name}", value)
+        for name, child in self._children():
+            yield from child.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters in this module's subtree."""
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------- modes
+
+    def train(self) -> "Module":
+        """Enable training mode (dropout active) recursively."""
+        self.training = True
+        for _, child in self._children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Enable evaluation mode (dropout disabled) recursively."""
+        self.training = False
+        for _, child in self._children():
+            child.eval()
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    # --------------------------------------------------------------- state I/O
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter array keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` (strict on names/shapes)."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, array in state.items():
+            if params[name].data.shape != array.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: model {params[name].data.shape} vs state {array.shape}"
+                )
+            params[name].data = np.asarray(array, dtype=np.float64).copy()

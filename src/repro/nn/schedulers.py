@@ -1,0 +1,97 @@
+"""Learning-rate schedules (linear warmup, cosine/linear decay).
+
+BERT-style training uses warmup + decay; the miniature models here train
+well with a constant rate at benchmark scale, so the trainers default to
+constant — but paper-scale runs (``REPRO_BENCH_SCALE=1.0``) benefit from a
+schedule, and the schedulers plug into any optimiser exposing ``lr``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.nn.optim import Optimizer
+
+__all__ = ["LRScheduler", "ConstantSchedule", "WarmupLinearSchedule", "WarmupCosineSchedule"]
+
+
+class LRScheduler:
+    """Base class: mutate ``optimizer.lr`` on every :meth:`step`."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: Optional[float] = None):
+        self.optimizer = optimizer
+        self.base_lr = base_lr if base_lr is not None else optimizer.lr
+        self.step_count = 0
+
+    def rate(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step; returns the learning rate now in effect."""
+        self.step_count += 1
+        lr = self.rate(self.step_count)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantSchedule(LRScheduler):
+    """No-op schedule (explicit is better than implicit)."""
+
+    def rate(self, step: int) -> float:
+        return self.base_lr
+
+
+class WarmupLinearSchedule(LRScheduler):
+    """Linear warmup to ``base_lr`` then linear decay to ``final_fraction``."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_steps: int,
+        total_steps: int,
+        final_fraction: float = 0.0,
+        base_lr: Optional[float] = None,
+    ):
+        if warmup_steps < 0 or total_steps <= 0:
+            raise ValueError("warmup_steps must be >= 0 and total_steps > 0")
+        if warmup_steps >= total_steps:
+            raise ValueError("warmup_steps must be < total_steps")
+        super().__init__(optimizer, base_lr)
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.final_fraction = final_fraction
+
+    def rate(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        progress = min((step - self.warmup_steps) / (self.total_steps - self.warmup_steps), 1.0)
+        fraction = 1.0 - (1.0 - self.final_fraction) * progress
+        return self.base_lr * fraction
+
+
+class WarmupCosineSchedule(LRScheduler):
+    """Linear warmup then cosine decay to ``final_fraction``."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_steps: int,
+        total_steps: int,
+        final_fraction: float = 0.0,
+        base_lr: Optional[float] = None,
+    ):
+        if warmup_steps >= total_steps:
+            raise ValueError("warmup_steps must be < total_steps")
+        super().__init__(optimizer, base_lr)
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.final_fraction = final_fraction
+
+    def rate(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        progress = min((step - self.warmup_steps) / (self.total_steps - self.warmup_steps), 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        fraction = self.final_fraction + (1.0 - self.final_fraction) * cosine
+        return self.base_lr * fraction

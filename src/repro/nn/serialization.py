@@ -1,0 +1,33 @@
+"""Save/load module weights to ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_module", "load_module", "state_to_arrays", "arrays_to_state"]
+
+
+def state_to_arrays(state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Mangle dotted parameter names into npz-safe keys."""
+    return {name.replace(".", "__"): array for name, array in state.items()}
+
+
+def arrays_to_state(arrays: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Invert :func:`state_to_arrays`."""
+    return {name.replace("__", "."): array for name, array in arrays.items()}
+
+
+def save_module(module: Module, path: Union[str, Path]) -> None:
+    """Persist a module's parameters to ``path`` (``.npz``)."""
+    np.savez(path, **state_to_arrays(module.state_dict()))
+
+
+def load_module(module: Module, path: Union[str, Path]) -> None:
+    """Load parameters saved by :func:`save_module` into ``module``."""
+    with np.load(path, allow_pickle=False) as data:
+        module.load_state_dict(arrays_to_state({key: data[key] for key in data.files}))

@@ -1,0 +1,69 @@
+"""Transformer encoder stack (the body of the miniature BERT)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layers import Dropout, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["TransformerEncoderLayer", "TransformerEncoder"]
+
+
+class TransformerEncoderLayer(Module):
+    """Post-LayerNorm encoder block: attention + position-wise feed-forward."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        ffn_dim: int,
+        rng: np.random.Generator,
+        dropout: float = 0.1,
+    ):
+        super().__init__()
+        self.attention = MultiHeadSelfAttention(dim, num_heads, rng)
+        self.ffn_in = Linear(dim, ffn_dim, rng)
+        self.ffn_out = Linear(ffn_dim, dim, rng)
+        self.norm_attn = LayerNorm(dim)
+        self.norm_ffn = LayerNorm(dim)
+        self.drop_attn = Dropout(dropout, np.random.default_rng(int(rng.integers(2**32))))
+        self.drop_ffn = Dropout(dropout, np.random.default_rng(int(rng.integers(2**32))))
+
+    def __call__(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        attn = self.drop_attn(self.attention(x, mask=mask))
+        x = self.norm_attn(x + attn)
+        ffn = self.drop_ffn(self.ffn_out(self.ffn_in(x).gelu()))
+        return self.norm_ffn(x + ffn)
+
+
+class TransformerEncoder(Module):
+    """Stack of encoder layers; exposes per-layer attention maps."""
+
+    def __init__(
+        self,
+        num_layers: int,
+        dim: int,
+        num_heads: int,
+        ffn_dim: int,
+        rng: np.random.Generator,
+        dropout: float = 0.1,
+    ):
+        super().__init__()
+        self.layers: List[TransformerEncoderLayer] = [
+            TransformerEncoderLayer(dim, num_heads, ffn_dim, rng, dropout=dropout)
+            for _ in range(num_layers)
+        ]
+
+    def __call__(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        return x
+
+    def attention_maps(self) -> List[np.ndarray]:
+        """Per-layer ``(B, heads, T, T)`` attention probabilities of the last forward."""
+        return [layer.attention.last_attention for layer in self.layers]

@@ -1,0 +1,41 @@
+"""``repro.text`` — lexical knowledge and light NLP for the synthetic domains.
+
+Replaces NLTK + the paper's external lexical resources: tokenisation, domain
+lexicons (aspects, opinions, idioms), an is-a concept taxonomy with
+Wu–Palmer similarity, the conceptual tag-similarity oracle of Section 3.1,
+a POS lexicon and the chunking constituency parser used by the pairing
+heuristic of Section 5.1.
+"""
+
+from repro.text.concepts import ConceptTaxonomy
+from repro.text.lexicon import (
+    AspectConcept,
+    DomainLexicon,
+    OpinionWord,
+    electronics_lexicon,
+    hotel_lexicon,
+    lexicon_for_domain,
+    restaurant_lexicon,
+)
+from repro.text.parser import ChunkParser
+from repro.text.pos import PosLexicon
+from repro.text.similarity import ConceptualSimilarity
+from repro.text.tokenize import detokenize, word_tokenize
+from repro.text.tree import ParseNode
+
+__all__ = [
+    "AspectConcept",
+    "ChunkParser",
+    "ConceptTaxonomy",
+    "ConceptualSimilarity",
+    "DomainLexicon",
+    "OpinionWord",
+    "ParseNode",
+    "PosLexicon",
+    "detokenize",
+    "electronics_lexicon",
+    "hotel_lexicon",
+    "lexicon_for_domain",
+    "restaurant_lexicon",
+    "word_tokenize",
+]

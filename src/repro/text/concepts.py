@@ -1,0 +1,90 @@
+"""Concept taxonomy over aspect concepts and Wu–Palmer-style similarity.
+
+Section 3.1 of the paper uses "conceptual similarity" — similarity that knows
+*pizza* is a kind of *food* — to match review tags against index tags.  The
+paper leaves its construction out of scope; we implement a concrete instance:
+an is-a taxonomy (a :mod:`networkx` arborescence rooted at ``entity``) with
+Wu–Palmer similarity ``2·depth(lca) / (depth(a) + depth(b))``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.text.lexicon import DomainLexicon
+
+__all__ = ["ConceptTaxonomy"]
+
+
+class ConceptTaxonomy:
+    """Is-a hierarchy over a domain's aspect concepts."""
+
+    def __init__(self, lexicon: DomainLexicon):
+        self.lexicon = lexicon
+        self.graph = nx.DiGraph()  # edges point parent -> child
+        for concept in lexicon.aspects.values():
+            self.graph.add_node(concept.name)
+            if concept.parent is not None:
+                self.graph.add_edge(concept.parent, concept.name)
+        roots = [n for n in self.graph.nodes if self.graph.in_degree(n) == 0]
+        if len(roots) != 1:
+            raise ValueError(f"taxonomy must have exactly one root, found {roots}")
+        self.root = roots[0]
+        self._depth: Dict[str, int] = nx.shortest_path_length(self.graph, self.root)
+        self._surface_index = lexicon.aspect_surface_index()
+
+    # ---------------------------------------------------------------- lookup
+
+    def concept_of(self, surface: str) -> Optional[str]:
+        """Concept name for a surface form (``'pizza'`` → ``'pizza'`` concept)."""
+        return self._surface_index.get(surface.lower())
+
+    def depth(self, concept: str) -> int:
+        """Distance from the root (root itself has depth 0)."""
+        return self._depth[concept]
+
+    def ancestors_with_self(self, concept: str) -> List[str]:
+        """Path from ``concept`` up to the root, inclusive."""
+        path = [concept]
+        while path[-1] != self.root:
+            parents = list(self.graph.predecessors(path[-1]))
+            path.append(parents[0])
+        return path
+
+    def lowest_common_ancestor(self, a: str, b: str) -> str:
+        """The deepest concept that is an ancestor of both ``a`` and ``b``."""
+        ancestors_a = set(self.ancestors_with_self(a))
+        for node in self.ancestors_with_self(b):
+            if node in ancestors_a:
+                return node
+        return self.root
+
+    # ------------------------------------------------------------ similarity
+
+    def wu_palmer(self, a: str, b: str) -> float:
+        """Wu–Palmer similarity between two concepts, in (0, 1]."""
+        if a not in self.graph or b not in self.graph:
+            raise KeyError(f"unknown concepts: {a!r}, {b!r}")
+        lca = self.lowest_common_ancestor(a, b)
+        denom = self.depth(a) + self.depth(b)
+        if denom == 0:
+            return 1.0  # both are the root
+        return 2.0 * self.depth(lca) / denom
+
+    def surface_similarity(self, surface_a: str, surface_b: str) -> float:
+        """Wu–Palmer similarity between two aspect *surface forms*.
+
+        Unknown surfaces fall back to exact-match semantics (1.0 if equal
+        strings, else 0.0) so the function is total.
+        """
+        if surface_a.lower() == surface_b.lower():
+            return 1.0
+        concept_a = self.concept_of(surface_a)
+        concept_b = self.concept_of(surface_b)
+        if concept_a is None or concept_b is None:
+            return 0.0
+        if concept_a == concept_b:
+            return 1.0
+        return self.wu_palmer(concept_a, concept_b)

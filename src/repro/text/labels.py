@@ -1,0 +1,93 @@
+"""IOB label scheme for aspect/opinion sequence tagging (Section 4).
+
+Labels: ``B-AS``/``I-AS`` (aspect), ``B-OP``/``I-OP`` (opinion), ``O``.
+Helpers convert between token-span and label-sequence views and enumerate
+the transitions the IOB grammar forbids (used to constrain the CRF).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "LABELS",
+    "LABEL_TO_ID",
+    "ID_TO_LABEL",
+    "NUM_LABELS",
+    "spans_to_labels",
+    "labels_to_spans",
+    "forbidden_transitions",
+    "is_valid_transition",
+]
+
+LABELS: List[str] = ["O", "B-AS", "I-AS", "B-OP", "I-OP"]
+LABEL_TO_ID: Dict[str, int] = {label: i for i, label in enumerate(LABELS)}
+ID_TO_LABEL: Dict[int, str] = {i: label for i, label in enumerate(LABELS)}
+NUM_LABELS = len(LABELS)
+
+Span = Tuple[int, int]  # [start, end) token indices
+
+
+def spans_to_labels(
+    length: int,
+    aspect_spans: Sequence[Span],
+    opinion_spans: Sequence[Span],
+) -> List[str]:
+    """Render aspect/opinion spans as an IOB label sequence.
+
+    Spans are half-open ``[start, end)`` token ranges and must not overlap.
+    """
+    labels = ["O"] * length
+    for spans, prefix in ((aspect_spans, "AS"), (opinion_spans, "OP")):
+        for start, end in spans:
+            if not (0 <= start < end <= length):
+                raise ValueError(f"span ({start}, {end}) out of bounds for length {length}")
+            if any(labels[i] != "O" for i in range(start, end)):
+                raise ValueError(f"span ({start}, {end}) overlaps an existing span")
+            labels[start] = f"B-{prefix}"
+            for i in range(start + 1, end):
+                labels[i] = f"I-{prefix}"
+    return labels
+
+
+def labels_to_spans(labels: Sequence[str]) -> Tuple[List[Span], List[Span]]:
+    """Extract (aspect_spans, opinion_spans) from an IOB label sequence.
+
+    Tolerant of malformed sequences (an ``I-`` without a ``B-`` starts a new
+    span), matching standard chunking-evaluation conventions.
+    """
+    aspects: List[Span] = []
+    opinions: List[Span] = []
+    current_kind: str = ""
+    start = 0
+    for i, label in enumerate(list(labels) + ["O"]):  # sentinel flushes last span
+        kind = label.split("-")[-1] if label != "O" else ""
+        begins = label.startswith("B-") or (kind and kind != current_kind)
+        if current_kind and (begins or not kind):
+            (aspects if current_kind == "AS" else opinions).append((start, i))
+            current_kind = ""
+        if kind and (label.startswith("B-") or not current_kind):
+            current_kind = kind
+            start = i
+    return aspects, opinions
+
+
+def is_valid_transition(prev_label: str, next_label: str) -> bool:
+    """Whether ``prev -> next`` obeys the IOB grammar.
+
+    ``I-X`` may only follow ``B-X`` or ``I-X``.
+    """
+    if next_label.startswith("I-"):
+        kind = next_label[2:]
+        return prev_label in (f"B-{kind}", f"I-{kind}")
+    return True
+
+
+def forbidden_transitions() -> List[Tuple[int, int]]:
+    """All (from_id, to_id) pairs the IOB grammar forbids."""
+    return [
+        (LABEL_TO_ID[a], LABEL_TO_ID[b])
+        for a in LABELS
+        for b in LABELS
+        if not is_valid_transition(a, b)
+    ]

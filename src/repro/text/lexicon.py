@@ -1,0 +1,376 @@
+"""Domain lexicons: aspect concepts, opinion words and their semantics.
+
+The paper works over three review domains (restaurants, electronics, hotels).
+Because the offline environment has no Yelp/SemEval corpora, the lexicons
+below define the *vocabulary of subjectivity* from which the synthetic data
+generators realise reviews, and against which similarity and tagging are
+evaluated.  Each opinion word carries a polarity and the aspect topics it
+typically describes; each aspect concept carries its surface forms and its
+taxonomy parent (used by conceptual similarity, e.g. *pizza* is-a *food*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "AspectConcept",
+    "OpinionWord",
+    "DomainLexicon",
+    "restaurant_lexicon",
+    "electronics_lexicon",
+    "hotel_lexicon",
+    "lexicon_for_domain",
+]
+
+
+@dataclass(frozen=True)
+class AspectConcept:
+    """A reviewable feature of an entity (e.g. food, staff, battery)."""
+
+    name: str
+    surfaces: Tuple[str, ...]
+    parent: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.surfaces:
+            raise ValueError(f"aspect concept {self.name!r} needs at least one surface form")
+
+
+@dataclass(frozen=True)
+class OpinionWord:
+    """A polarity-bearing expression that can describe aspects.
+
+    ``register`` distinguishes plain adjectives from domain jargon/idioms
+    ("a killer", "out of this world") — the paper's Section 4.2 motivates
+    domain adaptation with exactly these.
+    """
+
+    text: str
+    polarity: float
+    topics: Tuple[str, ...]
+    register: str = "common"
+
+    def __post_init__(self):
+        if not -1.0 <= self.polarity <= 1.0:
+            raise ValueError(f"polarity out of range for {self.text!r}: {self.polarity}")
+
+    @property
+    def is_positive(self) -> bool:
+        return self.polarity > 0
+
+
+@dataclass
+class DomainLexicon:
+    """All lexical knowledge for one review domain."""
+
+    domain: str
+    aspects: Dict[str, AspectConcept] = field(default_factory=dict)
+    opinions: List[OpinionWord] = field(default_factory=list)
+
+    # ------------------------------------------------------------- building
+
+    def add_aspect(self, name: str, surfaces: Sequence[str], parent: Optional[str] = None) -> None:
+        """Register an aspect concept."""
+        self.aspects[name] = AspectConcept(name, tuple(surfaces), parent)
+
+    def add_opinion(
+        self,
+        text: str,
+        polarity: float,
+        topics: Sequence[str],
+        register: str = "common",
+    ) -> None:
+        """Register an opinion expression."""
+        self.opinions.append(OpinionWord(text, polarity, tuple(topics), register))
+
+    # -------------------------------------------------------------- queries
+
+    def aspect_surface_index(self) -> Dict[str, str]:
+        """Map every surface form (lower-case) to its concept name."""
+        index: Dict[str, str] = {}
+        for concept in self.aspects.values():
+            for surface in concept.surfaces:
+                index[surface.lower()] = concept.name
+        return index
+
+    def opinion_index(self) -> Dict[str, OpinionWord]:
+        """Map opinion surface text to its :class:`OpinionWord`."""
+        return {op.text.lower(): op for op in self.opinions}
+
+    def opinions_for_topic(self, topic: str, positive: Optional[bool] = None) -> List[OpinionWord]:
+        """Opinion words applicable to ``topic``, optionally filtered by sign."""
+        result = [op for op in self.opinions if topic in op.topics]
+        if positive is not None:
+            result = [op for op in result if op.is_positive == positive]
+        return result
+
+    def concept_of(self, surface: str) -> Optional[str]:
+        """Concept name for an aspect surface form, or ``None``."""
+        return self.aspect_surface_index().get(surface.lower())
+
+
+# --------------------------------------------------------------------------
+# Restaurants
+# --------------------------------------------------------------------------
+
+
+def restaurant_lexicon() -> DomainLexicon:
+    """The restaurant-domain lexicon used throughout the paper's examples."""
+    lex = DomainLexicon("restaurants")
+
+    lex.add_aspect("entity", ["restaurant", "place", "spot", "joint"])
+    lex.add_aspect("food", ["food", "meal", "meals", "cuisine", "dish", "dishes"], parent="entity")
+    lex.add_aspect("pizza", ["pizza", "pizzas"], parent="food")
+    lex.add_aspect("pasta", ["pasta", "spaghetti", "lasagna"], parent="food")
+    lex.add_aspect("dessert", ["dessert", "desserts", "tiramisu"], parent="food")
+    lex.add_aspect("cooking", ["cooking", "kitchen", "chef"], parent="food")
+    lex.add_aspect("ingredients", ["ingredients", "produce"], parent="food")
+    lex.add_aspect("menu", ["menu", "la carte", "wine list", "selection"], parent="entity")
+    lex.add_aspect("portions", ["portions", "servings", "portion sizes"], parent="food")
+    lex.add_aspect("staff", ["staff", "waitstaff", "personnel"], parent="entity")
+    lex.add_aspect("waiters", ["waiters", "waiter", "waitress", "servers"], parent="staff")
+    lex.add_aspect("service", ["service"], parent="staff")
+    lex.add_aspect("delivery", ["delivery", "takeout"], parent="service")
+    lex.add_aspect("ambiance", ["ambiance", "atmosphere", "ambience", "vibe", "mood"], parent="entity")
+    lex.add_aspect("decor", ["decor", "interior", "furnishings"], parent="ambiance")
+    lex.add_aspect("music", ["music", "band", "playlist"], parent="ambiance")
+    lex.add_aspect("view", ["view", "scenery", "panorama"], parent="ambiance")
+    lex.add_aspect("plates", ["plates", "cutlery", "glasses", "tableware"], parent="entity")
+    lex.add_aspect("prices", ["prices", "price", "bill", "cost"], parent="entity")
+    lex.add_aspect("cocktails", ["cocktails", "drinks", "wine", "beer"], parent="food")
+    lex.add_aspect("location", ["location", "neighborhood", "parking"], parent="entity")
+
+    food_topics = ("food", "pizza", "pasta", "dessert", "cocktails")
+    lex.add_opinion("delicious", 0.9, food_topics)
+    lex.add_opinion("tasty", 0.8, food_topics)
+    lex.add_opinion("good", 0.6, food_topics + ("service", "staff", "ambiance", "menu"))
+    lex.add_opinion("great", 0.75, food_topics + ("service", "staff", "ambiance", "view", "cocktails"))
+    lex.add_opinion("amazing", 0.9, food_topics + ("view", "ambiance", "cocktails"))
+    lex.add_opinion("phenomenal", 0.95, food_topics)
+    lex.add_opinion("flavorful", 0.8, food_topics)
+    lex.add_opinion("mouthwatering", 0.9, food_topics)
+    lex.add_opinion("fresh", 0.8, ("ingredients", "food"))
+    lex.add_opinion("stale", -0.7, ("ingredients", "food"))
+    lex.add_opinion("bland", -0.6, food_topics)
+    lex.add_opinion("tasteless", -0.8, food_topics)
+    lex.add_opinion("awful", -0.9, food_topics + ("service", "staff"))
+    lex.add_opinion("mediocre", -0.4, food_topics + ("service",))
+    lex.add_opinion("creative", 0.85, ("cooking", "menu"))
+    lex.add_opinion("inventive", 0.8, ("cooking", "menu"))
+    lex.add_opinion("uninspired", -0.6, ("cooking", "menu"))
+    lex.add_opinion("varied", 0.7, ("menu",))
+    lex.add_opinion("extensive", 0.65, ("menu",))
+    lex.add_opinion("limited", -0.5, ("menu",))
+    lex.add_opinion("generous", 0.8, ("portions",))
+    lex.add_opinion("huge", 0.7, ("portions",))
+    lex.add_opinion("tiny", -0.6, ("portions",))
+    lex.add_opinion("skimpy", -0.7, ("portions",))
+    lex.add_opinion("friendly", 0.85, ("staff", "waiters", "service"))
+    lex.add_opinion("nice", 0.7, ("staff", "waiters", "ambiance", "decor", "view"))
+    lex.add_opinion("helpful", 0.8, ("staff", "waiters"))
+    lex.add_opinion("professional", 0.75, ("staff", "waiters", "service"))
+    lex.add_opinion("attentive", 0.8, ("staff", "waiters", "service"))
+    lex.add_opinion("rude", -0.9, ("staff", "waiters"))
+    lex.add_opinion("unhelpful", -0.7, ("staff", "waiters"))
+    lex.add_opinion("dismissive", -0.75, ("staff", "waiters"))
+    lex.add_opinion("quick", 0.8, ("service", "delivery"))
+    lex.add_opinion("fast", 0.8, ("service", "delivery"))
+    lex.add_opinion("prompt", 0.75, ("service", "delivery"))
+    lex.add_opinion("slow", -0.7, ("service", "delivery"))
+    lex.add_opinion("sluggish", -0.6, ("service", "delivery"))
+    lex.add_opinion("terrible", -0.9, ("service", "food", "staff"))
+    lex.add_opinion("romantic", 0.85, ("ambiance", "decor", "view"))
+    lex.add_opinion("cozy", 0.8, ("ambiance", "decor"))
+    lex.add_opinion("warm", 0.7, ("ambiance", "decor"))
+    lex.add_opinion("charming", 0.75, ("ambiance", "decor", "view"))
+    lex.add_opinion("quiet", 0.7, ("ambiance",))
+    lex.add_opinion("calm", 0.65, ("ambiance",))
+    lex.add_opinion("peaceful", 0.7, ("ambiance",))
+    lex.add_opinion("noisy", -0.7, ("ambiance", "music"))
+    lex.add_opinion("loud", -0.6, ("ambiance", "music"))
+    lex.add_opinion("deafening", -0.8, ("ambiance", "music"))
+    lex.add_opinion("beautiful", 0.85, ("view", "decor", "ambiance"))
+    lex.add_opinion("stunning", 0.9, ("view", "decor"))
+    lex.add_opinion("breathtaking", 0.95, ("view",))
+    lex.add_opinion("dreary", -0.6, ("view", "decor", "ambiance"))
+    lex.add_opinion("stylish", 0.75, ("decor",))
+    lex.add_opinion("dated", -0.5, ("decor",))
+    lex.add_opinion("clean", 0.8, ("plates",))
+    lex.add_opinion("spotless", 0.9, ("plates",))
+    lex.add_opinion("dirty", -0.9, ("plates",))
+    lex.add_opinion("greasy", -0.7, ("plates", "food"))
+    lex.add_opinion("fair", 0.7, ("prices",))
+    lex.add_opinion("reasonable", 0.7, ("prices",))
+    lex.add_opinion("affordable", 0.75, ("prices",))
+    lex.add_opinion("cheap", 0.5, ("prices",))
+    lex.add_opinion("expensive", -0.6, ("prices",))
+    lex.add_opinion("overpriced", -0.8, ("prices",))
+    lex.add_opinion("steep", -0.5, ("prices",))
+    lex.add_opinion("refreshing", 0.75, ("cocktails",))
+    lex.add_opinion("watered down", -0.7, ("cocktails",))
+    lex.add_opinion("lively", 0.7, ("music", "ambiance"))
+    lex.add_opinion("live", 0.65, ("music",))
+    lex.add_opinion("convenient", 0.7, ("location",))
+    lex.add_opinion("central", 0.6, ("location",))
+    lex.add_opinion("remote", -0.4, ("location",))
+    # Domain jargon / idioms (Section 4.2: "La carte of this restaurant is a killer").
+    lex.add_opinion("a killer", 0.9, ("menu", "food", "cocktails"), register="idiom")
+    lex.add_opinion("out of this world", 0.95, food_topics, register="idiom")
+    lex.add_opinion("to die for", 0.9, food_topics, register="idiom")
+    lex.add_opinion("on point", 0.8, ("service", "food", "cooking"), register="idiom")
+    lex.add_opinion("a letdown", -0.7, ("food", "service", "ambiance"), register="idiom")
+    lex.add_opinion("a bit slow", -0.4, ("service", "delivery"), register="idiom")
+    lex.add_opinion("hit or miss", -0.3, ("food", "service"), register="idiom")
+    return lex
+
+
+# --------------------------------------------------------------------------
+# Electronics (SemEval-14 Laptops analogue) — jargon-heavy by design.
+# --------------------------------------------------------------------------
+
+
+def electronics_lexicon() -> DomainLexicon:
+    """Electronics-domain lexicon (brand names and numeric jargon included)."""
+    lex = DomainLexicon("electronics")
+
+    lex.add_aspect("entity", ["laptop", "device", "machine", "unit"])
+    lex.add_aspect("screen", ["screen", "display", "panel"], parent="entity")
+    lex.add_aspect("battery", ["battery", "battery life", "charge"], parent="entity")
+    lex.add_aspect("keyboard", ["keyboard", "keys", "trackpad"], parent="entity")
+    lex.add_aspect("performance", ["performance", "speed", "processor", "cpu"], parent="entity")
+    lex.add_aspect("memory", ["memory", "ram", "storage", "ssd"], parent="performance")
+    lex.add_aspect("graphics", ["graphics", "gpu", "video card"], parent="performance")
+    lex.add_aspect("build", ["build", "chassis", "hinge", "body"], parent="entity")
+    lex.add_aspect("audio", ["speakers", "audio", "sound"], parent="entity")
+    lex.add_aspect("software", ["software", "os", "drivers", "firmware"], parent="entity")
+    lex.add_aspect("support", ["support", "customer service", "warranty"], parent="entity")
+    lex.add_aspect("price", ["price", "cost", "value"], parent="entity")
+    lex.add_aspect("ports", ["ports", "usb", "hdmi"], parent="build")
+    lex.add_aspect("cooling", ["fans", "cooling", "thermals"], parent="build")
+
+    lex.add_opinion("crisp", 0.8, ("screen",), register="jargon")
+    lex.add_opinion("sharp", 0.8, ("screen",))
+    lex.add_opinion("vivid", 0.75, ("screen",))
+    lex.add_opinion("dim", -0.6, ("screen",))
+    lex.add_opinion("washed out", -0.7, ("screen",), register="jargon")
+    lex.add_opinion("long lasting", 0.85, ("battery",), register="jargon")
+    lex.add_opinion("efficient", 0.7, ("battery", "performance"))
+    lex.add_opinion("weak", -0.6, ("battery", "audio", "performance"))
+    lex.add_opinion("snappy", 0.8, ("performance", "keyboard"), register="jargon")
+    lex.add_opinion("blazing", 0.85, ("performance",), register="jargon")
+    lex.add_opinion("responsive", 0.8, ("performance", "keyboard", "screen"))
+    lex.add_opinion("laggy", -0.8, ("performance", "software"), register="jargon")
+    lex.add_opinion("sluggish", -0.7, ("performance", "software"))
+    lex.add_opinion("buggy", -0.8, ("software",), register="jargon")
+    lex.add_opinion("stable", 0.7, ("software",))
+    lex.add_opinion("bloated", -0.6, ("software",), register="jargon")
+    lex.add_opinion("comfortable", 0.75, ("keyboard",))
+    lex.add_opinion("mushy", -0.6, ("keyboard",), register="jargon")
+    lex.add_opinion("clicky", 0.6, ("keyboard",), register="jargon")
+    lex.add_opinion("sturdy", 0.8, ("build",))
+    lex.add_opinion("solid", 0.75, ("build",))
+    lex.add_opinion("flimsy", -0.7, ("build",))
+    lex.add_opinion("creaky", -0.6, ("build",), register="jargon")
+    lex.add_opinion("premium", 0.7, ("build",))
+    lex.add_opinion("rich", 0.7, ("audio",))
+    lex.add_opinion("tinny", -0.7, ("audio",), register="jargon")
+    lex.add_opinion("loud", 0.5, ("audio",))
+    lex.add_opinion("muffled", -0.6, ("audio",))
+    lex.add_opinion("helpful", 0.8, ("support",))
+    lex.add_opinion("responsive", 0.75, ("support",))
+    lex.add_opinion("useless", -0.9, ("support",))
+    lex.add_opinion("slow", -0.6, ("support", "performance"))
+    lex.add_opinion("reasonable", 0.7, ("price",))
+    lex.add_opinion("overpriced", -0.8, ("price",))
+    lex.add_opinion("unbeatable", 0.85, ("price",), register="jargon")
+    lex.add_opinion("plentiful", 0.7, ("ports", "memory"))
+    lex.add_opinion("scarce", -0.6, ("ports",))
+    lex.add_opinion("quiet", 0.75, ("cooling",))
+    lex.add_opinion("whiny", -0.7, ("cooling",), register="jargon")
+    lex.add_opinion("hot", -0.6, ("cooling",))
+    lex.add_opinion("cool", 0.6, ("cooling",))
+    lex.add_opinion("future proof", 0.7, ("memory", "performance"), register="jargon")
+    lex.add_opinion("cramped", -0.5, ("memory", "keyboard"))
+    return lex
+
+
+# --------------------------------------------------------------------------
+# Hotels (Booking.com analogue)
+# --------------------------------------------------------------------------
+
+
+def hotel_lexicon() -> DomainLexicon:
+    """Hotel-domain lexicon (the paper's S4 / pairing training domain)."""
+    lex = DomainLexicon("hotels")
+
+    lex.add_aspect("entity", ["hotel", "property", "place"])
+    lex.add_aspect("room", ["room", "suite", "bedroom"], parent="entity")
+    lex.add_aspect("bed", ["bed", "mattress", "pillows"], parent="room")
+    lex.add_aspect("bathroom", ["bathroom", "shower", "tub"], parent="room")
+    lex.add_aspect("staff", ["staff", "reception", "concierge"], parent="entity")
+    lex.add_aspect("breakfast", ["breakfast", "buffet", "brunch"], parent="entity")
+    lex.add_aspect("location", ["location", "neighborhood", "area"], parent="entity")
+    lex.add_aspect("lobby", ["lobby", "entrance", "hall"], parent="entity")
+    lex.add_aspect("pool", ["pool", "spa", "gym"], parent="entity")
+    lex.add_aspect("wifi", ["wifi", "internet", "connection"], parent="entity")
+    lex.add_aspect("price", ["price", "rate", "cost"], parent="entity")
+    lex.add_aspect("view", ["view", "balcony", "window"], parent="room")
+
+    lex.add_opinion("spacious", 0.8, ("room", "lobby", "bathroom"))
+    lex.add_opinion("cramped", -0.6, ("room", "bathroom"))
+    lex.add_opinion("clean", 0.85, ("room", "bathroom", "pool", "lobby"))
+    lex.add_opinion("spotless", 0.9, ("room", "bathroom"))
+    lex.add_opinion("filthy", -0.9, ("room", "bathroom"))
+    lex.add_opinion("dusty", -0.6, ("room", "lobby"))
+    lex.add_opinion("comfy", 0.85, ("bed", "room"), register="jargon")
+    lex.add_opinion("comfortable", 0.8, ("bed", "room"))
+    lex.add_opinion("lumpy", -0.7, ("bed",))
+    lex.add_opinion("firm", 0.5, ("bed",))
+    lex.add_opinion("friendly", 0.85, ("staff",))
+    lex.add_opinion("welcoming", 0.8, ("staff", "lobby"))
+    lex.add_opinion("courteous", 0.75, ("staff",))
+    lex.add_opinion("rude", -0.9, ("staff",))
+    lex.add_opinion("indifferent", -0.6, ("staff",))
+    lex.add_opinion("delicious", 0.85, ("breakfast",))
+    lex.add_opinion("fresh", 0.8, ("breakfast",))
+    lex.add_opinion("varied", 0.7, ("breakfast",))
+    lex.add_opinion("meager", -0.6, ("breakfast",))
+    lex.add_opinion("cold", -0.5, ("breakfast", "pool"))
+    lex.add_opinion("central", 0.75, ("location",))
+    lex.add_opinion("convenient", 0.75, ("location",))
+    lex.add_opinion("noisy", -0.7, ("location", "room"))
+    lex.add_opinion("quiet", 0.75, ("location", "room"))
+    lex.add_opinion("elegant", 0.8, ("lobby", "room"))
+    lex.add_opinion("grand", 0.7, ("lobby",))
+    lex.add_opinion("shabby", -0.6, ("lobby", "room"))
+    lex.add_opinion("heated", 0.6, ("pool",))
+    lex.add_opinion("refreshing", 0.7, ("pool",))
+    lex.add_opinion("crowded", -0.5, ("pool", "lobby"))
+    lex.add_opinion("fast", 0.8, ("wifi",))
+    lex.add_opinion("reliable", 0.8, ("wifi",))
+    lex.add_opinion("spotty", -0.7, ("wifi",), register="jargon")
+    lex.add_opinion("unusable", -0.9, ("wifi",))
+    lex.add_opinion("fair", 0.7, ("price",))
+    lex.add_opinion("reasonable", 0.7, ("price",))
+    lex.add_opinion("outrageous", -0.8, ("price",))
+    lex.add_opinion("stunning", 0.9, ("view",))
+    lex.add_opinion("gorgeous", 0.85, ("view",))
+    lex.add_opinion("bleak", -0.6, ("view",))
+    return lex
+
+
+_BUILDERS = {
+    "restaurants": restaurant_lexicon,
+    "electronics": electronics_lexicon,
+    "hotels": hotel_lexicon,
+}
+
+
+def lexicon_for_domain(domain: str) -> DomainLexicon:
+    """Construct the lexicon for one of the three supported domains."""
+    try:
+        return _BUILDERS[domain]()
+    except KeyError:
+        raise KeyError(f"unknown domain {domain!r}; expected one of {sorted(_BUILDERS)}") from None

@@ -1,0 +1,177 @@
+"""Deterministic chunking constituency parser.
+
+Produces the trees consumed by the pairing heuristic of Section 5.1.  The
+grammar is a shallow chunker:
+
+* the token stream is split into **sentences** at ``. ! ?``;
+* each sentence is split into **clauses** at strong boundaries (``but``,
+  ``while``, ``;``) and at ``and``/`,` boundaries that separate two verbful
+  spans (so "friendly, helpful and professional" stays together but
+  "the food is great and the staff is nice" splits);
+* inside a clause, tokens are grouped into NP / VP / ADJP chunks.
+
+The resulting structure has exactly the property the paper relies on:
+aspect/opinion words in different clauses or sentences are separated by more
+tree edges than words within the same clause.  It also shares the documented
+failure modes — long single-clause ramblings collapse to near-word-distance,
+and missing punctuation merges sentences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.text.pos import ADJ, ADV, CONJ, DET, NEG, NOUN, PREP, PRON, PUNCT, VERB, PosLexicon
+from repro.text.tokenize import SENTENCE_PUNCT
+from repro.text.tree import ParseNode
+
+__all__ = ["ChunkParser"]
+
+_STRONG_BOUNDARY = {"but", "while", "though", "although", ";"}
+
+
+class ChunkParser:
+    """Parser over tokens of one domain's synthetic language."""
+
+    def __init__(self, pos_lexicon: PosLexicon):
+        self.pos = pos_lexicon
+
+    # ------------------------------------------------------------------ API
+
+    def parse(self, tokens: Sequence[str]) -> ParseNode:
+        """Parse a token sequence into a ROOT tree with indexed leaves."""
+        tags = self.pos.tag_sequence(list(tokens))
+        indexed = list(enumerate(zip(tokens, tags)))
+        sentences = self._split(indexed, self._is_sentence_end, include_boundary=True)
+        sentence_nodes = []
+        for sentence in sentences:
+            clauses = self._split_clauses(sentence)
+            clause_nodes = [self._chunk_clause(clause) for clause in clauses if clause]
+            sentence_nodes.append(ParseNode("S", clause_nodes))
+        return ParseNode("ROOT", sentence_nodes)
+
+    # ------------------------------------------------------------- splitting
+
+    @staticmethod
+    def _is_sentence_end(item: Tuple[int, Tuple[str, str]]) -> bool:
+        _, (token, _) = item
+        return token in SENTENCE_PUNCT
+
+    @staticmethod
+    def _split(items, predicate, include_boundary: bool) -> List[list]:
+        groups: List[list] = [[]]
+        for item in items:
+            if predicate(item):
+                if include_boundary:
+                    groups[-1].append(item)
+                groups.append([])
+            else:
+                groups[-1].append(item)
+        return [g for g in groups if g]
+
+    def _split_clauses(self, sentence: List) -> List[list]:
+        """Split a sentence's tokens into clauses.
+
+        ``but``/``while`` always split.  ``and`` and ``,`` split only when a
+        verb occurs on both sides, which keeps coordinated adjective lists in
+        one clause.
+        """
+        verb_positions = [i for i, (_, (_, tag)) in enumerate(sentence) if tag == VERB]
+
+        def verb_before_and_after(pos: int) -> bool:
+            return any(v < pos for v in verb_positions) and any(v > pos for v in verb_positions)
+
+        clauses: List[list] = [[]]
+        for i, item in enumerate(sentence):
+            _, (token, tag) = item
+            is_strong = token in _STRONG_BOUNDARY
+            is_weak = token in {"and", ","} and verb_before_and_after(i)
+            if is_strong or is_weak:
+                clauses[-1].append(item)  # the boundary token closes its clause
+                clauses.append([])
+            else:
+                clauses[-1].append(item)
+        return [c for c in clauses if c]
+
+    # -------------------------------------------------------------- chunking
+
+    def _chunk_clause(self, clause: List) -> ParseNode:
+        chunks: List[ParseNode] = []
+        i = 0
+        n = len(clause)
+
+        def leaf(position: int) -> ParseNode:
+            index, (token, tag) = clause[position]
+            return ParseNode(tag, token=token, token_index=index)
+
+        def tag_at(position: int) -> str:
+            return clause[position][1][1]
+
+        def token_at(position: int) -> str:
+            return clause[position][1][0]
+
+        while i < n:
+            tag = tag_at(i)
+            if tag in (DET, PRON) or tag == NOUN:
+                # NP: (DET|PRON)? (ADJ|NOUN)* NOUN  — greedy noun phrase.
+                j = i
+                if tag in (DET, PRON):
+                    j += 1
+                k = j
+                while k < n and tag_at(k) in (ADJ, NOUN):
+                    k += 1
+                # Require the phrase to end in a NOUN; back off over trailing ADJs.
+                while k > j and tag_at(k - 1) != NOUN:
+                    k -= 1
+                if k > j:
+                    chunks.append(ParseNode("NP", [leaf(p) for p in range(i, k)]))
+                    i = k
+                    continue
+                chunks.append(leaf(i))
+                i += 1
+            elif tag == VERB:
+                # VP: VERB+ NEG?
+                j = i
+                while j < n and tag_at(j) in (VERB, NEG):
+                    j += 1
+                chunks.append(ParseNode("VP", [leaf(p) for p in range(i, j)]))
+                i = j
+            elif tag in (ADJ, ADV, NEG):
+                # ADJP: (ADV|NEG)* ADJ ((, | and) (ADV)* ADJ)*
+                j = i
+                while j < n and tag_at(j) in (ADV, NEG):
+                    j += 1
+                if j < n and tag_at(j) == ADJ:
+                    j += 1
+                    while j < n and tag_at(j) == ADJ:
+                        j += 1
+                    # absorb coordinated adjectives: ", adj" / "and adj"
+                    while j < n:
+                        if token_at(j) in {",", "and"} and j + 1 < n:
+                            k = j + 1
+                            while k < n and tag_at(k) in (ADV, NEG):
+                                k += 1
+                            if k < n and tag_at(k) == ADJ:
+                                j = k + 1
+                                while j < n and tag_at(j) == ADJ:
+                                    j += 1
+                                continue
+                        break
+                    chunks.append(ParseNode("ADJP", [leaf(p) for p in range(i, j)]))
+                    i = j
+                else:
+                    chunks.append(leaf(i))
+                    i += 1
+            elif tag == PREP:
+                # PP: PREP + following NP absorbed flatly.
+                j = i + 1
+                if j < n and tag_at(j) in (DET, PRON):
+                    j += 1
+                while j < n and tag_at(j) in (ADJ, NOUN):
+                    j += 1
+                chunks.append(ParseNode("PP", [leaf(p) for p in range(i, j)]))
+                i = j
+            else:
+                chunks.append(leaf(i))
+                i += 1
+        return ParseNode("CL", chunks)

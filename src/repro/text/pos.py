@@ -1,0 +1,84 @@
+"""A lexicon-driven part-of-speech tagger for the synthetic language.
+
+The chunking parser (``repro.text.parser``) needs coarse POS tags.  Since
+review sentences are generated from known lexicons, a closed-class word list
+plus the domain lexicon covers the vocabulary; unknown words default to NOUN
+(the standard open-class fallback), which also gives sensible behaviour on
+typo-corrupted tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.text.lexicon import DomainLexicon
+
+__all__ = ["PosLexicon", "DET", "NOUN", "ADJ", "VERB", "ADV", "CONJ", "PREP", "PRON", "NEG", "PUNCT"]
+
+DET = "DET"
+NOUN = "NOUN"
+ADJ = "ADJ"
+VERB = "VERB"
+ADV = "ADV"
+CONJ = "CONJ"
+PREP = "PREP"
+PRON = "PRON"
+NEG = "NEG"
+PUNCT = "PUNCT"
+
+_CLOSED_CLASS: Dict[str, str] = {}
+for word in ("the", "a", "an", "this", "that", "these", "those", "its", "their", "our", "my", "her", "his"):
+    _CLOSED_CLASS[word] = DET
+for word in ("i", "we", "it", "they", "you", "she", "he", "everything", "nothing"):
+    _CLOSED_CLASS[word] = PRON
+for word in (
+    "is", "are", "was", "were", "be", "been", "seemed", "seems", "felt", "feels",
+    "looked", "looks", "tasted", "tastes", "serves", "served", "serve", "have",
+    "has", "had", "love", "loved", "like", "liked", "enjoy", "enjoyed", "found",
+    "came", "come", "went", "offers", "offered", "employs", "recommend",
+    "recommended", "tried", "ordered", "arrived", "stayed", "visited", "got",
+    "makes", "made", "runs", "ran", "works", "worked", "charges", "delivers",
+    "delivered", "returned", "expected", "kept", "turned",
+):
+    _CLOSED_CLASS[word] = VERB
+for word in (
+    "really", "very", "super", "quite", "extremely", "pretty", "so", "too",
+    "somewhat", "incredibly", "honestly", "truly", "absolutely", "surprisingly",
+    "simply", "just", "rather", "totally", "again", "always", "here", "there",
+    "overall", "definitely",
+):
+    _CLOSED_CLASS[word] = ADV
+for word in ("and", "but", "or", "while", "though", "although", "yet"):
+    _CLOSED_CLASS[word] = CONJ
+for word in ("of", "in", "at", "with", "on", "for", "to", "from", "by", "near", "about", "around"):
+    _CLOSED_CLASS[word] = PREP
+for word in ("not", "never", "no"):
+    _CLOSED_CLASS[word] = NEG
+for word in (".", ",", "!", "?", ";", ":"):
+    _CLOSED_CLASS[word] = PUNCT
+
+
+class PosLexicon:
+    """Maps tokens to coarse POS tags using closed classes + a domain lexicon."""
+
+    def __init__(self, lexicon: DomainLexicon):
+        self._table: Dict[str, str] = dict(_CLOSED_CLASS)
+        # Aspect surface words are nouns.
+        for concept in lexicon.aspects.values():
+            for surface in concept.surfaces:
+                for word in surface.lower().split():
+                    self._table.setdefault(word, NOUN)
+        # Opinion words are adjectives; for multi-word opinions, non-closed-class
+        # member words are adjectives too ("watered down", "long lasting").
+        for opinion in lexicon.opinions:
+            for word in opinion.text.lower().split():
+                if word not in _CLOSED_CLASS:
+                    self._table[word] = ADJ
+
+    def tag(self, token: str) -> str:
+        """POS tag for one token (NOUN fallback for unknown words)."""
+        return self._table.get(token.lower(), NOUN)
+
+    def tag_sequence(self, tokens: List[str]) -> List[str]:
+        """POS tags for a token sequence."""
+        return [self.tag(t) for t in tokens]

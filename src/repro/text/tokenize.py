@@ -1,0 +1,35 @@
+"""Word tokenisation shared by the data generators, parser and models."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = ["word_tokenize", "detokenize", "SENTENCE_PUNCT"]
+
+SENTENCE_PUNCT = {".", "!", "?"}
+
+_TOKEN_RE = re.compile(r"[a-zA-Z']+|[0-9]+(?:\.[0-9]+)?|[.,!?;:]")
+
+
+def word_tokenize(text: str, lowercase: bool = True) -> List[str]:
+    """Split text into word and punctuation tokens.
+
+    >>> word_tokenize("The food is great, really!")
+    ['the', 'food', 'is', 'great', ',', 'really', '!']
+    """
+    tokens = _TOKEN_RE.findall(text)
+    if lowercase:
+        tokens = [t.lower() for t in tokens]
+    return tokens
+
+
+def detokenize(tokens: List[str]) -> str:
+    """Join tokens back into a readable string (punctuation un-spaced)."""
+    out: List[str] = []
+    for token in tokens:
+        if token in {".", ",", "!", "?", ";", ":"} and out:
+            out[-1] = out[-1] + token
+        else:
+            out.append(token)
+    return " ".join(out)

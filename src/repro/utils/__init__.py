@@ -1,0 +1,34 @@
+"""Shared utilities: seeded randomness, numerics, artifact caching, timing.
+
+These helpers are deliberately tiny and dependency-free (numpy only) so that
+every other subpackage can import them without cycles.
+"""
+
+from repro.utils.caching import ArtifactCache, default_cache, fingerprint
+from repro.utils.numerics import (
+    log_softmax,
+    logsumexp,
+    one_hot,
+    sigmoid,
+    softmax,
+    stable_log,
+)
+from repro.utils.rng import SeedSequence, derive_rng, derive_seed, new_rng
+from repro.utils.timing import Timer
+
+__all__ = [
+    "ArtifactCache",
+    "SeedSequence",
+    "Timer",
+    "default_cache",
+    "derive_rng",
+    "derive_seed",
+    "fingerprint",
+    "log_softmax",
+    "logsumexp",
+    "new_rng",
+    "one_hot",
+    "sigmoid",
+    "softmax",
+    "stable_log",
+]

@@ -1,0 +1,80 @@
+"""On-disk artifact cache for expensive build steps (e.g. BERT pre-training).
+
+Benchmarks pre-train the miniature BERT once and reuse it across tables; the
+cache stores numpy archives keyed by a human-readable name plus a content
+fingerprint of the producing configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+__all__ = ["ArtifactCache", "default_cache", "fingerprint"]
+
+
+def fingerprint(config: Any) -> str:
+    """Stable short hash of a JSON-serialisable configuration object."""
+    payload = json.dumps(config, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+class ArtifactCache:
+    """Stores named dictionaries of numpy arrays under a root directory."""
+
+    def __init__(self, root: Optional[Path] = None):
+        if root is None:
+            root = Path(os.environ.get("REPRO_CACHE_DIR", Path(tempfile.gettempdir()) / "repro-cache"))
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str, config: Any) -> Path:
+        return self.root / f"{name}-{fingerprint(config)}.npz"
+
+    def exists(self, name: str, config: Any) -> bool:
+        """Whether an artifact for ``(name, config)`` is present."""
+        return self._path(name, config).exists()
+
+    def save(self, name: str, config: Any, arrays: Dict[str, np.ndarray]) -> Path:
+        """Persist ``arrays`` for ``(name, config)``; returns the file path."""
+        path = self._path(name, config)
+        tmp = path.with_suffix(".tmp.npz")
+        np.savez(tmp, **arrays)
+        tmp.replace(path)
+        return path
+
+    def load(self, name: str, config: Any) -> Dict[str, np.ndarray]:
+        """Load the arrays stored for ``(name, config)``."""
+        path = self._path(name, config)
+        with np.load(path, allow_pickle=False) as data:
+            return {key: data[key] for key in data.files}
+
+    def get_or_build(
+        self,
+        name: str,
+        config: Any,
+        builder: Callable[[], Dict[str, np.ndarray]],
+    ) -> Dict[str, np.ndarray]:
+        """Return the cached artifact, building and persisting it on a miss."""
+        if self.exists(name, config):
+            return self.load(name, config)
+        arrays = builder()
+        self.save(name, config, arrays)
+        return arrays
+
+
+_DEFAULT_CACHE: Optional[ArtifactCache] = None
+
+
+def default_cache() -> ArtifactCache:
+    """Process-wide cache instance (root controlled by ``REPRO_CACHE_DIR``)."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = ArtifactCache()
+    return _DEFAULT_CACHE

@@ -1,0 +1,34 @@
+"""Tiny wall-clock timer used by benchmarks and training loops."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self.start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self.start is not None
+        self.elapsed = time.perf_counter() - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timer({self.label!r}, elapsed={self.elapsed:.3f}s)"

@@ -1,0 +1,21 @@
+"""``repro.weak`` — data programming (the Snorkel substitute).
+
+Labeling functions vote (or abstain) on unlabelled examples; a label model
+(majority vote or the EM-fit probabilistic generative model) denoises the
+votes into training labels for a downstream discriminative classifier.
+"""
+
+from repro.weak.analysis import LFSummary, analyse_labeling_functions
+from repro.weak.generative import GenerativeLabelModel
+from repro.weak.lf import ABSTAIN, LabelingFunction, apply_labeling_functions
+from repro.weak.majority import MajorityVoteModel
+
+__all__ = [
+    "ABSTAIN",
+    "GenerativeLabelModel",
+    "LFSummary",
+    "LabelingFunction",
+    "MajorityVoteModel",
+    "analyse_labeling_functions",
+    "apply_labeling_functions",
+]

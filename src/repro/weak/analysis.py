@@ -1,0 +1,66 @@
+"""Diagnostics over labeling-function vote matrices (Snorkel's LFAnalysis)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.weak.lf import ABSTAIN, LabelingFunction
+
+__all__ = ["LFSummary", "analyse_labeling_functions"]
+
+
+@dataclass
+class LFSummary:
+    """Per-LF statistics."""
+
+    name: str
+    coverage: float
+    overlap: float
+    conflict: float
+    empirical_accuracy: Optional[float] = None
+
+    def as_row(self) -> str:
+        acc = f"{self.empirical_accuracy:.3f}" if self.empirical_accuracy is not None else "  -  "
+        return (
+            f"{self.name:<16} cov={self.coverage:.3f} overlap={self.overlap:.3f} "
+            f"conflict={self.conflict:.3f} acc={acc}"
+        )
+
+
+def analyse_labeling_functions(
+    votes: np.ndarray,
+    names: Sequence[str],
+    gold: Optional[np.ndarray] = None,
+) -> List[LFSummary]:
+    """Coverage / overlap / conflict (and accuracy when gold is given).
+
+    * coverage — fraction of examples the LF votes on;
+    * overlap — fraction where it votes and at least one other LF votes too;
+    * conflict — fraction where it votes and disagrees with some other voter.
+    """
+    votes = np.asarray(votes)
+    num_examples, num_lfs = votes.shape
+    if len(names) != num_lfs:
+        raise ValueError("names length must match the vote matrix width")
+    voted = votes != ABSTAIN
+    summaries: List[LFSummary] = []
+    for j in range(num_lfs):
+        mask = voted[:, j]
+        coverage = float(mask.mean())
+        others = np.delete(voted, j, axis=1)
+        other_votes = np.delete(votes, j, axis=1)
+        overlap_rows = mask & others.any(axis=1)
+        overlap = float(overlap_rows.mean())
+        conflict_rows = np.zeros(num_examples, dtype=bool)
+        for i in np.nonzero(overlap_rows)[0]:
+            row = other_votes[i][others[i]]
+            conflict_rows[i] = np.any(row != votes[i, j])
+        conflict = float(conflict_rows.mean())
+        accuracy = None
+        if gold is not None and mask.any():
+            accuracy = float((votes[mask, j] == np.asarray(gold)[mask]).mean())
+        summaries.append(LFSummary(names[j], coverage, overlap, conflict, accuracy))
+    return summaries

@@ -1,0 +1,124 @@
+"""Probabilistic generative label model (Snorkel's core, Section 5.2).
+
+Learns, *without ground truth*, how accurate each labeling function is from
+the pattern of agreements and disagreements, then produces posterior
+probabilistic labels.  The model is the classic Dawid–Skene/data-programming
+formulation for binary tasks:
+
+* latent true label ``y_i ~ Bernoulli(pi)``;
+* LF ``j``, when it does not abstain, reports ``y_i`` with probability
+  ``a_j`` (its accuracy) and ``1 - y_i`` otherwise;
+* abstention is independent of ``y``.
+
+Fitting is expectation–maximisation; accuracies are clamped to
+``[min_accuracy, max_accuracy]`` to keep labels identifiable (the standard
+"LFs are better than random" assumption of data programming).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.weak.lf import ABSTAIN
+
+__all__ = ["GenerativeLabelModel"]
+
+
+class GenerativeLabelModel:
+    """EM-fit generative model over a labeling-function vote matrix."""
+
+    def __init__(
+        self,
+        max_iterations: int = 300,
+        tolerance: float = 1e-5,
+        min_accuracy: float = 0.55,
+        max_accuracy: float = 0.98,
+    ):
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.min_accuracy = min_accuracy
+        self.max_accuracy = max_accuracy
+        self.accuracies_: Optional[np.ndarray] = None
+        self.prior_: float = 0.5
+        self.n_iterations_: int = 0
+
+    # -------------------------------------------------------------- fitting
+
+    def fit(self, votes: np.ndarray) -> "GenerativeLabelModel":
+        """Estimate LF accuracies and the class prior from ``votes``."""
+        votes = np.asarray(votes)
+        num_examples, num_lfs = votes.shape
+        voted = votes != ABSTAIN
+        positive = votes == 1
+
+        accuracies = np.full(num_lfs, 0.75)
+        prior = 0.5
+        posterior = np.full(num_examples, 0.5)
+
+        for iteration in range(self.max_iterations):
+            # E-step: posterior P(y=1 | votes) under current parameters.
+            log_pos = np.log(prior) * np.ones(num_examples)
+            log_neg = np.log(1 - prior) * np.ones(num_examples)
+            for j in range(num_lfs):
+                mask = voted[:, j]
+                agree_pos = positive[mask, j]
+                a = accuracies[j]
+                log_pos[mask] += np.where(agree_pos, np.log(a), np.log(1 - a))
+                log_neg[mask] += np.where(agree_pos, np.log(1 - a), np.log(a))
+            shift = np.maximum(log_pos, log_neg)
+            odds = np.exp(log_pos - shift)
+            new_posterior = odds / (odds + np.exp(log_neg - shift))
+
+            # M-step: accuracy = expected agreement with the latent label.
+            new_accuracies = np.empty(num_lfs)
+            for j in range(num_lfs):
+                mask = voted[:, j]
+                if not mask.any():
+                    new_accuracies[j] = 0.75
+                    continue
+                p = new_posterior[mask]
+                agree = np.where(positive[mask, j], p, 1 - p)
+                new_accuracies[j] = float(np.mean(agree))
+            new_accuracies = np.clip(new_accuracies, self.min_accuracy, self.max_accuracy)
+            new_prior = float(np.clip(np.mean(new_posterior), 0.05, 0.95))
+
+            delta = max(
+                float(np.max(np.abs(new_accuracies - accuracies))),
+                abs(new_prior - prior),
+            )
+            accuracies, prior, posterior = new_accuracies, new_prior, new_posterior
+            self.n_iterations_ = iteration + 1
+            if delta < self.tolerance:
+                break
+
+        self.accuracies_ = accuracies
+        self.prior_ = prior
+        return self
+
+    # ------------------------------------------------------------ inference
+
+    def predict_proba(self, votes: np.ndarray) -> np.ndarray:
+        """Posterior P(y=1 | votes) for each example."""
+        if self.accuracies_ is None:
+            raise RuntimeError("fit() must be called before predict_proba()")
+        votes = np.asarray(votes)
+        voted = votes != ABSTAIN
+        positive = votes == 1
+        num_examples = len(votes)
+        log_pos = np.log(self.prior_) * np.ones(num_examples)
+        log_neg = np.log(1 - self.prior_) * np.ones(num_examples)
+        for j in range(votes.shape[1]):
+            mask = voted[:, j]
+            a = self.accuracies_[j]
+            agree_pos = positive[mask, j]
+            log_pos[mask] += np.where(agree_pos, np.log(a), np.log(1 - a))
+            log_neg[mask] += np.where(agree_pos, np.log(1 - a), np.log(a))
+        shift = np.maximum(log_pos, log_neg)
+        odds = np.exp(log_pos - shift)
+        return odds / (odds + np.exp(log_neg - shift))
+
+    def predict(self, votes: np.ndarray) -> np.ndarray:
+        """Hard posterior labels."""
+        return (self.predict_proba(votes) >= 0.5).astype(np.int64)

@@ -1,0 +1,42 @@
+"""Labeling-function abstraction (data programming, Section 5.2).
+
+A labeling function (LF) votes 0/1 on an example or abstains.  The constant
+:data:`ABSTAIN` (-1) marks abstention, matching Snorkel's convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+__all__ = ["ABSTAIN", "LabelingFunction", "apply_labeling_functions"]
+
+ABSTAIN = -1
+
+
+@dataclass(frozen=True)
+class LabelingFunction:
+    """A named weak-supervision source."""
+
+    name: str
+    function: Callable[[object], int]
+
+    def __call__(self, example: object) -> int:
+        vote = int(self.function(example))
+        if vote not in (ABSTAIN, 0, 1):
+            raise ValueError(f"labeling function {self.name!r} returned invalid vote {vote}")
+        return vote
+
+
+def apply_labeling_functions(
+    labeling_functions: Sequence[LabelingFunction],
+    examples: Sequence[object],
+) -> np.ndarray:
+    """Vote matrix ``L`` of shape ``(num_examples, num_lfs)`` with -1 abstains."""
+    votes = np.full((len(examples), len(labeling_functions)), ABSTAIN, dtype=np.int64)
+    for j, lf in enumerate(labeling_functions):
+        for i, example in enumerate(examples):
+            votes[i, j] = lf(example)
+    return votes

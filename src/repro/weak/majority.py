@@ -1,0 +1,44 @@
+"""Majority-vote label model (the simpler of Snorkel's two aggregators)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.weak.lf import ABSTAIN
+
+__all__ = ["MajorityVoteModel"]
+
+
+class MajorityVoteModel:
+    """Each labeling function is an equal, independent voter.
+
+    Ties and all-abstain rows resolve to ``tie_break`` (default 0, i.e.
+    reject — conservative for the pairing task where false positives pollute
+    the index).
+    """
+
+    def __init__(self, tie_break: int = 0):
+        if tie_break not in (0, 1):
+            raise ValueError("tie_break must be 0 or 1")
+        self.tie_break = tie_break
+
+    def predict_proba(self, votes: np.ndarray) -> np.ndarray:
+        """P(label=1) per example as the fraction of non-abstain votes for 1."""
+        votes = np.asarray(votes)
+        counts_one = (votes == 1).sum(axis=1)
+        counts_zero = (votes == 0).sum(axis=1)
+        total = counts_one + counts_zero
+        probs = np.full(len(votes), 0.5, dtype=np.float64)
+        active = total > 0
+        probs[active] = counts_one[active] / total[active]
+        return probs
+
+    def predict(self, votes: np.ndarray) -> np.ndarray:
+        """Hard labels by majority; ties/all-abstain go to ``tie_break``."""
+        probs = self.predict_proba(votes)
+        labels = np.where(probs > 0.5, 1, 0)
+        ties = probs == 0.5
+        labels[ties] = self.tie_break
+        return labels

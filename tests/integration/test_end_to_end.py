@@ -1,0 +1,142 @@
+"""Integration tests: full pipelines wired together at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.bert import PretrainPlan, pretrained_encoder
+from repro.core import (
+    HeuristicPairer,
+    IRBaseline,
+    OracleExtractor,
+    PairingClassifier,
+    PairingPipeline,
+    Saccs,
+    SaccsConfig,
+    SequenceTagger,
+    SubjectiveTag,
+    TagExtractor,
+    TaggerTrainer,
+    TaggerTrainingConfig,
+    TreePairingHeuristic,
+    default_labeling_functions,
+    evaluate_tagger,
+    instances_from_examples,
+    select_attention_heads,
+)
+from repro.core.evaluation import classification_report
+from repro.data import (
+    CrowdSimulator,
+    WorldConfig,
+    build_pairing_dataset,
+    build_tagging_dataset,
+    build_world,
+)
+from repro.ir import mean_ndcg
+from repro.text import ChunkParser, ConceptualSimilarity, PosLexicon, restaurant_lexicon
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    # The quick plan keeps integration tests fast; quality is checked by the
+    # real benchmarks, behaviour by these tests.
+    return pretrained_encoder("restaurants", plan=PretrainPlan.quick(seed=21))
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig.small(num_entities=30, mean_reviews=12))
+
+
+@pytest.fixture(scope="module")
+def trained_tagger(encoder):
+    dataset = build_tagging_dataset("S1", scale=0.06, seed=4)
+    tagger = SequenceTagger(encoder, np.random.default_rng(0))
+    TaggerTrainer(tagger, TaggerTrainingConfig(epochs=8)).fit(dataset.train)
+    return tagger
+
+
+class TestNeuralExtractionPipeline:
+    def test_tagger_reaches_usable_quality(self, trained_tagger):
+        dataset = build_tagging_dataset("S1", scale=0.06, seed=4)
+        result = evaluate_tagger(trained_tagger, dataset.test)
+        assert result.f1 > 0.6
+
+    def test_extractor_finds_known_tag(self, trained_tagger):
+        parser = ChunkParser(PosLexicon(restaurant_lexicon()))
+        extractor = TagExtractor(
+            trained_tagger, HeuristicPairer([TreePairingHeuristic(parser, direction="opinions")])
+        )
+        tags = extractor.extract("the food is delicious .".split())
+        assert SubjectiveTag("food", "delicious") in tags
+
+
+class TestSaccsEndToEnd:
+    def test_neural_saccs_answers_utterance(self, world, trained_tagger):
+        parser = ChunkParser(PosLexicon(restaurant_lexicon()))
+        extractor = TagExtractor(
+            trained_tagger, HeuristicPairer([TreePairingHeuristic(parser, direction="opinions")])
+        )
+        similarity = ConceptualSimilarity(restaurant_lexicon())
+        saccs = Saccs(world.entities, world.reviews, extractor, similarity, SaccsConfig())
+        saccs.build_index([SubjectiveTag.from_text(d.name) for d in world.dimensions[:6]])
+        results = saccs.answer("I want an italian restaurant in montreal with delicious food")
+        assert results
+        assert all(isinstance(entity_id, str) for entity_id, _ in results)
+
+    def test_oracle_saccs_beats_ir_on_short_queries(self, world):
+        similarity = ConceptualSimilarity(restaurant_lexicon())
+        crowd = CrowdSimulator(world)
+        table = crowd.build_sat_table()
+        saccs = Saccs(world.entities, world.reviews, OracleExtractor(), similarity, SaccsConfig())
+        dims = [d.name for d in world.dimensions]
+        saccs.build_index([SubjectiveTag.from_text(d) for d in dims])
+        ir = IRBaseline(world.entities, world.reviews, restaurant_lexicon())
+        all_ids = [e.entity_id for e in world.entities]
+        queries = [[d] for d in dims[:8]]
+        saccs_rankings = [
+            [e for e, _ in saccs.answer_tags([SubjectiveTag.from_text(d) for d in q])]
+            for q in queries
+        ]
+        ir_rankings = [[e for e, _ in ir.rank(q)] for q in queries]
+        saccs_score = mean_ndcg(queries, saccs_rankings, table.sat, all_ids)
+        ir_score = mean_ndcg(queries, ir_rankings, table.sat, all_ids)
+        assert saccs_score > ir_score
+
+    def test_adaptive_indexing_improves_unknown_tag_handling(self, world):
+        similarity = ConceptualSimilarity(restaurant_lexicon())
+        saccs = Saccs(world.entities, world.reviews, OracleExtractor(), similarity, SaccsConfig())
+        known = [SubjectiveTag.from_text(d.name) for d in world.dimensions[:6]]
+        saccs.build_index(known)
+        new_tag = SubjectiveTag.from_text(world.dimensions[10].name)
+        before = saccs.answer_tags([new_tag])
+        saccs.run_indexing_round()
+        assert new_tag in saccs.index
+        after = saccs.answer_tags([new_tag])
+        assert after  # exact mappings now available
+
+
+class TestPairingPipelineEndToEnd:
+    def test_weak_to_discriminative(self, encoder, trained_tagger):
+        train = build_pairing_dataset("hotels", num_sentences=80, seed=6)
+        test = build_pairing_dataset("restaurants", num_sentences=40, seed=8)
+        train_instances = instances_from_examples(train.examples)
+        test_instances = instances_from_examples(test.examples)
+        heads = select_attention_heads(
+            encoder, train_instances[:60], [e.label for e in train.examples][:60], top_k=3
+        )
+        parser = ChunkParser(PosLexicon(restaurant_lexicon()))
+        lfs = default_labeling_functions(encoder, parser, [(l, h) for l, h, _ in heads])
+        pipeline = PairingPipeline(
+            lfs, label_model="probabilistic", classifier=PairingClassifier(encoder, seed=2)
+        )
+        pipeline.fit(train_instances, epochs=10)
+        predictions = pipeline.predict(test_instances)
+        report = classification_report([e.label for e in test.examples], predictions)
+        assert report.accuracy > 0.6  # clearly above chance
+
+    def test_pipeline_without_classifier_rejects_fit(self, encoder):
+        parser = ChunkParser(PosLexicon(restaurant_lexicon()))
+        lfs = default_labeling_functions(encoder, parser, [(0, 0)])
+        pipeline = PairingPipeline(lfs)
+        with pytest.raises(ValueError):
+            pipeline.fit([])

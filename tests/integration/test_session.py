@@ -1,0 +1,109 @@
+"""Integration tests for multi-turn conversational sessions."""
+
+import numpy as np
+import pytest
+
+from repro.bert import PretrainPlan, pretrained_encoder
+from repro.core import (
+    ConversationSession,
+    HeuristicPairer,
+    OracleExtractor,
+    Saccs,
+    SaccsConfig,
+    SequenceTagger,
+    SubjectiveTag,
+    TagExtractor,
+    TaggerTrainer,
+    TaggerTrainingConfig,
+    TreePairingHeuristic,
+    UserProfile,
+)
+from repro.data import WorldConfig, build_tagging_dataset, build_world
+from repro.text import ChunkParser, ConceptualSimilarity, PosLexicon, restaurant_lexicon
+
+
+@pytest.fixture(scope="module")
+def saccs():
+    world = build_world(WorldConfig.small(num_entities=25, mean_reviews=10))
+    encoder = pretrained_encoder("restaurants", plan=PretrainPlan.quick(seed=31))
+    tagger = SequenceTagger(encoder, np.random.default_rng(0))
+    TaggerTrainer(tagger, TaggerTrainingConfig(epochs=8)).fit(
+        build_tagging_dataset("S1", scale=0.06, seed=6).train
+    )
+    parser = ChunkParser(PosLexicon(restaurant_lexicon()))
+    extractor = TagExtractor(
+        tagger, HeuristicPairer([TreePairingHeuristic(parser, direction="opinions")])
+    )
+    system = Saccs(
+        world.entities, world.reviews, extractor,
+        ConceptualSimilarity(restaurant_lexicon()), SaccsConfig(),
+    )
+    system.build_index([SubjectiveTag.from_text(d.name) for d in world.dimensions])
+    return system
+
+
+class TestConversationSession:
+    def test_requires_neural_extractor(self, saccs):
+        oracle_system = Saccs(
+            saccs.entities, saccs.reviews, OracleExtractor(), saccs.similarity, SaccsConfig()
+        )
+        with pytest.raises(TypeError):
+            ConversationSession(oracle_system)
+
+    def test_tags_accumulate_across_turns(self, saccs):
+        session = ConversationSession(saccs, top_k=5)
+        first = session.say("I want a restaurant in montreal with delicious food")
+        second = session.say("it should also have a nice staff")
+        assert first.results
+        assert second.results
+        assert len(session.active_tags) >= len(first.added_tags)
+        texts = {t.text for t in session.active_tags}
+        assert any("food" in t for t in texts)
+
+    def test_slots_persist(self, saccs):
+        session = ConversationSession(saccs, top_k=5)
+        session.say("find me an italian restaurant in montreal")
+        session.say("with quick service")
+        assert session.slots.get("cuisine") == "italian"
+        assert session.slots.get("city") == "montreal"
+
+    def test_retraction_removes_aspect(self, saccs):
+        session = ConversationSession(saccs, top_k=5)
+        session.say("a restaurant with delicious food and fair prices")
+        before = {t.aspect for t in session.active_tags}
+        if "prices" in before or "price" in before:
+            turn = session.say("actually the prices doesn't matter")
+            after = {t.aspect for t in session.active_tags}
+            assert not {"prices", "price"} & after
+            assert turn.removed_tags
+
+    def test_reset_clears_state(self, saccs):
+        session = ConversationSession(saccs, top_k=5)
+        session.say("a restaurant with delicious food")
+        session.say("start over")
+        assert session.active_tags == []
+        assert session.slots == {}
+
+    def test_profile_updates_on_queries(self, saccs):
+        profile = UserProfile("u1")
+        session = ConversationSession(
+            saccs, profile=profile,
+            dimension_of=lambda tag: "delicious food" if tag.aspect in ("food", "dishes") else None,
+            top_k=5,
+        )
+        session.say("a restaurant with really delicious food")
+        if any(t.aspect in ("food", "dishes") for t in session.active_tags):
+            assert profile.weight_of("delicious food") > 1.0
+
+    def test_state_summary_renders(self, saccs):
+        session = ConversationSession(saccs, top_k=3)
+        session.say("a restaurant with delicious food in montreal")
+        summary = session.state_summary()
+        assert "tags:" in summary
+        assert "slots:" in summary
+
+    def test_turn_log_grows(self, saccs):
+        session = ConversationSession(saccs, top_k=3)
+        session.say("a restaurant with a beautiful view")
+        session.say("and generous portions")
+        assert len(session.turns) == 2

@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SubjectiveTag, aggregate_scores, filter_and_rank
+from repro.core.filtering import FilterConfig
+from repro.nn.crf import LinearChainCRF
+from repro.nn.tensor import Tensor
+from repro.text.labels import LABELS, labels_to_spans, spans_to_labels
+from repro.utils.numerics import logsumexp, softmax
+from repro.weak import ABSTAIN, MajorityVoteModel
+
+# ---------------------------------------------------------------------------
+# numerics
+# ---------------------------------------------------------------------------
+
+finite_arrays = st.lists(
+    st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=1, max_size=12
+)
+
+
+@given(finite_arrays)
+def test_softmax_is_a_distribution(values):
+    probs = softmax(np.array(values))
+    assert np.all(probs >= 0)
+    assert np.isclose(probs.sum(), 1.0)
+
+
+@given(finite_arrays)
+def test_logsumexp_upper_bounds_max(values):
+    arr = np.array(values)
+    lse = logsumexp(arr, axis=0)
+    assert lse >= arr.max() - 1e-9
+    assert lse <= arr.max() + np.log(len(values)) + 1e-9
+
+
+@given(finite_arrays, st.floats(min_value=-20, max_value=20, allow_nan=False))
+def test_logsumexp_shift_invariance(values, shift):
+    arr = np.array(values)
+    assert np.isclose(logsumexp(arr + shift, axis=0), logsumexp(arr, axis=0) + shift, atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# autodiff
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=2, max_size=8),
+    st.lists(st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=2, max_size=8),
+)
+def test_addition_gradient_is_ones(a_values, b_values):
+    size = min(len(a_values), len(b_values))
+    a = Tensor(np.array(a_values[:size]), requires_grad=True)
+    b = Tensor(np.array(b_values[:size]), requires_grad=True)
+    (a + b).sum().backward()
+    np.testing.assert_allclose(a.grad, np.ones(size))
+    np.testing.assert_allclose(b.grad, np.ones(size))
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=5, allow_nan=False), min_size=1, max_size=8))
+def test_log_exp_roundtrip_gradient(values):
+    t = Tensor(np.array(values), requires_grad=True)
+    t.log().exp().sum().backward()  # identity composite: gradient == 1
+    np.testing.assert_allclose(t.grad, np.ones(len(values)), atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# IOB labels
+# ---------------------------------------------------------------------------
+
+label_sequences = st.lists(st.sampled_from(LABELS), min_size=1, max_size=24)
+
+
+@given(label_sequences)
+def test_labels_spans_roundtrip_is_canonicalising(labels):
+    """spans->labels of extracted spans reproduces itself (fixpoint)."""
+    aspects, opinions = labels_to_spans(labels)
+    canonical = spans_to_labels(len(labels), aspects, opinions)
+    aspects2, opinions2 = labels_to_spans(canonical)
+    assert aspects == aspects2
+    assert opinions == opinions2
+
+
+@given(label_sequences)
+def test_extracted_spans_are_disjoint_and_ordered(labels):
+    aspects, opinions = labels_to_spans(labels)
+    spans = sorted(aspects + opinions)
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2  # no overlap
+    for start, end in spans:
+        assert 0 <= start < end <= len(labels)
+
+
+# ---------------------------------------------------------------------------
+# subjective tags
+# ---------------------------------------------------------------------------
+
+words = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8)
+
+
+@given(words, words)
+def test_tag_text_parse_roundtrip(aspect, opinion):
+    tag = SubjectiveTag(aspect=aspect, opinion=opinion)
+    assert SubjectiveTag.from_text(tag.text) == tag
+
+
+@given(words, words)
+def test_tag_case_insensitivity(aspect, opinion):
+    assert SubjectiveTag(aspect.upper(), opinion.upper()) == SubjectiveTag(aspect, opinion)
+
+
+# ---------------------------------------------------------------------------
+# aggregation / filtering
+# ---------------------------------------------------------------------------
+
+scores_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=6
+)
+
+
+@given(scores_strategy)
+def test_aggregators_bounded_by_extremes(scores):
+    for method in ("mean", "product", "min"):
+        value = aggregate_scores(scores, method)
+        assert value <= max(scores) + 1e-12
+        assert method == "mean" or value <= min(scores) + 1e-12 or method == "product"
+
+
+@given(scores_strategy)
+def test_min_never_exceeds_mean(scores):
+    assert aggregate_scores(scores, "min") <= aggregate_scores(scores, "mean") + 1e-12
+
+
+@given(
+    st.dictionaries(st.sampled_from(["a", "b", "c", "d", "e"]),
+                    st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+                    min_size=1),
+    st.dictionaries(st.sampled_from(["a", "b", "c", "d", "e"]),
+                    st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+                    min_size=1),
+)
+def test_filter_and_rank_outputs_sorted_and_within_api(set_a, set_b):
+    api = ["a", "b", "c", "d", "e"]
+    result = filter_and_rank(api, [set_a, set_b], FilterConfig(top_k=None))
+    ids = [entity for entity, _ in result]
+    scores = [score for _, score in result]
+    assert scores == sorted(scores, reverse=True)
+    assert set(ids) <= set(api)
+    # every returned entity matched at least one tag set
+    for entity in ids:
+        assert entity in set_a or entity in set_b
+
+
+@given(
+    st.lists(st.sampled_from([0, 1, ABSTAIN]), min_size=3, max_size=3),
+)
+def test_majority_vote_single_row_consistency(votes):
+    row = np.array([votes])
+    predicted = MajorityVoteModel(tie_break=0).predict(row)[0]
+    ones = votes.count(1)
+    zeros = votes.count(0)
+    if ones > zeros:
+        assert predicted == 1
+    elif zeros > ones:
+        assert predicted == 0
+    else:
+        assert predicted == 0  # tie break
+
+
+# ---------------------------------------------------------------------------
+# CRF decode consistency
+# ---------------------------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=2, max_value=4), st.integers(0, 10_000))
+def test_crf_decode_scores_at_least_gold_path(steps, num_labels, seed):
+    """Viterbi's path score must be >= the score of any fixed path."""
+    rng = np.random.default_rng(seed)
+    crf = LinearChainCRF(num_labels, rng)
+    emissions = rng.normal(size=(1, steps, num_labels))
+
+    def path_score(path):
+        s = crf.start.data[path[0]] + emissions[0, 0, path[0]]
+        for t in range(1, steps):
+            s += crf.transitions.data[path[t - 1], path[t]] + emissions[0, t, path[t]]
+        return s + crf.end.data[path[-1]]
+
+    best = crf.decode(emissions)[0]
+    random_path = list(rng.integers(0, num_labels, size=steps))
+    assert path_score(best) >= path_score(random_path) - 1e-9

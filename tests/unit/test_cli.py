@@ -1,0 +1,75 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_world_generate_defaults(self):
+        args = build_parser().parse_args(["world", "generate", "--out", "w.json"])
+        assert args.entities == 60
+        assert not args.fraud
+
+    def test_search_requires_tags(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--world", "w", "--index", "i"])
+
+
+class TestCommands:
+    def test_full_workflow(self, tmp_path, capsys):
+        world_path = str(tmp_path / "world.json")
+        index_path = str(tmp_path / "index.json")
+        assert main(["world", "generate", "--entities", "10", "--reviews", "5",
+                     "--out", world_path]) == 0
+        assert main(["world", "show", "--path", world_path]) == 0
+        assert main(["index", "build", "--world", world_path, "--out", index_path]) == 0
+        assert main(["search", "--world", world_path, "--index", index_path,
+                     "delicious food"]) == 0
+        output = capsys.readouterr().out
+        assert "query: delicious food" in output
+        assert "indexed 18 tags" in output
+
+    def test_fraud_flag_injects(self, tmp_path, capsys):
+        world_path = str(tmp_path / "world.json")
+        main(["world", "generate", "--entities", "10", "--reviews", "5",
+              "--fraud", "--out", world_path])
+        assert "fraud campaigns" in capsys.readouterr().out
+
+    def test_custom_tags_index(self, tmp_path, capsys):
+        world_path = str(tmp_path / "world.json")
+        index_path = str(tmp_path / "index.json")
+        main(["world", "generate", "--entities", "8", "--reviews", "4", "--out", world_path])
+        main(["index", "build", "--world", world_path, "--out", index_path,
+              "--tags", "delicious food", "nice staff"])
+        assert "indexed 2 tags" in capsys.readouterr().out
+        payload = json.loads((tmp_path / "index.json").read_text())
+        assert set(payload["entries"]) == {"delicious food", "nice staff"}
+
+    def test_unindexed_tag_combines_similar(self, tmp_path, capsys):
+        world_path = str(tmp_path / "world.json")
+        index_path = str(tmp_path / "index.json")
+        main(["world", "generate", "--entities", "8", "--reviews", "4", "--out", world_path])
+        main(["index", "build", "--world", world_path, "--out", index_path,
+              "--tags", "delicious food"])
+        main(["search", "--world", world_path, "--index", index_path, "tasty pasta"])
+        assert "combined similar tags" in capsys.readouterr().out
+
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for key in ("S1", "S2", "S3", "S4"):
+            assert key in out
+
+    def test_dynamic_theta_mode(self, tmp_path, capsys):
+        world_path = str(tmp_path / "world.json")
+        index_path = str(tmp_path / "index.json")
+        main(["world", "generate", "--entities", "8", "--reviews", "4", "--out", world_path])
+        assert main(["index", "build", "--world", world_path, "--out", index_path,
+                     "--theta-mode", "dynamic", "--tags", "delicious food"]) == 0

@@ -1,0 +1,157 @@
+"""Unit tests for the benchmark-hardening data paths.
+
+Covers the features that keep the synthetic benchmarks off the ceiling:
+vocabulary holdout, annotation noise, test-time typo shift, neutral
+copular sentences, and internal-punctuation dropping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import LabeledSentence, NoiseConfig, apply_noise, build_tagging_dataset
+from repro.data.realize import (
+    _NEUTRAL_COMPLEMENTS,
+    RealizerConfig,
+    SentenceRealizer,
+    axes_from_lexicon,
+)
+from repro.data.semeval import DATASET_SPECS, _corrupt_annotations, _holdout_axes
+from repro.text import restaurant_lexicon
+from repro.text.labels import labels_to_spans
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture(scope="module")
+def realizer():
+    lexicon = restaurant_lexicon()
+    return SentenceRealizer(lexicon, axes_from_lexicon(lexicon), RealizerConfig(), new_rng(3))
+
+
+class TestNeutralSentences:
+    def test_all_labels_o_except_aspect(self, realizer):
+        for _ in range(20):
+            sentence = realizer.neutral_predicate_sentence()
+            aspects, opinions = labels_to_spans(sentence.labels)
+            assert len(aspects) == 1
+            assert opinions == []
+            assert sentence.pairs == []
+
+    def test_complement_is_neutral_vocab(self, realizer):
+        lexicon = restaurant_lexicon()
+        opinion_words = set(lexicon.opinion_index())
+        for _ in range(30):
+            sentence = realizer.neutral_predicate_sentence()
+            # no token outside the aspect span is a known opinion word
+            aspects, _ = labels_to_spans(sentence.labels)
+            (start, end), = aspects
+            rest = [t for i, t in enumerate(sentence.tokens) if not start <= i < end]
+            assert not any(t in opinion_words for t in rest), sentence.tokens
+
+    def test_no_mentions(self, realizer):
+        assert realizer.neutral_predicate_sentence().mentions == {}
+
+
+class TestHoldout:
+    def test_reduces_pools_but_keeps_axes_realisable(self):
+        lexicon = restaurant_lexicon()
+        axes = axes_from_lexicon(lexicon)
+        reduced = _holdout_axes(axes, 0.5, new_rng(0))
+        assert len(reduced) == len(axes)
+        total_before = sum(len(a.positive) + len(a.negative) for a in axes)
+        total_after = sum(len(a.positive) + len(a.negative) for a in reduced)
+        assert total_after < total_before
+        for axis in reduced:
+            assert axis.aspect_surfaces
+            assert axis.positive or axis.negative
+
+    def test_zero_fraction_is_identity(self):
+        lexicon = restaurant_lexicon()
+        axes = axes_from_lexicon(lexicon)
+        same = _holdout_axes(axes, 0.0, new_rng(0))
+        assert [a.positive for a in same] == [a.positive for a in axes]
+
+    def test_test_split_contains_unseen_words(self):
+        dataset = build_tagging_dataset("S4", scale=0.3, seed=11)
+        train_vocab = {t for s in dataset.train for t in s.tokens}
+        test_vocab = {t for s in dataset.test for t in s.tokens}
+        assert test_vocab - train_vocab  # holdout leaks new words into test
+
+
+class TestAnnotationNoise:
+    def make_sentence(self):
+        return LabeledSentence(
+            tokens="the food is delicious and the staff is friendly .".split(),
+            labels=["O", "B-AS", "O", "B-OP", "O", "O", "B-AS", "O", "B-OP", "O"],
+            pairs=[((1, 2), (3, 4)), ((6, 7), (8, 9))],
+        )
+
+    def test_noise_zero_is_identity(self):
+        sentence = self.make_sentence()
+        assert _corrupt_annotations(sentence, 0.0, new_rng(0)).labels == sentence.labels
+
+    def test_full_noise_changes_labels(self):
+        sentence = self.make_sentence()
+        rng = new_rng(1)
+        changed = sum(
+            _corrupt_annotations(sentence, 1.0, rng).labels != sentence.labels
+            for _ in range(10)
+        )
+        assert changed >= 8
+
+    def test_corruption_keeps_wellformed_labels(self):
+        sentence = self.make_sentence()
+        rng = new_rng(2)
+        for _ in range(50):
+            corrupted = _corrupt_annotations(sentence, 0.7, rng)
+            assert len(corrupted.labels) == len(corrupted.tokens)
+            labels_to_spans(corrupted.labels)  # must not raise
+
+    def test_pairs_pruned_with_spans(self):
+        sentence = self.make_sentence()
+        rng = new_rng(3)
+        for _ in range(50):
+            corrupted = _corrupt_annotations(sentence, 1.0, rng)
+            aspects, opinions = labels_to_spans(corrupted.labels)
+            for a, o in corrupted.pairs:
+                assert a in aspects
+                assert o in opinions
+
+    def test_train_split_noisier_than_test(self):
+        dataset = build_tagging_dataset("S3", scale=0.2, seed=5)
+        spec = DATASET_SPECS["S3"]
+        assert spec.annotation_noise > 0
+        # test typo multiplier produces more corrupted tokens in test text
+        assert spec.test_typo_multiplier > 1.0
+
+
+class TestInternalPunctDrop:
+    def test_spans_remap(self):
+        sentence = LabeledSentence(
+            tokens="the food is good . the staff is nice .".split(),
+            labels=["O", "B-AS", "O", "B-OP", "O", "O", "B-AS", "O", "B-OP", "O"],
+            pairs=[((1, 2), (3, 4)), ((6, 7), (8, 9))],
+        )
+        config = NoiseConfig(typo_prob=0.0, drop_final_punct_prob=0.0, drop_internal_punct_prob=1.0)
+        noisy = apply_noise(sentence, config, new_rng(0))
+        assert "." not in noisy.tokens[:-1]
+        for (a_start, a_end), (o_start, o_end) in noisy.pairs:
+            assert noisy.labels[a_start].startswith("B-AS")
+            assert noisy.labels[o_start].startswith("B-OP")
+
+
+class TestBenchCommon:
+    def test_env_overrides(self, monkeypatch):
+        from benchmarks import common
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        monkeypatch.setenv("REPRO_BENCH_EPOCHS", "3")
+        assert common.bench_scale() == 0.5
+        assert common.bench_epochs() == 3
+
+    def test_print_table(self, capsys):
+        from benchmarks.common import print_table
+
+        print_table("T", ["a", "b"], [["x", 1], ["yy", 22]])
+        out = capsys.readouterr().out
+        assert "=== T ===" in out
+        assert "yy" in out

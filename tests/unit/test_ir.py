@@ -1,0 +1,161 @@
+"""Unit tests for BM25, query expansion and ranking metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ir import Bm25Index, QueryExpander, dcg, mean_ndcg, ndcg
+from repro.text import restaurant_lexicon
+
+
+def build_index():
+    index = Bm25Index()
+    index.add_document("d1", "the food was delicious and tasty".split())
+    index.add_document("d2", "the staff was friendly".split())
+    index.add_document("d3", "delicious delicious delicious food".split())
+    index.add_document("d4", "parking was easy".split())
+    return index.finalize()
+
+
+class TestBm25:
+    def test_relevant_doc_ranks_first(self):
+        index = build_index()
+        ranked = index.rank(["delicious", "food"])
+        assert ranked[0][0] in {"d1", "d3"}
+        assert "d4" not in [doc for doc, _ in ranked]
+
+    def test_term_frequency_saturation(self):
+        index = build_index()
+        scores = index.score(["delicious"])
+        # d3 has tf=3 vs d1 tf=1: higher, but less than 3x (saturation).
+        assert scores["d3"] > scores["d1"]
+        assert scores["d3"] < 3 * scores["d1"]
+
+    def test_idf_rare_terms_weigh_more(self):
+        index = build_index()
+        assert index.idf("parking") > index.idf("the")
+
+    def test_weighted_query(self):
+        index = build_index()
+        plain = index.score({"friendly": 1.0})
+        halved = index.score({"friendly": 0.5})
+        assert halved["d2"] == pytest.approx(plain["d2"] * 0.5)
+
+    def test_query_before_finalize_raises(self):
+        index = Bm25Index()
+        index.add_document("d", ["x"])
+        with pytest.raises(RuntimeError):
+            index.score(["x"])
+
+    def test_duplicate_doc_id_raises(self):
+        index = Bm25Index()
+        index.add_document("d", ["x"])
+        with pytest.raises(KeyError):
+            index.add_document("d", ["y"])
+
+    def test_empty_index_cannot_finalize(self):
+        with pytest.raises(RuntimeError):
+            Bm25Index().finalize()
+
+    def test_case_insensitive(self):
+        index = Bm25Index()
+        index.add_document("d", ["Food"])
+        index.finalize()
+        assert index.score(["food"])["d"] > 0
+
+    def test_top_k(self):
+        index = build_index()
+        assert len(index.rank(["delicious", "friendly"], top_k=2)) == 2
+
+
+class TestQueryExpansion:
+    @pytest.fixture(scope="class")
+    def expander(self):
+        return QueryExpander(restaurant_lexicon())
+
+    def test_aspect_expands_to_synonym_surfaces(self, expander):
+        expansion = expander.expand_term("food")
+        assert expansion["food"] == 1.0
+        # other surfaces of the same concept get weight 1.0
+        assert expansion.get("dishes", 0) > 0.9
+
+    def test_opinion_expands_to_near_synonyms(self, expander):
+        expansion = expander.expand_term("delicious")
+        assert "tasty" in expansion
+        assert 0 < expansion["tasty"] <= 1.0
+
+    def test_unknown_term_kept_alone(self, expander):
+        assert expander.expand_term("zzz") == {"zzz": 1.0}
+
+    def test_expansion_bounded(self, expander):
+        for term in ("delicious", "food", "staff"):
+            assert len(expander.expand_term(term)) <= 2 + expander.max_expansions * 2
+
+    def test_expanded_query_improves_recall(self, expander):
+        # The document says "tasty", the query says "delicious": only the
+        # expanded query should find it.
+        index = Bm25Index()
+        index.add_document("d", "the meal was tasty".split())
+        index.add_document("noise", "we parked outside".split())
+        index.finalize()
+        plain = index.score(["delicious"])
+        expanded = index.score(expander.expand_query(["delicious"]))
+        assert "d" not in plain
+        assert expanded.get("d", 0) > 0
+
+    def test_query_merge_keeps_max_weight(self, expander):
+        merged = expander.expand_query(["delicious", "tasty"])
+        assert merged["delicious"] == 1.0
+        assert merged["tasty"] == 1.0
+
+
+class TestRankingMetrics:
+    def sat_fn(self, table):
+        return lambda q, e: table[(q, e)]
+
+    def test_dcg_positional_discount(self):
+        table = {("t", "a"): 1.0, ("t", "b"): 0.0}
+        sat = self.sat_fn(table)
+        good = dcg(["t"], ["a", "b"], sat)
+        bad = dcg(["t"], ["b", "a"], sat)
+        assert good > bad
+        assert good == pytest.approx((2**1 - 1) / math.log2(2) + 0.0)
+
+    def test_ndcg_perfect_is_one(self):
+        table = {("t", e): s for e, s in [("a", 0.9), ("b", 0.5), ("c", 0.1)]}
+        sat = self.sat_fn(table)
+        assert ndcg(["t"], ["a", "b", "c"], sat, ["a", "b", "c"]) == pytest.approx(1.0)
+
+    def test_ndcg_worst_below_one(self):
+        table = {("t", e): s for e, s in [("a", 0.9), ("b", 0.5), ("c", 0.1)]}
+        sat = self.sat_fn(table)
+        assert ndcg(["t"], ["c", "b", "a"], sat, ["a", "b", "c"]) < 1.0
+
+    def test_multi_tag_mean_gain(self):
+        table = {("t1", "a"): 1.0, ("t2", "a"): 0.0}
+        sat = self.sat_fn(table)
+        # gain should use mean sat = 0.5
+        assert dcg(["t1", "t2"], ["a"], sat) == pytest.approx(2**0.5 - 1)
+
+    def test_top_k_cuts_ranking(self):
+        table = {("t", e): s for e, s in [("a", 1.0), ("b", 0.9), ("c", 0.8)]}
+        sat = self.sat_fn(table)
+        full = ndcg(["t"], ["c", "a", "b"], sat, ["a", "b", "c"], top_k=1)
+        assert full < 1.0  # only "c" counted, ideal is "a"
+
+    def test_empty_query_raises(self):
+        with pytest.raises(ValueError):
+            dcg([], ["a"], lambda q, e: 1.0)
+
+    def test_mean_ndcg_alignment_check(self):
+        with pytest.raises(ValueError):
+            mean_ndcg([["t"]], [], lambda q, e: 1.0, ["a"])
+
+    def test_mean_ndcg_averages(self):
+        table = {("t", "a"): 1.0, ("t", "b"): 0.0}
+        sat = self.sat_fn(table)
+        score = mean_ndcg([["t"], ["t"]], [["a", "b"], ["b", "a"]], sat, ["a", "b"])
+        single_good = ndcg(["t"], ["a", "b"], sat, ["a", "b"])
+        single_bad = ndcg(["t"], ["b", "a"], sat, ["a", "b"])
+        assert score == pytest.approx((single_good + single_bad) / 2)

@@ -1,0 +1,295 @@
+"""Unit tests for layers, functional ops, modules, optimisers, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    SGD,
+    Sequential,
+    Tanh,
+    Tensor,
+    clip_grad_norm,
+)
+from repro.nn import functional as F
+from repro.nn.serialization import arrays_to_state, state_to_arrays
+from repro.utils.numerics import softmax as np_softmax
+
+
+RNG = np.random.default_rng(11)
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(4, 6, RNG)
+        out = layer(Tensor(RNG.normal(size=(2, 3, 4))))
+        assert out.shape == (2, 3, 6)
+
+    def test_no_bias(self):
+        layer = Linear(4, 2, RNG, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_matches_manual_affine(self):
+        layer = Linear(3, 2, RNG)
+        x = RNG.normal(size=(5, 3))
+        out = layer(Tensor(x))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_gradients_flow_to_params(self):
+        layer = Linear(3, 2, RNG)
+        out = layer(Tensor(RNG.normal(size=(4, 3))))
+        (out**2).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4, RNG)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_grad_accumulates_on_repeated_ids(self):
+        emb = Embedding(5, 3, RNG)
+        out = emb(np.array([1, 1, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], np.full(3, 2.0))
+        np.testing.assert_allclose(emb.weight.grad[0], np.zeros(3))
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        ln = LayerNorm(8)
+        x = RNG.normal(size=(4, 8)) * 3 + 5
+        out = ln(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradcheck(self):
+        ln = LayerNorm(5)
+        x = Tensor(RNG.normal(size=(2, 5)), requires_grad=True)
+        ln(x).sum().backward()
+        # gradient of sum of normalised outputs wrt input: finite-difference check
+        eps = 1e-6
+        num = np.zeros_like(x.data)
+        for i in np.ndindex(*x.shape):
+            xp = x.data.copy()
+            xp[i] += eps
+            xm = x.data.copy()
+            xm[i] -= eps
+            num[i] = (ln(Tensor(xp)).sum().item() - ln(Tensor(xm)).sum().item()) / (2 * eps)
+        np.testing.assert_allclose(x.grad, num, atol=1e-4)
+
+
+class TestDropout:
+    def test_identity_in_eval(self):
+        drop = Dropout(0.5, np.random.default_rng(0))
+        drop.eval()
+        x = Tensor(RNG.normal(size=(10,)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_scales_kept_units(self):
+        drop = Dropout(0.5, np.random.default_rng(0))
+        drop.train()
+        x = Tensor(np.ones((2000,)))
+        out = drop(x).data
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.4 < kept.size / 2000 < 0.6
+
+    def test_zero_p_is_identity(self):
+        drop = Dropout(0.0, np.random.default_rng(0))
+        x = Tensor(RNG.normal(size=(5,)))
+        assert drop(x) is x
+
+
+class TestFunctional:
+    def test_softmax_matches_numpy(self):
+        x = RNG.normal(size=(3, 5))
+        np.testing.assert_allclose(F.softmax(Tensor(x)).data, np_softmax(x), atol=1e-12)
+
+    def test_log_softmax_normalised(self):
+        x = RNG.normal(size=(4, 6))
+        out = F.log_softmax(Tensor(x)).data
+        np.testing.assert_allclose(np.exp(out).sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((2, 4)))
+        loss = F.cross_entropy(logits, np.array([0, 3]))
+        np.testing.assert_allclose(loss.item(), np.log(4), atol=1e-9)
+
+    def test_cross_entropy_masked(self):
+        logits = Tensor(RNG.normal(size=(2, 3, 4)), requires_grad=True)
+        targets = np.zeros((2, 3), dtype=int)
+        mask = np.array([[1, 1, 0], [1, 0, 0]])
+        loss = F.cross_entropy(logits, targets, mask=mask)
+        loss.backward()
+        # masked positions must receive zero gradient
+        np.testing.assert_allclose(logits.grad[0, 2], 0.0)
+        np.testing.assert_allclose(logits.grad[1, 1], 0.0)
+        assert np.abs(logits.grad[0, 0]).sum() > 0
+
+    def test_bce_with_logits_matches_reference(self):
+        x = RNG.normal(size=(8,)) * 3
+        y = (RNG.random(8) > 0.5).astype(float)
+        loss = F.binary_cross_entropy_with_logits(Tensor(x), y).item()
+        p = 1 / (1 + np.exp(-x))
+        ref = -(y * np.log(p) + (1 - y) * np.log(1 - p)).mean()
+        np.testing.assert_allclose(loss, ref, atol=1e-9)
+
+    def test_bce_gradcheck(self):
+        y = np.array([1.0, 0.0, 1.0])
+        x0 = RNG.normal(size=(3,))
+        t = Tensor(x0.copy(), requires_grad=True)
+        F.binary_cross_entropy_with_logits(t, y).backward()
+        p = 1 / (1 + np.exp(-x0))
+        np.testing.assert_allclose(t.grad, (p - y) / 3, atol=1e-8)
+
+    def test_masked_fill(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [False, False]])
+        out = F.masked_fill(x, mask, -1e9)
+        assert out.data[0, 0] == -1e9
+        out.sum().backward()
+        assert x.grad[0, 0] == 0.0
+        assert x.grad[1, 1] == 1.0
+
+
+class TestModule:
+    def test_named_parameters_nested(self):
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.zeros(2))
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Inner()
+                self.blocks = [Inner(), Inner()]
+
+        names = dict(Outer().named_parameters())
+        assert set(names) == {"inner.w", "blocks.0.w", "blocks.1.w"}
+
+    def test_train_eval_recursive(self):
+        seq = Sequential([Dropout(0.5, np.random.default_rng(0)), Tanh()])
+        seq.eval()
+        assert not seq.steps[0].training
+        seq.train()
+        assert seq.steps[0].training
+
+    def test_state_dict_roundtrip(self):
+        layer = Linear(3, 2, RNG)
+        state = layer.state_dict()
+        layer2 = Linear(3, 2, np.random.default_rng(99))
+        layer2.load_state_dict(state)
+        np.testing.assert_allclose(layer2.weight.data, layer.weight.data)
+
+    def test_load_state_dict_strict(self):
+        layer = Linear(3, 2, RNG)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": np.zeros((2, 3))})  # missing bias
+        with pytest.raises(ValueError):
+            layer.load_state_dict({"weight": np.zeros((9, 9)), "bias": np.zeros(2)})
+
+    def test_state_name_mangling_roundtrip(self):
+        state = {"a.b.c": np.ones(2), "plain": np.zeros(1)}
+        assert arrays_to_state(state_to_arrays(state)).keys() == state.keys()
+
+
+class TestOptim:
+    def _quadratic_problem(self):
+        target = np.array([3.0, -2.0])
+        p = Parameter(np.zeros(2))
+
+        def loss():
+            return ((p - target) ** 2).sum()
+
+        return p, target, loss
+
+    def test_sgd_converges(self):
+        p, target, loss = self._quadratic_problem()
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-4)
+
+    def test_sgd_momentum_converges(self):
+        p, target, loss = self._quadratic_problem()
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        p, target, loss = self._quadratic_problem()
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 10.0
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        pre = clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(pre, 20.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0, atol=1e-9)
+
+    def test_clip_noop_below_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        clip_grad_norm([p], max_norm=5.0)
+        np.testing.assert_allclose(p.grad, [0.1, 0.1])
+
+
+class TestWeightedBce:
+    def test_pos_weight_gradient(self):
+        """Weighted BCE gradient: dL/dx_i = w_i (sigmoid(x_i) - y_i) / sum(w)."""
+        y = np.array([1.0, 0.0])
+        t = Tensor(np.array([0.3, -0.2]), requires_grad=True)
+        F.binary_cross_entropy_with_logits(t, y, pos_weight=3.0).backward()
+        p = 1 / (1 + np.exp(-t.data))
+        manual = np.array([3 * (p[0] - 1), 1 * (p[1] - 0)]) / 4
+        np.testing.assert_allclose(t.grad, manual, atol=1e-10)
+
+    def test_pos_weight_one_matches_plain(self):
+        rng = np.random.default_rng(0)
+        y = (rng.random(6) > 0.5).astype(float)
+        x = rng.normal(size=6)
+        plain = F.binary_cross_entropy_with_logits(Tensor(x), y).item()
+        weighted = F.binary_cross_entropy_with_logits(Tensor(x), y, pos_weight=1.0).item()
+        assert plain == pytest.approx(weighted)
+
+    def test_pos_weight_emphasises_positive_errors(self):
+        y = np.array([1.0])
+        x = Tensor(np.array([-2.0]))  # confident wrong on a positive
+        light = F.binary_cross_entropy_with_logits(x, y, pos_weight=1.0).item()
+        heavy = F.binary_cross_entropy_with_logits(x, y, pos_weight=5.0).item()
+        assert heavy == pytest.approx(light)  # single-example mean is invariant
+        # with a negative example present, the positive error dominates
+        y2 = np.array([1.0, 0.0])
+        x2 = Tensor(np.array([-2.0, -2.0]))
+        light2 = F.binary_cross_entropy_with_logits(x2, y2, pos_weight=1.0).item()
+        heavy2 = F.binary_cross_entropy_with_logits(x2, y2, pos_weight=5.0).item()
+        assert heavy2 > light2

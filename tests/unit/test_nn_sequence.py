@@ -1,0 +1,251 @@
+"""Unit tests for LSTM/BiLSTM, attention, transformer and the CRF layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BiLSTM,
+    LSTM,
+    LinearChainCRF,
+    MultiHeadSelfAttention,
+    Tensor,
+    TransformerEncoder,
+)
+from repro.nn import functional as F
+from repro.utils.numerics import logsumexp
+
+RNG = np.random.default_rng(13)
+
+
+class TestLSTM:
+    def test_output_shape(self):
+        lstm = LSTM(4, 6, RNG)
+        out = lstm(Tensor(RNG.normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 6)
+
+    def test_mask_freezes_state(self):
+        lstm = LSTM(3, 4, RNG)
+        x = RNG.normal(size=(1, 4, 3))
+        mask = np.array([[1, 1, 0, 0]])
+        out = lstm(Tensor(x), mask=mask).data
+        # after masking, the hidden state must stay at its step-1 value
+        np.testing.assert_allclose(out[0, 2], out[0, 1])
+        np.testing.assert_allclose(out[0, 3], out[0, 1])
+
+    def test_padding_does_not_change_valid_outputs(self):
+        lstm = LSTM(3, 4, RNG)
+        x_short = RNG.normal(size=(1, 3, 3))
+        x_padded = np.concatenate([x_short, RNG.normal(size=(1, 2, 3))], axis=1)
+        out_short = lstm(Tensor(x_short)).data
+        mask = np.array([[1, 1, 1, 0, 0]])
+        out_padded = lstm(Tensor(x_padded), mask=mask).data
+        np.testing.assert_allclose(out_padded[:, :3], out_short, atol=1e-12)
+
+    def test_reverse_matches_manual_flip(self):
+        lstm = LSTM(2, 3, RNG)
+        x = RNG.normal(size=(1, 4, 2))
+        out_rev = lstm(Tensor(x), reverse=True).data
+        out_flip = lstm(Tensor(x[:, ::-1].copy())).data[:, ::-1]
+        np.testing.assert_allclose(out_rev, out_flip, atol=1e-12)
+
+    def test_gradients_reach_all_weights(self):
+        lstm = LSTM(3, 4, RNG)
+        out = lstm(Tensor(RNG.normal(size=(2, 4, 3))))
+        (out**2).sum().backward()
+        for name, p in lstm.named_parameters():
+            assert p.grad is not None, name
+            assert np.abs(p.grad).sum() > 0, name
+
+    def test_can_learn_last_token_sign(self):
+        # Tiny sanity task: predict sign of the last input scalar.
+        rng = np.random.default_rng(0)
+        lstm = LSTM(1, 8, rng)
+        from repro.nn import Linear
+
+        head = Linear(8, 1, rng)
+        params = lstm.parameters() + head.parameters()
+        opt = Adam(params, lr=0.02)
+        for _ in range(120):
+            x = rng.normal(size=(16, 5, 1))
+            y = (x[:, -1, 0] > 0).astype(float)
+            opt.zero_grad()
+            hidden = lstm(Tensor(x))
+            logits = head(hidden[:, -1, :]).reshape(16)
+            loss = F.binary_cross_entropy_with_logits(logits, y)
+            loss.backward()
+            opt.step()
+        x = rng.normal(size=(64, 5, 1))
+        y = (x[:, -1, 0] > 0).astype(float)
+        pred = (head(lstm(Tensor(x))[:, -1, :]).data.reshape(-1) > 0).astype(float)
+        assert (pred == y).mean() > 0.9
+
+
+class TestBiLSTM:
+    def test_output_is_concat(self):
+        bi = BiLSTM(3, 5, RNG)
+        out = bi(Tensor(RNG.normal(size=(2, 4, 3))))
+        assert out.shape == (2, 4, 10)
+
+    def test_directions_independent(self):
+        bi = BiLSTM(2, 3, RNG)
+        x = RNG.normal(size=(1, 4, 2))
+        out = bi(Tensor(x)).data
+        fwd = bi.forward_lstm(Tensor(x)).data
+        bwd = bi.backward_lstm(Tensor(x), reverse=True).data
+        np.testing.assert_allclose(out[..., :3], fwd)
+        np.testing.assert_allclose(out[..., 3:], bwd)
+
+
+class TestAttention:
+    def test_output_shape_and_attention_stored(self):
+        attn = MultiHeadSelfAttention(8, 2, RNG)
+        out = attn(Tensor(RNG.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+        assert attn.last_attention.shape == (2, 2, 5, 5)
+
+    def test_attention_rows_sum_to_one(self):
+        attn = MultiHeadSelfAttention(8, 4, RNG)
+        attn(Tensor(RNG.normal(size=(3, 6, 8))))
+        np.testing.assert_allclose(attn.last_attention.sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_padding_receives_no_attention(self):
+        attn = MultiHeadSelfAttention(8, 2, RNG)
+        mask = np.array([[1, 1, 1, 0, 0]])
+        attn(Tensor(RNG.normal(size=(1, 5, 8))), mask=mask)
+        assert attn.last_attention[0, :, :, 3:].max() < 1e-6
+
+    def test_invalid_head_split_raises(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3, RNG)
+
+    def test_gradients_flow(self):
+        attn = MultiHeadSelfAttention(4, 2, RNG)
+        x = Tensor(RNG.normal(size=(1, 3, 4)), requires_grad=True)
+        (attn(x) ** 2).sum().backward()
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestTransformer:
+    def test_stack_shapes_and_maps(self):
+        enc = TransformerEncoder(3, 8, 2, 16, RNG, dropout=0.0)
+        out = enc(Tensor(RNG.normal(size=(2, 4, 8))))
+        assert out.shape == (2, 4, 8)
+        maps = enc.attention_maps()
+        assert len(maps) == 3
+        assert all(m.shape == (2, 2, 4, 4) for m in maps)
+
+    def test_eval_deterministic_with_dropout_configured(self):
+        enc = TransformerEncoder(1, 8, 2, 16, np.random.default_rng(5), dropout=0.5)
+        enc.eval()
+        x = RNG.normal(size=(1, 3, 8))
+        out1 = enc(Tensor(x)).data
+        out2 = enc(Tensor(x)).data
+        np.testing.assert_allclose(out1, out2)
+
+
+class TestCRF:
+    def _brute_force_partition(self, crf, emissions):
+        """Enumerate all label paths for a single short sequence."""
+        steps, num_labels = emissions.shape
+        import itertools
+
+        scores = []
+        for path in itertools.product(range(num_labels), repeat=steps):
+            s = crf.start.data[path[0]] + emissions[0, path[0]]
+            for t in range(1, steps):
+                s += crf.transitions.data[path[t - 1], path[t]] + emissions[t, path[t]]
+            s += crf.end.data[path[-1]]
+            scores.append(s)
+        return logsumexp(np.array(scores), axis=0)
+
+    def test_partition_matches_brute_force(self):
+        crf = LinearChainCRF(3, RNG)
+        emissions = RNG.normal(size=(1, 4, 3))
+        partition = crf._partition(Tensor(emissions), np.ones((1, 4))).data[0]
+        expected = self._brute_force_partition(crf, emissions[0])
+        np.testing.assert_allclose(partition, expected, atol=1e-8)
+
+    def test_nll_positive_and_prob_normalised(self):
+        crf = LinearChainCRF(3, RNG)
+        emissions = RNG.normal(size=(2, 5, 3))
+        tags = RNG.integers(0, 3, size=(2, 5))
+        nll = crf.neg_log_likelihood(Tensor(emissions), tags)
+        assert nll.item() > 0  # -log p, p < 1
+
+    def test_decode_matches_brute_force(self):
+        import itertools
+
+        crf = LinearChainCRF(3, RNG)
+        emissions = RNG.normal(size=(1, 4, 3))
+        decoded = crf.decode(emissions)[0]
+        best_score, best_path = -np.inf, None
+        for path in itertools.product(range(3), repeat=4):
+            s = crf.start.data[path[0]] + emissions[0, 0, path[0]]
+            for t in range(1, 4):
+                s += crf.transitions.data[path[t - 1], path[t]] + emissions[0, t, path[t]]
+            s += crf.end.data[path[-1]]
+            if s > best_score:
+                best_score, best_path = s, list(path)
+        assert decoded == best_path
+
+    def test_decode_respects_mask_length(self):
+        crf = LinearChainCRF(3, RNG)
+        emissions = RNG.normal(size=(2, 6, 3))
+        mask = np.zeros((2, 6))
+        mask[0, :4] = 1
+        mask[1, :2] = 1
+        paths = crf.decode(emissions, mask=mask)
+        assert len(paths[0]) == 4
+        assert len(paths[1]) == 2
+
+    def test_full_beam_equals_exact(self):
+        crf = LinearChainCRF(4, RNG)
+        emissions = RNG.normal(size=(3, 5, 4))
+        exact = crf.decode(emissions)
+        beamed = crf.decode(emissions, beam=4)
+        assert exact == beamed
+
+    def test_narrow_beam_still_valid_labels(self):
+        crf = LinearChainCRF(5, RNG)
+        emissions = RNG.normal(size=(2, 6, 5))
+        paths = crf.decode(emissions, beam=2)
+        assert all(0 <= label < 5 for path in paths for label in path)
+
+    def test_training_reduces_nll(self):
+        rng = np.random.default_rng(3)
+        crf = LinearChainCRF(3, rng)
+        emissions = rng.normal(size=(4, 6, 3))
+        tags = rng.integers(0, 3, size=(4, 6))
+        opt = Adam(crf.parameters(), lr=0.05)
+        first = None
+        for _ in range(30):
+            opt.zero_grad()
+            nll = crf.neg_log_likelihood(Tensor(emissions), tags)
+            if first is None:
+                first = nll.item()
+            nll.backward()
+            opt.step()
+        assert nll.item() < first
+
+    def test_constrain_transitions(self):
+        crf = LinearChainCRF(3, RNG)
+        crf.constrain_transitions([(0, 1)])
+        emissions = np.zeros((1, 8, 3))
+        path = crf.decode(emissions)[0]
+        for a, b in zip(path, path[1:]):
+            assert (a, b) != (0, 1)
+
+    def test_learns_alternating_pattern(self):
+        # Emissions carry no signal; only transitions can explain the data.
+        rng = np.random.default_rng(8)
+        crf = LinearChainCRF(2, rng)
+        tags = np.tile([0, 1], 4)[None, :].repeat(6, axis=0)  # 0101...
+        emissions = np.zeros((6, 8, 2))
+        opt = Adam(crf.parameters(), lr=0.1)
+        for _ in range(60):
+            opt.zero_grad()
+            crf.neg_log_likelihood(Tensor(emissions), tags).backward()
+            opt.step()
+        decoded = crf.decode(np.zeros((1, 8, 2)))[0]
+        assert decoded in ([0, 1] * 4, [1, 0] * 4)

@@ -1,0 +1,50 @@
+"""Public-API integrity: every ``__all__`` name resolves, no stale exports."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.utils",
+    "repro.nn",
+    "repro.bert",
+    "repro.text",
+    "repro.data",
+    "repro.weak",
+    "repro.ir",
+    "repro.core",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_imports(package_name):
+    importlib.import_module(package_name)
+
+
+@pytest.mark.parametrize("package_name", [p for p in PACKAGES if p != "repro"])
+def test_all_names_resolve(package_name):
+    module = importlib.import_module(package_name)
+    assert hasattr(module, "__all__"), package_name
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package_name}.{name} exported but missing"
+
+
+@pytest.mark.parametrize("package_name", [p for p in PACKAGES if p != "repro"])
+def test_all_is_sorted_and_unique(package_name):
+    module = importlib.import_module(package_name)
+    names = list(module.__all__)
+    assert len(names) == len(set(names)), f"duplicate exports in {package_name}"
+
+
+def test_version_string():
+    import repro
+
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_cli_module_importable():
+    from repro.cli import build_parser
+
+    assert build_parser() is not None

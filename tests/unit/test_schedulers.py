@@ -1,0 +1,84 @@
+"""Unit tests for learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, SGD
+from repro.nn.schedulers import ConstantSchedule, WarmupCosineSchedule, WarmupLinearSchedule
+
+
+def make_optimizer(lr=0.1):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestConstant:
+    def test_rate_never_changes(self):
+        opt = make_optimizer(0.05)
+        schedule = ConstantSchedule(opt)
+        for _ in range(10):
+            assert schedule.step() == 0.05
+        assert opt.lr == 0.05
+
+
+class TestWarmupLinear:
+    def test_warmup_ramps_up(self):
+        opt = make_optimizer(1.0)
+        schedule = WarmupLinearSchedule(opt, warmup_steps=4, total_steps=10)
+        rates = [schedule.step() for _ in range(4)]
+        assert rates == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_decays_to_final_fraction(self):
+        opt = make_optimizer(1.0)
+        schedule = WarmupLinearSchedule(opt, warmup_steps=0, total_steps=10, final_fraction=0.1)
+        for _ in range(10):
+            last = schedule.step()
+        assert last == pytest.approx(0.1)
+
+    def test_monotone_decay_after_warmup(self):
+        opt = make_optimizer(1.0)
+        schedule = WarmupLinearSchedule(opt, warmup_steps=2, total_steps=20)
+        rates = [schedule.step() for _ in range(20)]
+        decay = rates[2:]
+        assert all(a >= b for a, b in zip(decay, decay[1:]))
+
+    def test_clamps_past_total(self):
+        opt = make_optimizer(1.0)
+        schedule = WarmupLinearSchedule(opt, warmup_steps=0, total_steps=5)
+        for _ in range(10):
+            last = schedule.step()
+        assert last == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupLinearSchedule(make_optimizer(), warmup_steps=10, total_steps=5)
+        with pytest.raises(ValueError):
+            WarmupLinearSchedule(make_optimizer(), warmup_steps=-1, total_steps=0)
+
+    def test_mutates_optimizer(self):
+        opt = make_optimizer(1.0)
+        schedule = WarmupLinearSchedule(opt, warmup_steps=2, total_steps=4)
+        schedule.step()
+        assert opt.lr == pytest.approx(0.5)
+
+
+class TestWarmupCosine:
+    def test_starts_and_ends_right(self):
+        opt = make_optimizer(2.0)
+        schedule = WarmupCosineSchedule(opt, warmup_steps=2, total_steps=12, final_fraction=0.25)
+        rates = [schedule.step() for _ in range(12)]
+        assert rates[1] == pytest.approx(2.0)  # end of warmup
+        assert rates[-1] == pytest.approx(0.5)  # 2.0 * 0.25
+
+    def test_cosine_above_linear_midway(self):
+        opt_c = make_optimizer(1.0)
+        opt_l = make_optimizer(1.0)
+        cosine = WarmupCosineSchedule(opt_c, warmup_steps=0, total_steps=100)
+        linear = WarmupLinearSchedule(opt_l, warmup_steps=0, total_steps=100)
+        for _ in range(25):
+            rate_c = cosine.step()
+            rate_l = linear.step()
+        assert rate_c > rate_l  # cosine decays slower early on
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupCosineSchedule(make_optimizer(), warmup_steps=5, total_steps=5)

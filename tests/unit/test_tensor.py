@@ -1,0 +1,250 @@
+"""Unit tests for the autodiff engine, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, no_grad
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``fn`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(x)
+        flat[i] = orig - eps
+        lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_grad(build, x: np.ndarray, atol: float = 1e-5) -> None:
+    """Compare autodiff gradient of ``build(Tensor)`` against finite differences."""
+    t = Tensor(x.copy(), requires_grad=True)
+    out = build(t)
+    out.backward()
+    expected = numeric_grad(lambda arr: build(Tensor(arr)).item(), x.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=atol, rtol=1e-4)
+
+
+RNG = np.random.default_rng(7)
+
+
+class TestBasicOps:
+    def test_add_backward(self):
+        check_grad(lambda t: (t + 3.0).sum(), RNG.normal(size=(3, 4)))
+
+    def test_mul_backward(self):
+        other = RNG.normal(size=(3, 4))
+        check_grad(lambda t: (t * other).sum(), RNG.normal(size=(3, 4)))
+
+    def test_sub_and_rsub(self):
+        check_grad(lambda t: (5.0 - t).sum(), RNG.normal(size=(4,)))
+        check_grad(lambda t: (t - 5.0).sum(), RNG.normal(size=(4,)))
+
+    def test_div_backward(self):
+        check_grad(lambda t: (t / 2.5).sum(), RNG.normal(size=(3,)))
+        check_grad(lambda t: (2.5 / t).sum(), RNG.uniform(1.0, 2.0, size=(3,)))
+
+    def test_pow_backward(self):
+        check_grad(lambda t: (t**3).sum(), RNG.uniform(0.5, 1.5, size=(3, 2)))
+
+    def test_neg_backward(self):
+        check_grad(lambda t: (-t).sum(), RNG.normal(size=(5,)))
+
+    def test_broadcast_add_unbroadcasts_grad(self):
+        a = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_broadcast_mul_keepdim_axis(self):
+        a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(2, 1)), requires_grad=True)
+        (a * b).sum().backward()
+        assert b.grad.shape == (2, 1)
+
+    def test_grad_accumulates_across_uses(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        out = t * 3.0 + t * 4.0
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [7.0])
+
+
+class TestMatmul:
+    def test_matmul_2d(self):
+        b = RNG.normal(size=(4, 5))
+        check_grad(lambda t: t.matmul(Tensor(b)).sum(), RNG.normal(size=(3, 4)))
+
+    def test_matmul_grad_wrt_second(self):
+        a = RNG.normal(size=(3, 4))
+        check_grad(lambda t: Tensor(a).matmul(t).sum(), RNG.normal(size=(4, 5)))
+
+    def test_batched_matmul(self):
+        b = RNG.normal(size=(2, 4, 5))
+        check_grad(lambda t: t.matmul(Tensor(b)).sum(), RNG.normal(size=(2, 3, 4)))
+
+    def test_batched_matmul_broadcast_heads(self):
+        # (B, H, T, d) @ (B, H, d, T) pattern used by attention
+        b = RNG.normal(size=(2, 2, 3, 4))
+        check_grad(
+            lambda t: t.matmul(Tensor(np.swapaxes(b, -1, -2))).sum(),
+            RNG.normal(size=(2, 2, 3, 4)),
+        )
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "name", ["exp", "log", "sqrt", "tanh", "sigmoid", "relu", "gelu"]
+    )
+    def test_unary_backward(self, name):
+        x = RNG.uniform(0.3, 1.7, size=(3, 3))  # positive domain for log/sqrt
+        check_grad(lambda t: getattr(t, name)().sum(), x)
+
+    def test_relu_zero_region(self):
+        t = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        t.relu().sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0])
+
+    def test_clip_backward(self):
+        t = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_grad(lambda t: t.sum(), RNG.normal(size=(2, 3)))
+
+    def test_sum_axis(self):
+        check_grad(lambda t: (t.sum(axis=1) ** 2).sum(), RNG.normal(size=(2, 3)))
+
+    def test_sum_keepdims(self):
+        check_grad(lambda t: (t.sum(axis=0, keepdims=True) ** 2).sum(), RNG.normal(size=(2, 3)))
+
+    def test_mean(self):
+        check_grad(lambda t: (t.mean(axis=-1) ** 2).sum(), RNG.normal(size=(2, 3)))
+
+    def test_mean_all(self):
+        check_grad(lambda t: t.mean() * 5.0, RNG.normal(size=(4, 2)))
+
+    def test_max_backward(self):
+        x = np.array([[1.0, 3.0, 2.0], [5.0, 0.0, 5.0]])
+        t = Tensor(x, requires_grad=True)
+        t.max(axis=1).sum().backward()
+        # ties split evenly in the second row
+        np.testing.assert_allclose(t.grad, [[0, 1, 0], [0.5, 0, 0.5]])
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        check_grad(lambda t: (t.reshape(6) ** 2).sum(), RNG.normal(size=(2, 3)))
+
+    def test_transpose(self):
+        check_grad(lambda t: (t.transpose(1, 0) ** 2).sum(), RNG.normal(size=(2, 3)))
+
+    def test_transpose_4d(self):
+        check_grad(
+            lambda t: (t.transpose(0, 2, 1, 3) ** 2).sum(), RNG.normal(size=(2, 3, 2, 2))
+        )
+
+    def test_swapaxes(self):
+        check_grad(lambda t: (t.swapaxes(0, 1) ** 2).sum(), RNG.normal(size=(2, 3)))
+
+    def test_getitem_slice(self):
+        check_grad(lambda t: (t[:, 1:3] ** 2).sum(), RNG.normal(size=(3, 4)))
+
+    def test_getitem_fancy(self):
+        idx = (np.array([0, 2]), np.array([1, 3]))
+        check_grad(lambda t: (t[idx] ** 2).sum(), RNG.normal(size=(3, 4)))
+
+    def test_getitem_duplicate_indices_accumulate(self):
+        t = Tensor(np.arange(4.0), requires_grad=True)
+        out = t[np.array([1, 1, 2])]
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [0, 2, 1, 0])
+
+    def test_gather_rows(self):
+        idx = np.array([[0, 1], [1, 1]])
+        check_grad(lambda t: (t.gather_rows(idx) ** 2).sum(), RNG.normal(size=(3, 4)))
+
+    def test_concat(self):
+        b = RNG.normal(size=(2, 2))
+        check_grad(
+            lambda t: (Tensor.concat([t, Tensor(b)], axis=1) ** 2).sum(),
+            RNG.normal(size=(2, 3)),
+        )
+
+    def test_concat_grad_flows_to_all_parts(self):
+        a = Tensor(RNG.normal(size=(2, 2)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        Tensor.concat([a, b], axis=1).sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (2, 3)
+
+    def test_stack(self):
+        parts = [Tensor(RNG.normal(size=(3,)), requires_grad=True) for _ in range(4)]
+        out = Tensor.stack(parts, axis=0)
+        assert out.shape == (4, 3)
+        (out**2).sum().backward()
+        for p in parts:
+            np.testing.assert_allclose(p.grad, 2 * p.data)
+
+    def test_where(self):
+        cond = np.array([True, False, True])
+        a = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([10.0, 20.0, 30.0]), requires_grad=True)
+        Tensor.where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 0, 1])
+        np.testing.assert_allclose(b.grad, [0, 1, 0])
+
+
+class TestEngine:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(2)).backward()
+
+    def test_no_grad_context(self):
+        with no_grad():
+            t = Tensor(np.ones(3), requires_grad=True)
+            out = t * 2
+        assert not t.requires_grad
+        assert not out.requires_grad
+
+    def test_detach_cuts_tape(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        out = (t * 2).detach() * 3
+        assert not out.requires_grad
+
+    def test_diamond_graph_grad(self):
+        # f(x) = (x*2) + (x*3); each branch contributes its factor.
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        left = t * 2
+        right = t * 3
+        (left + right).sum().backward()
+        np.testing.assert_allclose(t.grad, [5.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        out = t
+        for _ in range(3000):
+            out = out + 1.0
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+
+    def test_composite_expression_matches_numeric(self):
+        def build(t):
+            return ((t.tanh() * t).exp().sum(axis=0) ** 2).mean()
+
+        check_grad(build, RNG.normal(size=(3, 2)) * 0.5)

@@ -1,0 +1,260 @@
+"""Unit tests for lexicons, taxonomy, similarity, POS, parser and labels."""
+
+import numpy as np
+import pytest
+
+from repro.text import (
+    ChunkParser,
+    ConceptTaxonomy,
+    ConceptualSimilarity,
+    PosLexicon,
+    electronics_lexicon,
+    hotel_lexicon,
+    lexicon_for_domain,
+    restaurant_lexicon,
+    word_tokenize,
+    detokenize,
+)
+from repro.text.labels import (
+    LABELS,
+    forbidden_transitions,
+    is_valid_transition,
+    labels_to_spans,
+    spans_to_labels,
+)
+from repro.text.lexicon import OpinionWord
+
+
+class TestTokenize:
+    def test_splits_punctuation(self):
+        assert word_tokenize("Great food, honestly!") == ["great", "food", ",", "honestly", "!"]
+
+    def test_preserves_case_when_asked(self):
+        assert word_tokenize("The Food", lowercase=False)[1] == "Food"
+
+    def test_detokenize_attaches_punctuation(self):
+        assert detokenize(["good", "food", ",", "really", "."]) == "good food, really."
+
+    def test_roundtrip_stable(self):
+        text = "the staff is friendly , helpful and professional ."
+        assert word_tokenize(detokenize(word_tokenize(text))) == word_tokenize(text)
+
+
+class TestLexicon:
+    @pytest.mark.parametrize("builder", [restaurant_lexicon, electronics_lexicon, hotel_lexicon])
+    def test_builds_nonempty(self, builder):
+        lex = builder()
+        assert len(lex.aspects) > 5
+        assert len(lex.opinions) > 20
+
+    def test_surface_index_covers_all_forms(self):
+        lex = restaurant_lexicon()
+        index = lex.aspect_surface_index()
+        assert index["pizza"] == "pizza"
+        assert index["atmosphere"] == "ambiance"
+        assert index["la carte"] == "menu"
+
+    def test_opinions_for_topic_sign_filter(self):
+        lex = restaurant_lexicon()
+        positives = lex.opinions_for_topic("service", positive=True)
+        negatives = lex.opinions_for_topic("service", positive=False)
+        assert all(o.polarity > 0 for o in positives)
+        assert all(o.polarity < 0 for o in negatives)
+        assert positives and negatives
+
+    def test_polarity_validation(self):
+        with pytest.raises(ValueError):
+            OpinionWord("broken", 2.0, ("food",))
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(KeyError):
+            lexicon_for_domain("aviation")
+
+    def test_every_opinion_topic_is_a_known_aspect(self):
+        for domain in ("restaurants", "electronics", "hotels"):
+            lex = lexicon_for_domain(domain)
+            for opinion in lex.opinions:
+                for topic in opinion.topics:
+                    assert topic in lex.aspects, (domain, opinion.text, topic)
+
+
+class TestTaxonomy:
+    def test_depths(self):
+        tax = ConceptTaxonomy(restaurant_lexicon())
+        assert tax.depth("entity") == 0
+        assert tax.depth("food") == 1
+        assert tax.depth("pizza") == 2
+
+    def test_lca(self):
+        tax = ConceptTaxonomy(restaurant_lexicon())
+        assert tax.lowest_common_ancestor("pizza", "pasta") == "food"
+        assert tax.lowest_common_ancestor("pizza", "staff") == "entity"
+
+    def test_wu_palmer_ordering(self):
+        tax = ConceptTaxonomy(restaurant_lexicon())
+        assert tax.wu_palmer("pizza", "pasta") > tax.wu_palmer("pizza", "staff")
+        assert tax.wu_palmer("food", "food") == 1.0
+
+    def test_surface_similarity_handles_unknowns(self):
+        tax = ConceptTaxonomy(restaurant_lexicon())
+        assert tax.surface_similarity("zzz", "food") == 0.0
+        assert tax.surface_similarity("zzz", "zzz") == 1.0
+
+    def test_identical_surfaces_max(self):
+        tax = ConceptTaxonomy(restaurant_lexicon())
+        assert tax.surface_similarity("pizza", "pizzas") == 1.0
+
+
+class TestConceptualSimilarity:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return ConceptualSimilarity(restaurant_lexicon())
+
+    def test_paraphrase_tags_close(self, sim):
+        assert sim.tag_similarity(("food", "delicious"), ("food", "good")) > 0.8
+
+    def test_cross_aspect_tags_far(self, sim):
+        assert sim.tag_similarity(("food", "delicious"), ("staff", "nice")) < 0.2
+
+    def test_taxonomy_aware(self, sim):
+        # pizza is a kind of food — the paper's own example.
+        assert sim.tag_similarity(("pizza", "amazing"), ("food", "good")) > 0.6
+
+    def test_opposite_polarity_reduces(self, sim):
+        same = sim.tag_similarity(("food", "delicious"), ("food", "tasty"))
+        opposite = sim.tag_similarity(("food", "delicious"), ("food", "bland"))
+        assert same > opposite
+
+    def test_modifier_stripping(self, sim):
+        assert sim.opinion_similarity("really good", "good") == 1.0
+
+    def test_range(self, sim):
+        pairs = [("food", "delicious"), ("staff", "rude"), ("view", "stunning")]
+        for a in pairs:
+            for b in pairs:
+                score = sim.tag_similarity(a, b)
+                assert 0.0 <= score <= 1.0
+
+    def test_symmetry(self, sim):
+        a, b = ("food", "delicious"), ("cooking", "creative")
+        assert sim.tag_similarity(a, b) == pytest.approx(sim.tag_similarity(b, a))
+
+    def test_bad_floor_raises(self):
+        with pytest.raises(ValueError):
+            ConceptualSimilarity(restaurant_lexicon(), opinion_floor=1.5)
+
+    def test_opposite_polarity_below_floor_plus_margin(self, sim):
+        # "delicious food" vs "bland food" must stay below indexing thresholds.
+        assert sim.tag_similarity(("food", "delicious"), ("food", "bland")) <= 0.4
+
+
+class TestPos:
+    def test_tags_core_classes(self):
+        pos = PosLexicon(restaurant_lexicon())
+        tags = pos.tag_sequence(word_tokenize("The food is really delicious ."))
+        assert tags == ["DET", "NOUN", "VERB", "ADV", "ADJ", "PUNCT"]
+
+    def test_unknown_defaults_to_noun(self):
+        pos = PosLexicon(restaurant_lexicon())
+        assert pos.tag("zzzunknown") == "NOUN"
+
+    def test_domain_jargon_adjectives(self):
+        pos = PosLexicon(electronics_lexicon())
+        assert pos.tag("laggy") == "ADJ"
+        assert pos.tag("crisp") == "ADJ"
+
+
+class TestParser:
+    @pytest.fixture(scope="class")
+    def parser(self):
+        return ChunkParser(PosLexicon(restaurant_lexicon()))
+
+    def test_paper_motivating_example(self, parser):
+        # "professional" must be tree-closer to "staff" than to "decor".
+        tokens = word_tokenize(
+            "The staff is friendly, helpful and professional. The decor is beautiful."
+        )
+        tree = parser.parse(tokens)
+        d_staff = tree.leaf_distance(tokens.index("professional"), tokens.index("staff"))
+        d_decor = tree.leaf_distance(tokens.index("professional"), tokens.index("decor"))
+        assert d_staff < d_decor
+
+    def test_clause_split_on_but(self, parser):
+        tokens = word_tokenize("The food is delicious but the service is slow.")
+        tree = parser.parse(tokens)
+        d_same = tree.leaf_distance(tokens.index("delicious"), tokens.index("food"))
+        d_cross = tree.leaf_distance(tokens.index("delicious"), tokens.index("service"))
+        assert d_same < d_cross
+
+    def test_clause_split_on_and_between_verbful_clauses(self, parser):
+        tokens = word_tokenize("The food is great and the staff is nice.")
+        tree = parser.parse(tokens)
+        d_food = tree.leaf_distance(tokens.index("great"), tokens.index("food"))
+        d_staff = tree.leaf_distance(tokens.index("great"), tokens.index("staff"))
+        assert d_food < d_staff
+
+    def test_coordinated_adjectives_stay_together(self, parser):
+        tokens = word_tokenize("The staff is friendly, helpful and professional.")
+        tree = parser.parse(tokens)
+        # one sentence, one clause: all adjectives near the subject
+        d = tree.leaf_distance(tokens.index("helpful"), tokens.index("staff"))
+        assert d <= 4
+
+    def test_all_tokens_are_leaves_in_order(self, parser):
+        tokens = word_tokenize("I loved the pasta, it was out of this world!")
+        tree = parser.parse(tokens)
+        leaves = tree.leaves()
+        assert [leaf.token for leaf in leaves] == tokens
+        assert [leaf.token_index for leaf in leaves] == list(range(len(tokens)))
+
+    def test_empty_input(self, parser):
+        tree = parser.parse([])
+        assert tree.leaves() == []
+
+    def test_missing_punctuation_degrades_gracefully(self, parser):
+        tokens = word_tokenize("the staff is friendly the decor is beautiful")
+        tree = parser.parse(tokens)  # no crash; single sentence
+        assert len(tree.leaves()) == len(tokens)
+
+
+class TestLabels:
+    def test_spans_to_labels(self):
+        labels = spans_to_labels(6, [(1, 2)], [(3, 5)])
+        assert labels == ["O", "B-AS", "O", "B-OP", "I-OP", "O"]
+
+    def test_roundtrip(self):
+        aspects, opinions = [(0, 2), (4, 5)], [(2, 4)]
+        labels = spans_to_labels(6, aspects, opinions)
+        got_aspects, got_opinions = labels_to_spans(labels)
+        assert got_aspects == aspects
+        assert got_opinions == opinions
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            spans_to_labels(4, [(0, 2)], [(1, 3)])
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            spans_to_labels(3, [(2, 5)], [])
+
+    def test_malformed_i_without_b_tolerated(self):
+        aspects, opinions = labels_to_spans(["I-AS", "I-AS", "O", "I-OP"])
+        assert aspects == [(0, 2)]
+        assert opinions == [(3, 4)]
+
+    def test_adjacent_b_spans(self):
+        aspects, _ = labels_to_spans(["B-AS", "B-AS", "O"])
+        assert aspects == [(0, 1), (1, 2)]
+
+    def test_forbidden_transitions_block_illegal_iob(self):
+        forbidden = forbidden_transitions()
+        from repro.text.labels import LABEL_TO_ID
+
+        assert (LABEL_TO_ID["O"], LABEL_TO_ID["I-AS"]) in forbidden
+        assert (LABEL_TO_ID["B-AS"], LABEL_TO_ID["I-OP"]) in forbidden
+        assert (LABEL_TO_ID["B-AS"], LABEL_TO_ID["I-AS"]) not in forbidden
+
+    def test_is_valid_transition_symmetric_cases(self):
+        assert is_valid_transition("B-OP", "I-OP")
+        assert not is_valid_transition("I-AS", "I-OP")
+        assert is_valid_transition("O", "B-AS")

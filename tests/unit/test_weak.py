@@ -1,0 +1,142 @@
+"""Unit tests for the data-programming framework."""
+
+import numpy as np
+import pytest
+
+from repro.weak import (
+    ABSTAIN,
+    GenerativeLabelModel,
+    LabelingFunction,
+    MajorityVoteModel,
+    analyse_labeling_functions,
+    apply_labeling_functions,
+)
+
+
+def synthetic_votes(rng, n=400, accuracies=(0.9, 0.8, 0.7), coverages=(0.9, 0.7, 0.5), prior=0.5):
+    """Generate votes from LFs with known accuracy/coverage over latent labels."""
+    gold = (rng.random(n) < prior).astype(int)
+    votes = np.full((n, len(accuracies)), ABSTAIN)
+    for j, (acc, cov) in enumerate(zip(accuracies, coverages)):
+        active = rng.random(n) < cov
+        correct = rng.random(n) < acc
+        votes[active & correct, j] = gold[active & correct]
+        votes[active & ~correct, j] = 1 - gold[active & ~correct]
+    return votes, gold
+
+
+class TestLabelingFunction:
+    def test_valid_votes_pass(self):
+        lf = LabelingFunction("always_one", lambda x: 1)
+        assert lf("anything") == 1
+
+    def test_invalid_vote_raises(self):
+        lf = LabelingFunction("bad", lambda x: 7)
+        with pytest.raises(ValueError):
+            lf("x")
+
+    def test_apply_builds_matrix(self):
+        lfs = [
+            LabelingFunction("gt", lambda x: 1 if x > 0 else 0),
+            LabelingFunction("abstainer", lambda x: ABSTAIN),
+        ]
+        votes = apply_labeling_functions(lfs, [-1, 2, 3])
+        np.testing.assert_array_equal(votes[:, 0], [0, 1, 1])
+        np.testing.assert_array_equal(votes[:, 1], [ABSTAIN] * 3)
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        votes = np.array([[1, 1, 0], [0, 0, 1], [1, ABSTAIN, ABSTAIN]])
+        model = MajorityVoteModel()
+        np.testing.assert_array_equal(model.predict(votes), [1, 0, 1])
+
+    def test_tie_break(self):
+        votes = np.array([[1, 0]])
+        assert MajorityVoteModel(tie_break=0).predict(votes)[0] == 0
+        assert MajorityVoteModel(tie_break=1).predict(votes)[0] == 1
+
+    def test_all_abstain_uses_tie_break(self):
+        votes = np.array([[ABSTAIN, ABSTAIN]])
+        assert MajorityVoteModel(tie_break=1).predict(votes)[0] == 1
+
+    def test_proba_fraction(self):
+        votes = np.array([[1, 1, 0, ABSTAIN]])
+        np.testing.assert_allclose(MajorityVoteModel().predict_proba(votes), [2 / 3])
+
+    def test_invalid_tie_break(self):
+        with pytest.raises(ValueError):
+            MajorityVoteModel(tie_break=2)
+
+
+class TestGenerativeModel:
+    def test_recovers_accuracy_ordering(self):
+        rng = np.random.default_rng(0)
+        votes, _ = synthetic_votes(rng, n=2000, accuracies=(0.95, 0.8, 0.65))
+        model = GenerativeLabelModel().fit(votes)
+        a = model.accuracies_
+        assert a[0] > a[1] > a[2]
+
+    def test_beats_majority_with_unequal_lfs(self):
+        rng = np.random.default_rng(1)
+        votes, gold = synthetic_votes(
+            rng, n=3000, accuracies=(0.95, 0.6, 0.6), coverages=(1.0, 1.0, 1.0)
+        )
+        generative = GenerativeLabelModel().fit(votes).predict(votes)
+        majority = MajorityVoteModel().predict(votes)
+        acc_gen = (generative == gold).mean()
+        acc_maj = (majority == gold).mean()
+        # With one strong LF and two weak ones, weighting must win.
+        assert acc_gen > acc_maj
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GenerativeLabelModel().predict(np.array([[1]]))
+
+    def test_posterior_in_unit_interval(self):
+        rng = np.random.default_rng(2)
+        votes, _ = synthetic_votes(rng)
+        probs = GenerativeLabelModel().fit(votes).predict_proba(votes)
+        assert probs.min() >= 0.0
+        assert probs.max() <= 1.0
+
+    def test_handles_all_abstain_column(self):
+        rng = np.random.default_rng(3)
+        votes, _ = synthetic_votes(rng, n=200)
+        votes = np.concatenate([votes, np.full((200, 1), ABSTAIN)], axis=1)
+        model = GenerativeLabelModel().fit(votes)
+        assert model.accuracies_.shape == (4,)
+
+    def test_converges(self):
+        rng = np.random.default_rng(4)
+        votes, _ = synthetic_votes(rng, n=1000)
+        model = GenerativeLabelModel(max_iterations=1000).fit(votes)
+        assert model.n_iterations_ < 1000
+
+
+class TestAnalysis:
+    def test_coverage_overlap_conflict(self):
+        votes = np.array(
+            [
+                [1, 1],
+                [1, 0],
+                [ABSTAIN, 1],
+                [ABSTAIN, ABSTAIN],
+            ]
+        )
+        summaries = analyse_labeling_functions(votes, ["a", "b"])
+        a, b = summaries
+        assert a.coverage == 0.5
+        assert b.coverage == 0.75
+        assert a.overlap == 0.5  # rows 0 and 1
+        assert a.conflict == 0.25  # row 1 only
+
+    def test_empirical_accuracy(self):
+        votes = np.array([[1], [0], [1], [ABSTAIN]])
+        gold = np.array([1, 1, 1, 1])
+        summaries = analyse_labeling_functions(votes, ["lf"], gold=gold)
+        assert summaries[0].empirical_accuracy == pytest.approx(2 / 3)
+
+    def test_name_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            analyse_labeling_functions(np.zeros((2, 2)), ["only_one"])
