@@ -23,6 +23,15 @@ _AGGREGATORS: Dict[str, Callable[[Sequence[float]], float]] = {
     "min": lambda scores: float(np.min(scores)),
 }
 
+#: row-wise variants over an (entities × tags) score matrix — the batched
+#: path aggregates every entity in one numpy reduction instead of one
+#: Python call per entity.
+_MATRIX_AGGREGATORS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "mean": lambda matrix: matrix.mean(axis=1),
+    "product": lambda matrix: matrix.prod(axis=1),
+    "min": lambda matrix: matrix.min(axis=1),
+}
+
 
 @dataclass
 class FilterConfig:
@@ -98,17 +107,26 @@ def _soft_rank(
     tag_sets: Sequence[Mapping[str, float]],
     config: FilterConfig,
 ) -> List[Tuple[str, float]]:
-    scored: List[Tuple[str, float]] = []
-    for entity_id in api_entity_ids:
-        scores = [tag_set.get(entity_id, 0.0) for tag_set in tag_sets]
-        if not any(score > 0 for score in scores):
-            continue
-        scored.append((entity_id, aggregate_scores(scores, config.aggregation)))
-    scored.sort(key=lambda pair: (-pair[1], pair[0]))
-    if not scored:
+    # Batched scoring: one (entities × tags) matrix, one reduction — rather
+    # than a per-entity Python aggregation loop.
+    ids = list(api_entity_ids)
+    if not ids:
+        return []
+    matrix = np.empty((len(ids), len(tag_sets)))
+    for j, tag_set in enumerate(tag_sets):
+        matrix[:, j] = [tag_set.get(entity_id, 0.0) for entity_id in ids]
+    keep = (matrix > 0).any(axis=1)
+    if not keep.any():
         # No entity matched any subjective tag: fall back to the API order
         # rather than answering with nothing.
-        return [(entity_id, 0.0) for entity_id in api_entity_ids]
+        return [(entity_id, 0.0) for entity_id in ids]
+    aggregated = _MATRIX_AGGREGATORS[config.aggregation](matrix)
+    scored = [
+        (entity_id, float(score))
+        for entity_id, score, kept in zip(ids, aggregated, keep)
+        if kept
+    ]
+    scored.sort(key=lambda pair: (-pair[1], pair[0]))
     return scored
 
 

@@ -11,16 +11,30 @@ review-extracted tags whose conceptual similarity to ``tag`` exceeds
 statistically significant evidence).  Degrees are optionally normalised by
 ``log(max reviews + 1)`` so displayed values land in [0, 1] like Table 1;
 normalisation is a global constant and does not change any ranking.
+
+Two backends compute the same numbers:
+
+* ``"vectorized"`` (default) — review-tag occurrences are interned into a
+  :class:`~repro.text.vocab.TagVocabulary` and stored as CSR-style id
+  arrays; each ``add_tag`` is one kernel row against the vocabulary plus a
+  few segmented reductions, and ``lookup_similar`` is a masked matvec over
+  the incrementally built (index_tags × vocab) similarity matrix and the
+  dense degree matrix.
+* ``"scalar"`` — the original per-pair reference oracle, kept so tests and
+  benchmarks can assert the two agree to ≤ 1e-9 on every score.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.tags import SubjectiveTag
-from repro.text.similarity import ConceptualSimilarity
+from repro.text.similarity import ConceptualSimilarity, tag_pair
+from repro.text.vocab import TagVocabulary
 
 __all__ = ["IndexEntry", "SubjectiveTagIndex"]
 
@@ -44,6 +58,7 @@ class SubjectiveTagIndex:
         review_count_mode: str = "matched",
         theta_mode: str = "static",
         dynamic_margin: float = 0.08,
+        backend: str = "vectorized",
     ):
         if not 0.0 < theta_index < 1.0:
             raise ValueError("theta_index must lie in (0, 1)")
@@ -51,6 +66,8 @@ class SubjectiveTagIndex:
             raise ValueError("review_count_mode must be 'matched' or 'all'")
         if theta_mode not in ("static", "dynamic"):
             raise ValueError("theta_mode must be 'static' or 'dynamic'")
+        if backend not in ("vectorized", "scalar"):
+            raise ValueError("backend must be 'vectorized' or 'scalar'")
         self.similarity = similarity
         self.theta_index = theta_index
         self.normalize_degrees = normalize_degrees
@@ -71,11 +88,34 @@ class SubjectiveTagIndex:
         #: distribution, a specific tag keeps the configured floor.
         self.theta_mode = theta_mode
         self.dynamic_margin = dynamic_margin
+        self.backend = backend
+        #: every distinct tag seen at registration or indexing time, interned
+        #: to an integer id with kernel features resolved once.
+        self.vocab = TagVocabulary(similarity)
         self._entries: Dict[SubjectiveTag, Dict[str, float]] = {}
         #: per-entity, per-review extracted tags, kept so new index tags can
         #: be mapped without re-reading reviews (the Figure 1 indexing round).
         self._entity_tags: Dict[str, List[List[SubjectiveTag]]] = {}
         self._entity_review_counts: Dict[str, int] = {}
+        #: dynamic-mode per-tag thresholds, cached until the corpus changes.
+        self._threshold_cache: Dict[SubjectiveTag, float] = {}
+        # ----- matrix backing (vectorized backend) -----
+        self._entity_order: List[str] = []
+        self._entity_col: Dict[str, int] = {}
+        self._occ_dirty = False
+        self._occ_ids = np.zeros(0, dtype=np.intp)
+        self._review_indptr = np.zeros(1, dtype=np.intp)
+        self._review_entity = np.zeros(0, dtype=np.intp)
+        self._review_counts_vec = np.zeros(0)
+        #: similarity rows: one per index tag, each covering the vocabulary
+        #: prefix that existed when the row was computed (rectangularised
+        #: lazily by :meth:`_sync_sim_cols`).
+        self._sim_rows: List[np.ndarray] = []
+        self._sim_cols = 0
+        self._degree_rows: List[np.ndarray] = []
+        self._sim_cache: Optional[np.ndarray] = None
+        self._degree_cache: Optional[np.ndarray] = None
+        self._matrix_stale = False
 
     # ------------------------------------------------------------- population
 
@@ -85,39 +125,85 @@ class SubjectiveTagIndex:
         review_tags: Sequence[Sequence[SubjectiveTag]],
     ) -> None:
         """Store an entity's per-review extracted tags (extraction output)."""
-        self._entity_tags[entity_id] = [list(tags) for tags in review_tags]
-        self._entity_review_counts[entity_id] = len(review_tags)
+        per_review = [list(tags) for tags in review_tags]
+        self._entity_tags[entity_id] = per_review
+        self._entity_review_counts[entity_id] = len(per_review)
+        if entity_id not in self._entity_col:
+            self._entity_col[entity_id] = len(self._entity_order)
+            self._entity_order.append(entity_id)
+        for tags in per_review:
+            self.vocab.intern_many(tags)
+        self._occ_dirty = True
+        self._threshold_cache.clear()
 
     def add_tag(self, tag: SubjectiveTag) -> None:
         """Add an index tag and compute its entity mappings (Eq. 1)."""
         if tag in self._entries:
             return
-        theta = self._threshold_for(tag)
-        mapping: Dict[str, float] = {}
-        for entity_id in self._entity_tags:
-            degree = self._degree_of_truth(tag, entity_id, theta)
-            if degree > 0.0:
-                mapping[entity_id] = degree
-        self._entries[tag] = mapping
+        if self.backend == "scalar":
+            theta = self._threshold_for(tag)
+            mapping: Dict[str, float] = {}
+            for entity_id in self._entity_tags:
+                degree = self._degree_of_truth(tag, entity_id, theta)
+                if degree > 0.0:
+                    mapping[entity_id] = degree
+            self._entries[tag] = mapping
+            return
+        self._ensure_occ()
+        self._ensure_matrix()
+        self.vocab.intern(tag)
+        row = self.vocab.similarity_rows([tag])[0]
+        theta = self._threshold_for(tag, _row=row)
+        degrees = self._degrees_from_row(row, theta)
+        self._entries[tag] = {
+            entity_id: float(degree)
+            for entity_id, degree in zip(self._entity_order, degrees)
+            if degree > 0.0
+        }
+        self._sim_rows.append(row)
+        self._degree_rows.append(degrees)
+        self._sim_cache = None
+        self._degree_cache = None
 
-    def _threshold_for(self, tag: SubjectiveTag) -> float:
-        """Per-tag similarity threshold (static, or semantics-adaptive)."""
+    def _threshold_for(self, tag: SubjectiveTag, _row: Optional[np.ndarray] = None) -> float:
+        """Per-tag similarity threshold (static, or semantics-adaptive).
+
+        Dynamic mode compares the tag against each *distinct* review tag in
+        the vocabulary — not every occurrence, which made each ``add_tag``
+        O(total review tags) for no gain (duplicates cannot change the peak).
+        The result is cached per tag until new entities are registered.
+        """
         if self.theta_mode == "static":
             return self.theta_index
-        similarities: List[float] = []
-        for per_review in self._entity_tags.values():
-            for review_tag_list in per_review:
-                for review_tag in review_tag_list:
-                    score = self.similarity.tag_similarity(tag.pair, review_tag.pair)
-                    if score > 0.0:
-                        similarities.append(score)
-        if not similarities:
-            return self.theta_index
-        # Generic tags see many high-similarity neighbours; push the
-        # threshold up toward (max - margin) so only close matches count.
-        peak = max(similarities)
-        adaptive = peak - self.dynamic_margin
-        return float(min(max(self.theta_index, adaptive), 0.95))
+        cached = self._threshold_cache.get(tag)
+        if cached is not None:
+            return cached
+        self._ensure_occ()
+        distinct = np.unique(self._occ_ids)
+        if distinct.size == 0:
+            theta = self.theta_index
+        else:
+            if _row is not None:
+                sims = _row[distinct]
+            elif self.backend == "vectorized":
+                sims = self.vocab.similarity_rows([tag])[0][distinct]
+            else:
+                sims = np.array(
+                    [
+                        self.similarity.tag_similarity(tag.pair, tag_pair(self.vocab.tag_of(i)))
+                        for i in distinct
+                    ]
+                )
+            positive = sims[sims > 0.0]
+            if positive.size == 0:
+                theta = self.theta_index
+            else:
+                # Generic tags see many high-similarity neighbours; push the
+                # threshold up toward (max - margin) so only close matches count.
+                peak = float(positive.max())
+                theta = float(min(max(self.theta_index, peak - self.dynamic_margin), 0.95))
+        self._threshold_cache[tag] = theta
+        return theta
 
     def build(self, tags: Iterable[SubjectiveTag]) -> "SubjectiveTagIndex":
         """Add many tags (one indexing round)."""
@@ -126,6 +212,7 @@ class SubjectiveTagIndex:
         return self
 
     def _degree_of_truth(self, tag: SubjectiveTag, entity_id: str, theta: Optional[float] = None) -> float:
+        """Scalar-path Eq. 1 for one (tag, entity) pair — the reference oracle."""
         theta = self.theta_index if theta is None else theta
         matched: List[float] = []
         matching_reviews = 0
@@ -148,6 +235,167 @@ class SubjectiveTagIndex:
             max_reviews = max(self._entity_review_counts.values(), default=1)
             degree /= math.log(max_reviews + 1)
         return degree
+
+    # ------------------------------------------------------- matrix plumbing
+
+    def _ensure_occ(self) -> None:
+        """(Re)build the CSR occurrence arrays after corpus changes."""
+        if not self._occ_dirty:
+            return
+        occ: List[int] = []
+        indptr: List[int] = [0]
+        review_entity: List[int] = []
+        for entity_id in self._entity_order:
+            col = self._entity_col[entity_id]
+            for review in self._entity_tags.get(entity_id, ()):
+                occ.extend(self.vocab.intern(tag) for tag in review)
+                indptr.append(len(occ))
+                review_entity.append(col)
+        self._occ_ids = np.asarray(occ, dtype=np.intp)
+        self._review_indptr = np.asarray(indptr, dtype=np.intp)
+        self._review_entity = np.asarray(review_entity, dtype=np.intp)
+        self._review_counts_vec = np.asarray(
+            [float(self._entity_review_counts.get(eid, 0)) for eid in self._entity_order]
+        )
+        # Entities registered after a tag was added keep degree 0 for that
+        # tag (mappings are computed at add time, matching the scalar path).
+        n_entities = len(self._entity_order)
+        self._degree_rows = [
+            np.pad(row, (0, n_entities - len(row))) if len(row) < n_entities else row
+            for row in self._degree_rows
+        ]
+        self._degree_cache = None
+        self._occ_dirty = False
+
+    def _ensure_matrix(self) -> None:
+        """Fully rebuild similarity/degree rows after a snapshot restore."""
+        if not self._matrix_stale:
+            return
+        tags = list(self._entries)
+        if tags:
+            block = self.vocab.similarity_rows(tags)
+            self._sim_rows = [block[i] for i in range(len(tags))]
+        else:
+            self._sim_rows = []
+        self._sim_cols = len(self.vocab)
+        n_entities = len(self._entity_order)
+        self._degree_rows = []
+        for tag in tags:
+            row = np.zeros(n_entities)
+            for entity_id, degree in self._entries[tag].items():
+                col = self._entity_col.get(entity_id)
+                if col is not None:
+                    row[col] = degree
+            self._degree_rows.append(row)
+        self._sim_cache = None
+        self._degree_cache = None
+        self._matrix_stale = False
+
+    def _sync_sim_cols(self) -> None:
+        """Rectangularise similarity rows up to the current vocabulary size.
+
+        Rows are appended covering whatever vocabulary prefix existed at add
+        time; one batched kernel call fills every missing suffix at once.
+        """
+        vocab_size = len(self.vocab)
+        tags = list(self._entries)
+        short = [i for i, row in enumerate(self._sim_rows) if len(row) < vocab_size]
+        if not short:
+            self._sim_cols = vocab_size
+            return
+        start = min(len(self._sim_rows[i]) for i in short)
+        block = self.similarity.similarity_block(
+            self.similarity.tag_features([tags[i] for i in short]),
+            self.vocab.features_range(start, vocab_size),
+        )
+        for block_i, i in enumerate(short):
+            row = self._sim_rows[i]
+            self._sim_rows[i] = np.concatenate([row, block[block_i, len(row) - start :]])
+        self._sim_cache = None
+        self._sim_cols = vocab_size
+
+    def _sim_matrix(self) -> np.ndarray:
+        """The cached (index_tags × vocab) similarity matrix."""
+        if self._sim_cache is None:
+            self._sim_cache = (
+                np.vstack(self._sim_rows) if self._sim_rows else np.zeros((0, self._sim_cols))
+            )
+        return self._sim_cache
+
+    def _degree_matrix(self) -> np.ndarray:
+        """The cached (index_tags × entities) degree-of-truth matrix."""
+        if self._degree_cache is None:
+            n_entities = len(self._entity_order)
+            self._degree_cache = (
+                np.vstack(self._degree_rows)
+                if self._degree_rows
+                else np.zeros((0, n_entities))
+            )
+        return self._degree_cache
+
+    def _degrees_from_row(self, row: np.ndarray, theta: float) -> np.ndarray:
+        """Eq. 1 for every entity at once, given a tag's vocab similarity row."""
+        scores = row[self._occ_ids]
+        mask = scores > theta
+        hit_cum = np.concatenate(([0], np.cumsum(mask)))
+        sum_cum = np.concatenate(([0.0], np.cumsum(np.where(mask, scores, 0.0))))
+        start, stop = self._review_indptr[:-1], self._review_indptr[1:]
+        per_review_hits = hit_cum[stop] - hit_cum[start]
+        per_review_sums = sum_cum[stop] - sum_cum[start]
+        n_entities = len(self._entity_order)
+        hits = np.bincount(self._review_entity, weights=per_review_hits, minlength=n_entities)
+        sums = np.bincount(self._review_entity, weights=per_review_sums, minlength=n_entities)
+        matched_reviews = np.bincount(
+            self._review_entity,
+            weights=(per_review_hits > 0).astype(float),
+            minlength=n_entities,
+        )
+        counts = matched_reviews if self.review_count_mode == "matched" else self._review_counts_vec
+        degrees = np.zeros(n_entities)
+        nonzero = hits > 0
+        degrees[nonzero] = np.log(counts[nonzero] + 1.0) / hits[nonzero] * sums[nonzero]
+        if self.normalize_degrees:
+            max_reviews = max(self._entity_review_counts.values(), default=1)
+            denom = math.log(max_reviews + 1)
+            if denom > 0.0:
+                degrees /= denom
+        return degrees
+
+    def restore_snapshot(
+        self,
+        entries: Mapping[SubjectiveTag, Mapping[str, float]],
+        entity_tags: Mapping[str, Sequence[Sequence[SubjectiveTag]]],
+        entity_review_counts: Mapping[str, int],
+    ) -> None:
+        """Install deserialised state (used by :mod:`repro.core.index_io`)."""
+        self._entries = {tag: dict(mapping) for tag, mapping in entries.items()}
+        self._entity_tags = {
+            entity_id: [list(tags) for tags in per_review]
+            for entity_id, per_review in entity_tags.items()
+        }
+        self._entity_review_counts = {
+            entity_id: int(count) for entity_id, count in entity_review_counts.items()
+        }
+        self._entity_order = []
+        self._entity_col = {}
+        for entity_id in self._entity_tags:
+            self._entity_col[entity_id] = len(self._entity_order)
+            self._entity_order.append(entity_id)
+        for mapping in self._entries.values():
+            for entity_id in mapping:
+                if entity_id not in self._entity_col:
+                    self._entity_col[entity_id] = len(self._entity_order)
+                    self._entity_order.append(entity_id)
+                    self._entity_review_counts.setdefault(entity_id, 0)
+        for per_review in self._entity_tags.values():
+            for tags in per_review:
+                self.vocab.intern_many(tags)
+        self.vocab.intern_many(self._entries)
+        self._threshold_cache.clear()
+        self._occ_dirty = True
+        self._matrix_stale = True
+        self._sim_cache = None
+        self._degree_cache = None
 
     # ---------------------------------------------------------------- queries
 
@@ -174,6 +422,61 @@ class SubjectiveTagIndex:
         contributions (the paper's worked example sums ``s1·0.76 + s2·0.94``
         for Anchovy).
         """
+        return self.lookup_similar_batch([tag], theta_filter)[0]
+
+    def lookup_similar_batch(
+        self, tags: Sequence[SubjectiveTag], theta_filter: float
+    ) -> List[Dict[str, float]]:
+        """:meth:`lookup_similar` for many tags with one batched kernel pass.
+
+        A multi-tag utterance issues a single call; similarity rows for tags
+        already interned in the vocabulary come straight out of the cached
+        (index_tags × vocab) matrix, the rest share one kernel block.
+        """
+        tags = list(tags)
+        if self.backend == "scalar":
+            return [self._scalar_lookup_similar(tag, theta_filter) for tag in tags]
+        if not self._entries or not tags:
+            return [{} for _ in tags]
+        self._ensure_occ()
+        self._ensure_matrix()
+        self._sync_sim_cols()
+        degree_matrix = self._degree_matrix()
+        index_tags = list(self._entries)
+        score_rows: List[Optional[np.ndarray]] = []
+        fresh_tags: List[SubjectiveTag] = []
+        fresh_positions: List[int] = []
+        sim_matrix: Optional[np.ndarray] = None
+        for position, tag in enumerate(tags):
+            tag_id = self.vocab.id_of(tag)
+            if tag_id is not None and tag_id < self._sim_cols:
+                if sim_matrix is None:
+                    sim_matrix = self._sim_matrix()
+                # Similarity is symmetric, so the cached column doubles as
+                # the query row.
+                score_rows.append(sim_matrix[:, tag_id])
+            else:
+                score_rows.append(None)
+                fresh_tags.append(tag)
+                fresh_positions.append(position)
+        if fresh_tags:
+            block = self.similarity.tag_similarity_matrix(fresh_tags, index_tags)
+            for block_i, position in enumerate(fresh_positions):
+                score_rows[position] = block[block_i]
+        results: List[Dict[str, float]] = []
+        for scores in score_rows:
+            weights = np.where(scores > theta_filter, scores, 0.0)
+            combined = weights @ degree_matrix
+            results.append(
+                {
+                    entity_id: float(value)
+                    for entity_id, value in zip(self._entity_order, combined)
+                    if value > 0.0
+                }
+            )
+        return results
+
+    def _scalar_lookup_similar(self, tag: SubjectiveTag, theta_filter: float) -> Dict[str, float]:
         combined: Dict[str, float] = {}
         for index_tag, mapping in self._entries.items():
             score = self.similarity.tag_similarity(tag.pair, index_tag.pair)
@@ -184,10 +487,16 @@ class SubjectiveTagIndex:
         return combined
 
     def snippet(self, max_tags: int = 4, max_entities: int = 3) -> str:
-        """A Table-1-style textual rendering (for examples and docs)."""
+        """A Table-1-style textual rendering (for examples and docs).
+
+        Entries tie-break on entity id so the rendering is stable across
+        runs even when degrees are exactly equal.
+        """
         lines = []
         for tag in list(self._entries)[:max_tags]:
-            entries = sorted(self._entries[tag].items(), key=lambda kv: -kv[1])[:max_entities]
+            entries = sorted(
+                self._entries[tag].items(), key=lambda kv: (-kv[1], kv[0])
+            )[:max_entities]
             rendered = ", ".join(f"{e} ({d:.2f})" for e, d in entries)
             lines.append(f"{tag.text:<22} -> {rendered}")
         return "\n".join(lines)

@@ -59,18 +59,21 @@ def load_index(path: Union[str, Path], similarity: ConceptualSimilarity) -> Subj
         normalize_degrees=payload["normalize_degrees"],
         review_count_mode=payload["review_count_mode"],
     )
-    index._entries = {
-        SubjectiveTag.from_text(text): dict(mapping)
-        for text, mapping in payload["entries"].items()
-    }
-    index._entity_tags = {
-        entity_id: [
-            [SubjectiveTag.from_text(t) for t in review_tags]
-            for review_tags in per_review
-        ]
-        for entity_id, per_review in payload["entity_tags"].items()
-    }
-    index._entity_review_counts = {
-        entity_id: int(count) for entity_id, count in payload["entity_review_counts"].items()
-    }
+    # restore_snapshot re-interns every tag into the vocabulary and marks the
+    # vectorized backing (occurrence arrays, similarity/degree matrices) for
+    # lazy rebuild, so a loaded index answers lookup_similar immediately.
+    index.restore_snapshot(
+        entries={
+            SubjectiveTag.from_text(text): dict(mapping)
+            for text, mapping in payload["entries"].items()
+        },
+        entity_tags={
+            entity_id: [
+                [SubjectiveTag.from_text(t) for t in review_tags]
+                for review_tags in per_review
+            ]
+            for entity_id, per_review in payload["entity_tags"].items()
+        },
+        entity_review_counts=payload["entity_review_counts"],
+    )
     return index

@@ -43,6 +43,10 @@ class SaccsConfig:
     backfill: bool = True
     review_count_mode: str = "matched"
     theta_mode: str = "static"
+    #: index similarity backend: ``"vectorized"`` (matrix kernel, default)
+    #: or ``"scalar"`` (per-pair reference oracle, kept for equivalence
+    #: testing and ablation benchmarks).
+    backend: str = "vectorized"
 
     def filter_config(self) -> FilterConfig:
         return FilterConfig(
@@ -76,6 +80,7 @@ class Saccs:
             theta_index=self.config.theta_index,
             review_count_mode=self.config.review_count_mode,
             theta_mode=self.config.theta_mode,
+            backend=self.config.backend,
         )
         #: optional fake-review defence (Section 7 future work); suspicious
         #: reviews are dropped before extraction.
@@ -117,10 +122,32 @@ class Saccs:
 
     def _tag_set(self, tag: SubjectiveTag) -> Dict[str, float]:
         """Algorithm 1 lines 7–10: exact lookup or similar-tag combination."""
-        if tag in self.index:
-            return self.index.lookup(tag)
-        self.user_tag_history.append(tag)
-        return self.index.lookup_similar(tag, self.config.theta_filter)
+        return self._tag_sets([tag])[0]
+
+    def _tag_sets(self, tags: Sequence[SubjectiveTag]) -> List[Dict[str, float]]:
+        """Per-tag entity sets for a whole utterance with one batched lookup.
+
+        Known tags read straight from the index; all unknown tags share a
+        single :meth:`SubjectiveTagIndex.lookup_similar_batch` call (one
+        kernel pass) instead of per-tag index scans, and are remembered in
+        the user tag history in utterance order.
+        """
+        tag_sets: List[Optional[Dict[str, float]]] = []
+        unknown_tags: List[SubjectiveTag] = []
+        unknown_positions: List[int] = []
+        for position, tag in enumerate(tags):
+            if tag in self.index:
+                tag_sets.append(self.index.lookup(tag))
+            else:
+                self.user_tag_history.append(tag)
+                tag_sets.append(None)
+                unknown_tags.append(tag)
+                unknown_positions.append(position)
+        if unknown_tags:
+            combined = self.index.lookup_similar_batch(unknown_tags, self.config.theta_filter)
+            for position, mapping in zip(unknown_positions, combined):
+                tag_sets[position] = mapping
+        return tag_sets
 
     def answer_tags(
         self,
@@ -130,8 +157,7 @@ class Saccs:
         """Rank entities for a set of subjective tags (evaluation entry point)."""
         if api_entity_ids is None:
             api_entity_ids = [entity.entity_id for entity in self.entities]
-        tag_sets = [self._tag_set(tag) for tag in tags]
-        return filter_and_rank(api_entity_ids, tag_sets, self.config.filter_config())
+        return filter_and_rank(api_entity_ids, self._tag_sets(tags), self.config.filter_config())
 
     def answer(self, utterance: str) -> List[Tuple[str, float]]:
         """Full conversational path for a natural-language utterance."""
@@ -145,4 +171,4 @@ class Saccs:
                 "answer() needs a TagExtractor (the oracle extractor has no "
                 "gold labels for arbitrary utterances); use answer_tags()"
             )
-        return filter_and_rank(api_ids, [self._tag_set(t) for t in tags], self.config.filter_config())
+        return filter_and_rank(api_ids, self._tag_sets(tags), self.config.filter_config())

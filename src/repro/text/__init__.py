@@ -19,8 +19,9 @@ from repro.text.lexicon import (
 )
 from repro.text.parser import ChunkParser
 from repro.text.pos import PosLexicon
-from repro.text.similarity import ConceptualSimilarity
+from repro.text.similarity import ConceptualSimilarity, TagFeatures
 from repro.text.tokenize import detokenize, word_tokenize
+from repro.text.vocab import TagVocabulary
 from repro.text.tree import ParseNode
 
 __all__ = [
@@ -32,6 +33,8 @@ __all__ = [
     "OpinionWord",
     "ParseNode",
     "PosLexicon",
+    "TagFeatures",
+    "TagVocabulary",
     "detokenize",
     "electronics_lexicon",
     "hotel_lexicon",

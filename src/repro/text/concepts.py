@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.text.lexicon import DomainLexicon
 
@@ -34,6 +35,11 @@ class ConceptTaxonomy:
         self.root = roots[0]
         self._depth: Dict[str, int] = nx.shortest_path_length(self.graph, self.root)
         self._surface_index = lexicon.aspect_surface_index()
+        #: stable concept ordering for the vectorized kernel's pair table.
+        self._concepts: List[str] = list(self.graph.nodes)
+        self._concept_index: Dict[str, int] = {c: i for i, c in enumerate(self._concepts)}
+        self._pair_table: Optional[np.ndarray] = None
+        self._pair_table_padded: Optional[np.ndarray] = None
 
     # ---------------------------------------------------------------- lookup
 
@@ -61,7 +67,42 @@ class ConceptTaxonomy:
                 return node
         return self.root
 
+    @property
+    def concepts(self) -> List[str]:
+        """All concept names in the table ordering used by the kernel."""
+        return list(self._concepts)
+
+    def concept_index(self, concept: str) -> int:
+        """Integer id of a concept (row/column into :meth:`pair_table`)."""
+        return self._concept_index[concept]
+
     # ------------------------------------------------------------ similarity
+
+    def pair_table(self) -> np.ndarray:
+        """Full Wu–Palmer table over all concepts, computed once and cached.
+
+        Memoizes similarity per *concept pair* rather than per surface-form
+        pair: every surface resolving to the same concept shares one entry.
+        """
+        if self._pair_table is None:
+            n = len(self._concepts)
+            table = np.ones((n, n))
+            for i in range(n):
+                for j in range(i + 1, n):
+                    table[i, j] = table[j, i] = self.wu_palmer(self._concepts[i], self._concepts[j])
+            self._pair_table = table
+        return self._pair_table
+
+    def pair_table_padded(self) -> np.ndarray:
+        """:meth:`pair_table` with a zero row/column appended.
+
+        Unknown concepts are encoded as id ``-1``; indexing the padded table
+        with ``-1`` lands on the zero row, so unknown aspects score 0 without
+        any masking.
+        """
+        if self._pair_table_padded is None:
+            self._pair_table_padded = np.pad(self.pair_table(), ((0, 1), (0, 1)))
+        return self._pair_table_padded
 
     def wu_palmer(self, a: str, b: str) -> float:
         """Wu–Palmer similarity between two concepts, in (0, 1]."""

@@ -4,7 +4,7 @@ These helpers are deliberately tiny and dependency-free (numpy only) so that
 every other subpackage can import them without cycles.
 """
 
-from repro.utils.caching import ArtifactCache, default_cache, fingerprint
+from repro.utils.caching import ArtifactCache, default_cache, fingerprint, memoize
 from repro.utils.numerics import (
     log_softmax,
     logsumexp,
@@ -26,6 +26,7 @@ __all__ = [
     "fingerprint",
     "log_softmax",
     "logsumexp",
+    "memoize",
     "new_rng",
     "one_hot",
     "sigmoid",

@@ -7,16 +7,42 @@ fingerprint of the producing configuration.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, TypeVar
 
 import numpy as np
 
-__all__ = ["ArtifactCache", "default_cache", "fingerprint"]
+__all__ = ["ArtifactCache", "default_cache", "fingerprint", "memoize"]
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def memoize(fn: _F) -> _F:
+    """Unbounded in-memory memoization keyed on positional arguments.
+
+    Unlike :func:`functools.lru_cache` the cache is exposed as ``fn.cache``
+    so callers can inspect or clear it; arguments must be hashable.  Used for
+    pure, deterministic helpers on hot paths (e.g. the opinion identity
+    vectors of the conceptual-similarity kernel).
+    """
+    cache: Dict[tuple, Any] = {}
+
+    @functools.wraps(fn)
+    def wrapper(*args):
+        try:
+            return cache[args]
+        except KeyError:
+            value = fn(*args)
+            cache[args] = value
+            return value
+
+    wrapper.cache = cache  # type: ignore[attr-defined]
+    return wrapper  # type: ignore[return-value]
 
 
 def fingerprint(config: Any) -> str:

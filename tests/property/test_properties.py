@@ -8,6 +8,7 @@ from repro.core import SubjectiveTag, aggregate_scores, filter_and_rank
 from repro.core.filtering import FilterConfig
 from repro.nn.crf import LinearChainCRF
 from repro.nn.tensor import Tensor
+from repro.text import ConceptualSimilarity, restaurant_lexicon
 from repro.text.labels import LABELS, labels_to_spans, spans_to_labels
 from repro.utils.numerics import logsumexp, softmax
 from repro.weak import ABSTAIN, MajorityVoteModel
@@ -192,3 +193,35 @@ def test_crf_decode_scores_at_least_gold_path(steps, num_labels, seed):
     best = crf.decode(emissions)[0]
     random_path = list(rng.integers(0, num_labels, size=steps))
     assert path_score(best) >= path_score(random_path) - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# vectorized similarity kernel ≡ scalar oracle
+# ---------------------------------------------------------------------------
+
+_KERNEL_SIM = ConceptualSimilarity(restaurant_lexicon())
+_KERNEL_ASPECTS = sorted(_KERNEL_SIM.lexicon.aspect_surface_index()) + ["widget", "zzz"]
+_KERNEL_OPINIONS = sorted(op.text for op in _KERNEL_SIM.lexicon.opinions) + [
+    "really good",
+    "very tasty",
+    "meh",
+    "so-so",
+]
+
+kernel_tags = st.tuples(st.sampled_from(_KERNEL_ASPECTS), st.sampled_from(_KERNEL_OPINIONS))
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    st.lists(kernel_tags, min_size=1, max_size=6),
+    st.lists(kernel_tags, min_size=1, max_size=6),
+)
+def test_tag_similarity_matrix_matches_scalar(tags_a, tags_b):
+    """Every matrix entry equals the scalar oracle's score to ≤ 1e-9."""
+    matrix = _KERNEL_SIM.tag_similarity_matrix(tags_a, tags_b)
+    assert matrix.shape == (len(tags_a), len(tags_b))
+    for i, tag_a in enumerate(tags_a):
+        for j, tag_b in enumerate(tags_b):
+            scalar = _KERNEL_SIM.tag_similarity(tag_a, tag_b)
+            assert abs(matrix[i, j] - scalar) <= 1e-9
+            assert 0.0 <= matrix[i, j] <= 1.0

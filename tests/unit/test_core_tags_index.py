@@ -126,12 +126,117 @@ class TestIndex:
             SubjectiveTagIndex(similarity, theta_index=1.5)
         with pytest.raises(ValueError):
             SubjectiveTagIndex(similarity, review_count_mode="sometimes")
+        with pytest.raises(ValueError):
+            SubjectiveTagIndex(similarity, backend="gpu")
 
     def test_snippet_renders(self, similarity):
         index = SubjectiveTagIndex(similarity)
         _register(index, "e", [["good food"]])
         index.add_tag(SubjectiveTag.from_text("good food"))
         assert "good food" in index.snippet()
+
+    def test_snippet_deterministic_on_ties(self, similarity):
+        # Identical review sets → exactly equal degrees; the rendering must
+        # tie-break on entity id regardless of registration order.
+        for order in (("b_place", "a_place"), ("a_place", "b_place")):
+            index = SubjectiveTagIndex(similarity)
+            for entity_id in order:
+                _register(index, entity_id, [["delicious food"]] * 3)
+            index.add_tag(SubjectiveTag.from_text("delicious food"))
+            snippet = index.snippet()
+            assert snippet.find("a_place") < snippet.find("b_place")
+
+
+class TestVectorizedBackend:
+    """The matrix-backed index must agree with the scalar reference oracle."""
+
+    REVIEWS = {
+        "good_place": [["delicious food"], ["tasty food", "nice staff"], ["good food"]],
+        "bad_place": [["bland food"], ["tasteless food"]],
+        "pizzeria": [["amazing pizza"], ["amazing pizza"], ["great pizza"]],
+        "cafe": [["friendly staff"], ["cozy atmosphere"], ["nice staff", "good coffee"]],
+    }
+    INDEX_TAGS = ("delicious food", "good food", "nice staff", "amazing pizza")
+
+    def _build(self, similarity, backend, **kwargs):
+        index = SubjectiveTagIndex(similarity, backend=backend, **kwargs)
+        for entity_id, reviews in self.REVIEWS.items():
+            _register(index, entity_id, reviews)
+        index.build([SubjectiveTag.from_text(t) for t in self.INDEX_TAGS])
+        return index
+
+    @pytest.mark.parametrize("theta_mode", ["static", "dynamic"])
+    @pytest.mark.parametrize("review_count_mode", ["matched", "all"])
+    def test_lookup_matches_scalar(self, similarity, theta_mode, review_count_mode):
+        kwargs = {"theta_mode": theta_mode, "review_count_mode": review_count_mode}
+        vectorized = self._build(similarity, "vectorized", **kwargs)
+        scalar = self._build(similarity, "scalar", **kwargs)
+        for text in self.INDEX_TAGS:
+            tag = SubjectiveTag.from_text(text)
+            expected = scalar.lookup(tag)
+            actual = vectorized.lookup(tag)
+            assert set(actual) == set(expected)
+            for entity_id, degree in expected.items():
+                assert actual[entity_id] == pytest.approx(degree, abs=1e-9)
+
+    def test_lookup_similar_matches_scalar(self, similarity):
+        vectorized = self._build(similarity, "vectorized")
+        scalar = self._build(similarity, "scalar")
+        queries = [
+            SubjectiveTag.from_text("really tasty food"),
+            SubjectiveTag.from_text("super friendly staff"),
+            SubjectiveTag.from_text("awesome pizza"),
+        ]
+        for query in queries:
+            expected = scalar.lookup_similar(query, theta_filter=0.5)
+            actual = vectorized.lookup_similar(query, theta_filter=0.5)
+            assert set(actual) == set(expected)
+            for entity_id, value in expected.items():
+                assert actual[entity_id] == pytest.approx(value, abs=1e-9)
+
+    def test_batch_matches_singles(self, similarity):
+        index = self._build(similarity, "vectorized")
+        queries = [
+            SubjectiveTag.from_text("really tasty food"),
+            SubjectiveTag.from_text("awesome pizza"),
+            SubjectiveTag.from_text("delicious food"),  # interned: cached column path
+        ]
+        batched = index.lookup_similar_batch(queries, theta_filter=0.5)
+        for query, combined in zip(queries, batched):
+            single = index.lookup_similar(query, theta_filter=0.5)
+            assert set(combined) == set(single)
+            for entity_id, value in single.items():
+                assert combined[entity_id] == pytest.approx(value, abs=1e-9)
+
+    def test_vocabulary_interns_review_and_index_tags(self, similarity):
+        index = self._build(similarity, "vectorized")
+        assert SubjectiveTag.from_text("delicious food") in index.vocab
+        assert SubjectiveTag.from_text("cozy atmosphere") in index.vocab
+
+    def test_dynamic_threshold_cached_and_invalidated(self, similarity):
+        index = SubjectiveTagIndex(similarity, theta_mode="dynamic")
+        _register(index, "e", [["delicious food"], ["tasty food"]])
+        tag = SubjectiveTag.from_text("good food")
+        theta = index._threshold_for(tag)
+        assert index._threshold_cache[tag] == theta
+        assert index._threshold_for(tag) == theta
+        # New evidence can shift the similarity distribution: cache clears.
+        _register(index, "f", [["good food"]])
+        assert not index._threshold_cache
+
+    def test_entities_registered_after_tag_not_backfilled(self, similarity):
+        # Mappings are fixed at add_tag time in both backends.
+        for backend in ("vectorized", "scalar"):
+            index = SubjectiveTagIndex(similarity, backend=backend)
+            _register(index, "early", [["delicious food"]] * 2)
+            tag = SubjectiveTag.from_text("delicious food")
+            index.add_tag(tag)
+            _register(index, "late", [["delicious food"]] * 2)
+            assert "late" not in index.lookup(tag)
+            # …but a *new* tag sees the late entity.
+            other = SubjectiveTag.from_text("tasty food")
+            index.add_tag(other)
+            assert "late" in index.lookup(other)
 
 
 class TestAggregation:

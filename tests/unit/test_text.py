@@ -8,6 +8,7 @@ from repro.text import (
     ConceptTaxonomy,
     ConceptualSimilarity,
     PosLexicon,
+    TagVocabulary,
     electronics_lexicon,
     hotel_lexicon,
     lexicon_for_domain,
@@ -146,6 +147,88 @@ class TestConceptualSimilarity:
     def test_opposite_polarity_below_floor_plus_margin(self, sim):
         # "delicious food" vs "bland food" must stay below indexing thresholds.
         assert sim.tag_similarity(("food", "delicious"), ("food", "bland")) <= 0.4
+
+
+class TestTagSimilarityMatrix:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return ConceptualSimilarity(restaurant_lexicon())
+
+    TAGS_A = [
+        ("food", "delicious"),
+        ("pizza", "amazing"),
+        ("staff", "nice"),
+        ("unknownaspect", "meh"),
+        ("food", "really good"),
+    ]
+    TAGS_B = [
+        ("food", "good"),
+        ("staff", "really friendly"),
+        ("unknownaspect", "meh"),
+        ("food", "bland"),
+        ("view", "stunning"),
+    ]
+
+    def test_matches_scalar_exactly(self, sim):
+        matrix = sim.tag_similarity_matrix(self.TAGS_A, self.TAGS_B)
+        assert matrix.shape == (len(self.TAGS_A), len(self.TAGS_B))
+        for i, a in enumerate(self.TAGS_A):
+            for j, b in enumerate(self.TAGS_B):
+                assert matrix[i, j] == pytest.approx(sim.tag_similarity(a, b), abs=1e-9)
+
+    def test_empty_inputs(self, sim):
+        assert sim.tag_similarity_matrix([], self.TAGS_B).shape == (0, len(self.TAGS_B))
+        assert sim.tag_similarity_matrix(self.TAGS_A, []).shape == (len(self.TAGS_A), 0)
+
+    def test_oov_equal_opinions_score_one_channel(self, sim):
+        # Equal normalised phrases count as opinion similarity 1.0 even when
+        # both are out of vocabulary — same as the scalar oracle.
+        matrix = sim.tag_similarity_matrix([("food", "zesty")], [("food", "zesty")])
+        assert matrix[0, 0] == pytest.approx(1.0)
+
+    def test_accepts_subjective_tags(self, sim):
+        from repro.core import SubjectiveTag
+
+        tags = [SubjectiveTag.from_text("delicious food")]
+        matrix = sim.tag_similarity_matrix(tags, tags)
+        assert matrix[0, 0] == pytest.approx(1.0)
+
+
+class TestTagVocabulary:
+    @pytest.fixture()
+    def vocab(self):
+        return TagVocabulary(ConceptualSimilarity(restaurant_lexicon()))
+
+    def test_intern_is_idempotent(self, vocab):
+        first = vocab.intern(("food", "good"))
+        second = vocab.intern(("food", "good"))
+        assert first == second
+        assert len(vocab) == 1
+
+    def test_roundtrip_and_membership(self, vocab):
+        tag = ("staff", "friendly")
+        tag_id = vocab.intern(tag)
+        assert tag in vocab
+        assert vocab.id_of(tag) == tag_id
+        assert vocab.tag_of(tag_id) == tag
+        assert vocab.id_of(("staff", "rude")) is None
+
+    def test_features_grow_incrementally(self, vocab):
+        vocab.intern(("food", "good"))
+        assert len(vocab.features()) == 1
+        vocab.intern_many([("food", "tasty"), ("staff", "nice")])
+        features = vocab.features()
+        assert len(features) == 3
+        assert features.units.shape[0] == 3
+
+    def test_similarity_rows_match_scalar(self, vocab):
+        vocab.intern_many([("food", "good"), ("pizza", "amazing"), ("staff", "rude")])
+        query = ("food", "delicious")
+        rows = vocab.similarity_rows([query])
+        assert rows.shape == (1, 3)
+        for j, tag in enumerate(vocab.tags):
+            expected = vocab.similarity.tag_similarity(query, tag)
+            assert rows[0, j] == pytest.approx(expected, abs=1e-9)
 
 
 class TestPos:

@@ -110,6 +110,37 @@ class TestTimer:
         assert timer.elapsed >= 0.0
 
 
+class TestMemoize:
+    def test_caches_and_exposes_cache(self):
+        from repro.utils import memoize
+
+        calls = []
+
+        @memoize
+        def double(x):
+            calls.append(x)
+            return 2 * x
+
+        assert double(3) == 6
+        assert double(3) == 6
+        assert calls == [3]
+        assert double.cache == {(3,): 6}
+        double.cache.clear()
+        assert double(3) == 6
+        assert calls == [3, 3]
+
+    def test_distinct_args_distinct_entries(self):
+        from repro.utils import memoize
+
+        @memoize
+        def join(a, b):
+            return f"{a}-{b}"
+
+        assert join("x", "y") == "x-y"
+        assert join("y", "x") == "y-x"
+        assert len(join.cache) == 2
+
+
 class TestModuleSerialization:
     def test_file_roundtrip(self, tmp_path):
         rng = np.random.default_rng(0)
