@@ -96,11 +96,17 @@ def write_bench_record(name: str, payload: Mapping[str, object]) -> Path:
 
     Records land in the repository root (override with
     ``REPRO_BENCH_OUTPUT_DIR``) so successive runs are diffable artifacts.
+    Every record is stamped with the host environment so timings from
+    different machines are never compared blind.
     """
+    from repro.utils.env import environment_info
+
     out_dir = Path(os.environ.get("REPRO_BENCH_OUTPUT_DIR", Path(__file__).resolve().parent.parent))
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{name}.json"
-    path.write_text(json.dumps(dict(payload), indent=2, sort_keys=True) + "\n")
+    record = dict(payload)
+    record.setdefault("environment", environment_info())
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -120,6 +120,88 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_serving_saccs(args: argparse.Namespace):
+    """A built oracle-extractor facade from a snapshot or a generated world."""
+    from repro.core import OracleExtractor, Saccs, SaccsConfig, SubjectiveTag
+    from repro.data import WorldConfig, build_world, load_world
+    from repro.text import ConceptualSimilarity, restaurant_lexicon
+
+    if args.world:
+        world = load_world(args.world)
+    else:
+        world = build_world(
+            WorldConfig.small(
+                seed=args.seed, num_entities=args.entities, mean_reviews=args.reviews
+            )
+        )
+    saccs = Saccs(
+        world.entities,
+        world.reviews,
+        OracleExtractor(),
+        ConceptualSimilarity(restaurant_lexicon()),
+        SaccsConfig(),
+    )
+    saccs.build_index([SubjectiveTag.from_text(d.name) for d in world.dimensions])
+    return saccs
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import SaccsHttpServer, SaccsRuntime, ServeConfig
+
+    saccs = _build_serving_saccs(args)
+    config = ServeConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        session_ttl_seconds=args.session_ttl,
+    )
+    runtime = SaccsRuntime(saccs, config)
+    server = SaccsHttpServer(runtime, host=args.host, port=args.port)
+    print(
+        f"serving {len(saccs.index)} index tags over {len(saccs.entities)} entities "
+        f"at {server.url}"
+    )
+    print("  POST /search   POST /session/<id>/say   POST /admin/reindex")
+    print("  GET  /healthz  GET  /metrics            (Ctrl-C to stop)")
+    server.serve_forever()
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import run_load_benchmark, write_serve_record
+
+    payload = run_load_benchmark(
+        seed=args.seed,
+        clients=tuple(args.clients),
+        requests_per_client=args.requests,
+        entities=args.entities,
+        mean_reviews=args.reviews,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        workers=args.workers,
+        progress=print,
+    )
+    header = f"{'batching':<10}{'clients':>8}{'rps':>10}{'p50 ms':>9}{'p95 ms':>9}{'batch':>7}"
+    print(header)
+    print("-" * len(header))
+    for cell in payload["cells"]:
+        latency = cell["latency_seconds"]
+        print(
+            f"{'on' if cell['batching'] else 'off':<10}{cell['clients']:>8}"
+            f"{cell['throughput_rps']:>10.1f}{latency['p50'] * 1000:>9.2f}"
+            f"{latency['p95'] * 1000:>9.2f}{cell['batch_size']['mean']:>7.1f}"
+        )
+    summary = payload["summary"]
+    print(
+        f"speedup at {summary['peak_clients']} clients "
+        f"(batching on vs off): {summary['speedup_batching_at_peak']:.2f}x"
+    )
+    path = write_serve_record(payload, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.data import DATASET_SPECS
 
@@ -170,6 +252,34 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--theta", type=float, default=0.60)
     search.add_argument("tags", nargs="+", help='subjective tags, e.g. "delicious food"')
     search.set_defaults(func=_cmd_search)
+
+    serve = subparsers.add_parser("serve", help="run the JSON-over-HTTP serving runtime")
+    serve.add_argument("--world", help="world snapshot to serve (default: generate one)")
+    serve.add_argument("--entities", type=int, default=60)
+    serve.add_argument("--reviews", type=float, default=12.0)
+    serve.add_argument("--seed", type=int, default=2021)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8350)
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--max-batch-size", type=int, default=16)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument("--cache-size", type=int, default=4096)
+    serve.add_argument("--session-ttl", type=float, default=1800.0)
+    serve.set_defaults(func=_cmd_serve)
+
+    bench_serve = subparsers.add_parser(
+        "bench-serve", help="closed-loop load benchmark of the serving runtime"
+    )
+    bench_serve.add_argument("--seed", type=int, default=7)
+    bench_serve.add_argument("--clients", type=int, nargs="+", default=[1, 4, 16])
+    bench_serve.add_argument("--requests", type=int, default=60, help="requests per client")
+    bench_serve.add_argument("--entities", type=int, default=60)
+    bench_serve.add_argument("--reviews", type=float, default=10.0)
+    bench_serve.add_argument("--workers", type=int, default=2)
+    bench_serve.add_argument("--max-batch-size", type=int, default=16)
+    bench_serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    bench_serve.add_argument("--output", help="record path (default: ./BENCH_serve.json)")
+    bench_serve.set_defaults(func=_cmd_bench_serve)
 
     datasets = subparsers.add_parser("datasets", help="list the S1-S4 benchmarks")
     datasets.set_defaults(func=_cmd_datasets)

@@ -41,7 +41,7 @@ from repro.core.pairing import (
     instances_from_examples,
     select_attention_heads,
 )
-from repro.core.saccs import Saccs, SaccsConfig
+from repro.core.saccs import IndexingRound, Saccs, SaccsConfig
 from repro.core.session import ConversationSession, Turn
 from repro.core.tagger import SequenceTagger
 from repro.core.tags import SubjectiveTag
@@ -65,6 +65,7 @@ __all__ = [
     "HeuristicPairer",
     "IRBaseline",
     "IndexEntry",
+    "IndexingRound",
     "IntentRecognizer",
     "OracleExtractor",
     "Pairer",

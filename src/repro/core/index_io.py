@@ -42,22 +42,35 @@ def save_index(index: SubjectiveTagIndex, path: Union[str, Path]) -> None:
         json.dump(payload, handle)
 
 
-def load_index(path: Union[str, Path], similarity: ConceptualSimilarity) -> SubjectiveTagIndex:
+def load_index(
+    path: Union[str, Path],
+    similarity: ConceptualSimilarity,
+    backend: str = "vectorized",
+) -> SubjectiveTagIndex:
     """Load an index snapshot written by :func:`save_index`.
 
     The similarity oracle is not serialised (it is code, not data) and must
-    be supplied by the caller.
+    be supplied by the caller.  ``backend`` picks the compute backend for
+    the restored index — a runtime choice, not snapshot data — so a serving
+    process can load an offline-built snapshot straight onto the vectorized
+    kernel (the matrix backing is rebuilt lazily on first lookup).
+
+    Snapshots missing ``format_version``, or carrying one this code does
+    not understand, are rejected loudly instead of being half-restored.
     """
     with Path(path).open("r", encoding="utf-8") as handle:
         payload = json.load(handle)
     version = payload.get("format_version")
     if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported index format version: {version!r}")
+        raise ValueError(
+            f"unsupported index format version: {version!r} (this build reads {_FORMAT_VERSION})"
+        )
     index = SubjectiveTagIndex(
         similarity,
         theta_index=payload["theta_index"],
         normalize_degrees=payload["normalize_degrees"],
         review_count_mode=payload["review_count_mode"],
+        backend=backend,
     )
     # restore_snapshot re-interns every tag into the vocabulary and marks the
     # vectorized backing (occurrence arrays, similarity/degree matrices) for

@@ -28,7 +28,30 @@ from repro.core.tags import SubjectiveTag
 from repro.data.schema import Entity, Review
 from repro.text.similarity import ConceptualSimilarity
 
-__all__ = ["SaccsConfig", "Saccs"]
+__all__ = ["SaccsConfig", "Saccs", "IndexingRound"]
+
+
+@dataclass(frozen=True)
+class IndexingRound:
+    """Outcome of one :meth:`Saccs.run_indexing_round`.
+
+    Carries the post-round :attr:`generation` (what caches key invalidation
+    on) and the tags adopted this round.  Iterates/contains like the adopted
+    tag list so existing ``tag in saccs.run_indexing_round()`` callers keep
+    working.
+    """
+
+    generation: int
+    added: Tuple[SubjectiveTag, ...]
+
+    def __iter__(self):
+        return iter(self.added)
+
+    def __contains__(self, tag: object) -> bool:
+        return tag in self.added
+
+    def __len__(self) -> int:
+        return len(self.added)
 
 
 @dataclass
@@ -86,6 +109,12 @@ class Saccs:
         #: reviews are dropped before extraction.
         self.review_filter = review_filter
         self.user_tag_history: List[SubjectiveTag] = []
+        #: monotonically increasing counter, bumped by every indexing round
+        #: (including :meth:`build_index`).  Serving layers stamp cached
+        #: rankings with the generation they were computed under, so a bump
+        #: deterministically invalidates everything derived from the old
+        #: index state.
+        self.index_generation = 0
         self._ingested = False
 
     # ------------------------------------------------------------- ingestion
@@ -107,16 +136,26 @@ class Saccs:
         if not self._ingested:
             self.ingest_reviews()
         self.index.build(tags)
+        self.index_generation += 1
 
-    def run_indexing_round(self) -> List[SubjectiveTag]:
-        """Fold the user tag history into the index (Figure 1's loop)."""
+    def run_indexing_round(self) -> IndexingRound:
+        """Fold the user tag history into the index (Figure 1's loop).
+
+        Folding is idempotent — a tag already adopted by an earlier round is
+        skipped — and processes the history as a *sorted set*, so the index
+        ends up in the same state (same tag insertion order, bit-identical
+        degree matrices) no matter the order concurrent requests appended
+        their unknown tags.  Every round bumps :attr:`index_generation`,
+        even when nothing new was adopted.
+        """
         added = []
-        for tag in self.user_tag_history:
+        for tag in sorted(set(self.user_tag_history)):
             if tag not in self.index:
                 self.index.add_tag(tag)
                 added.append(tag)
         self.user_tag_history.clear()
-        return added
+        self.index_generation += 1
+        return IndexingRound(self.index_generation, tuple(added))
 
     # --------------------------------------------------------------- queries
 
@@ -125,28 +164,46 @@ class Saccs:
         return self._tag_sets([tag])[0]
 
     def _tag_sets(self, tags: Sequence[SubjectiveTag]) -> List[Dict[str, float]]:
-        """Per-tag entity sets for a whole utterance with one batched lookup.
+        """Per-tag entity sets for a whole utterance with one batched lookup."""
+        return self._tag_sets_many([tags])[0]
 
-        Known tags read straight from the index; all unknown tags share a
-        single :meth:`SubjectiveTagIndex.lookup_similar_batch` call (one
-        kernel pass) instead of per-tag index scans, and are remembered in
-        the user tag history in utterance order.
+    def _tag_sets_many(
+        self, batches: Sequence[Sequence[SubjectiveTag]]
+    ) -> List[List[Dict[str, float]]]:
+        """Per-tag entity sets for a *batch of requests* with one shared fold.
+
+        Known tags read straight from the index; every distinct unknown tag
+        across the whole batch shares a single
+        :meth:`SubjectiveTagIndex.lookup_similar_batch` call (one kernel
+        pass, duplicates computed once) instead of per-tag index scans.
+        Unknown tags are remembered in the user tag history per occurrence,
+        in request order — exactly what sequential per-request calls would
+        record.  Because the kernel evaluates small blocks row-stationary,
+        each request's mappings are bit-identical to the ones a sequential
+        :meth:`answer_tags` call would produce, which is what lets the
+        serving layer micro-batch concurrent requests safely.
         """
-        tag_sets: List[Optional[Dict[str, float]]] = []
-        unknown_tags: List[SubjectiveTag] = []
-        unknown_positions: List[int] = []
-        for position, tag in enumerate(tags):
-            if tag in self.index:
-                tag_sets.append(self.index.lookup(tag))
-            else:
-                self.user_tag_history.append(tag)
-                tag_sets.append(None)
-                unknown_tags.append(tag)
-                unknown_positions.append(position)
-        if unknown_tags:
-            combined = self.index.lookup_similar_batch(unknown_tags, self.config.theta_filter)
-            for position, mapping in zip(unknown_positions, combined):
-                tag_sets[position] = mapping
+        tag_sets: List[List[Optional[Dict[str, float]]]] = [
+            [None] * len(tags) for tags in batches
+        ]
+        distinct: List[SubjectiveTag] = []
+        distinct_of: Dict[SubjectiveTag, int] = {}
+        placements: List[Tuple[int, int, int]] = []
+        for request, tags in enumerate(batches):
+            for position, tag in enumerate(tags):
+                if tag in self.index:
+                    tag_sets[request][position] = self.index.lookup(tag)
+                else:
+                    self.user_tag_history.append(tag)
+                    slot = distinct_of.get(tag)
+                    if slot is None:
+                        slot = distinct_of[tag] = len(distinct)
+                        distinct.append(tag)
+                    placements.append((request, position, slot))
+        if distinct:
+            combined = self.index.lookup_similar_batch(distinct, self.config.theta_filter)
+            for request, position, slot in placements:
+                tag_sets[request][position] = combined[slot]
         return tag_sets
 
     def answer_tags(
@@ -158,6 +215,27 @@ class Saccs:
         if api_entity_ids is None:
             api_entity_ids = [entity.entity_id for entity in self.entities]
         return filter_and_rank(api_entity_ids, self._tag_sets(tags), self.config.filter_config())
+
+    def answer_many(
+        self,
+        tag_lists: Sequence[Sequence[SubjectiveTag]],
+        api_entity_ids: Optional[Sequence[str]] = None,
+    ) -> List[List[Tuple[str, float]]]:
+        """Rank entities for many tag queries with one shared index fold.
+
+        Bit-identical to calling :meth:`answer_tags` once per list, in
+        order, but unknown tags across the whole batch are resolved with a
+        single batched ``lookup_similar`` pass (duplicates deduplicated) —
+        the entry point `repro.serve`'s micro-batching scheduler drains
+        concurrent requests into.
+        """
+        if api_entity_ids is None:
+            api_entity_ids = [entity.entity_id for entity in self.entities]
+        config = self.config.filter_config()
+        return [
+            filter_and_rank(api_entity_ids, tag_sets, config)
+            for tag_sets in self._tag_sets_many([list(tags) for tags in tag_lists])
+        ]
 
     def answer(self, utterance: str) -> List[Tuple[str, float]]:
         """Full conversational path for a natural-language utterance."""

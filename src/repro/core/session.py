@@ -91,7 +91,9 @@ class ConversationSession:
         parsed = self.saccs.dialog.recognizer.parse(utterance)
         self.slots.update(parsed.slots)
         added = []
-        if not removed:  # a retraction turn does not add its aspect back
+        # a retraction turn does not add its aspect back; an empty utterance
+        # has nothing to extract (and some taggers choke on zero tokens).
+        if not removed and parsed.tokens:
             for tag in self.saccs.extractor.extract(parsed.tokens):
                 if tag not in self.active_tags:
                     self.active_tags.append(tag)
@@ -123,7 +125,12 @@ class ConversationSession:
     # ------------------------------------------------------------- inspection
 
     def state_summary(self) -> str:
-        """One-line rendering of the accumulated query state."""
-        tags = ", ".join(t.text for t in self.active_tags) or "(none)"
-        slots = ", ".join(f"{k}={v}" for k, v in self.slots.items()) or "(none)"
+        """One-line rendering of the accumulated query state.
+
+        Tags and slots render in sorted order so two sessions holding the
+        same state — even tags accumulated in different turn orders, or
+        tags with equal index degrees — summarise to identical strings.
+        """
+        tags = ", ".join(sorted(t.text for t in self.active_tags)) or "(none)"
+        slots = ", ".join(f"{k}={v}" for k, v in sorted(self.slots.items())) or "(none)"
         return f"tags: {tags} | slots: {slots}"

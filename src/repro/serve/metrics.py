@@ -1,0 +1,136 @@
+"""Lock-safe serving metrics: counters, latency histograms, hit ratios.
+
+The registry is deliberately tiny — a dict of counters and a dict of
+bounded sample windows behind one lock — because it sits on every request
+path.  Percentiles use the nearest-rank definition over the retained
+window; counts and means cover every observation ever made, so long-running
+servers report true totals with bounded memory.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Sequence
+
+__all__ = ["MetricsRegistry", "percentile"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile: smallest sample with ≥ ``q``% at or below.
+
+    ``q`` is in [0, 100].  For ``samples == [1..100]`` this yields exactly
+    50 / 95 / 99 for q = 50 / 95 / 99 — no interpolation, so reported
+    latencies are always values that actually occurred.
+    """
+    if not samples:
+        raise ValueError("percentile of no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must lie in [0, 100]")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+class _Histogram:
+    __slots__ = ("count", "total", "minimum", "maximum", "window")
+
+    def __init__(self, window_size: int):
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.window: deque = deque(maxlen=window_size)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        self.window.append(value)
+
+    def snapshot(self) -> Dict[str, float]:
+        samples = list(self.window)
+        return {
+            "count": self.count,
+            "mean": self.total / self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": percentile(samples, 50.0),
+            "p95": percentile(samples, 95.0),
+            "p99": percentile(samples, 99.0),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe counters + histograms, snapshotable as plain JSON data.
+
+    Counter names ending in ``.hit`` / ``.miss`` are additionally rolled up
+    into a ``ratios`` section (``hits / (hits + misses)``) so cache
+    effectiveness is readable straight off ``/metrics``.
+    """
+
+    def __init__(self, window_size: int = 4096, clock=time.perf_counter):
+        if window_size <= 0:
+            raise ValueError("window_size must be positive")
+        self._lock = threading.Lock()
+        self._window_size = window_size
+        self._clock = clock
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, _Histogram] = {}
+        self._started = time.time()
+
+    # -------------------------------------------------------------- recording
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0 on first use)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into histogram ``name``."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = _Histogram(self._window_size)
+            histogram.observe(float(value))
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Context manager observing elapsed seconds into histogram ``name``."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.observe(name, self._clock() - start)
+
+    # ------------------------------------------------------------- inspection
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serialisable view: counters, histograms, hit ratios."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = {
+                name: histogram.snapshot() for name, histogram in self._histograms.items()
+            }
+        ratios: Dict[str, float] = {}
+        for name, hits in counters.items():
+            if not name.endswith(".hit"):
+                continue
+            base = name[: -len(".hit")]
+            misses = counters.get(f"{base}.miss", 0)
+            if hits + misses:
+                ratios[base] = hits / (hits + misses)
+        return {
+            "uptime_seconds": time.time() - self._started,
+            "counters": counters,
+            "histograms": histograms,
+            "ratios": ratios,
+        }

@@ -1,0 +1,388 @@
+"""The serving runtime: queue → micro-batcher → worker pool → cache → facade.
+
+:class:`SaccsRuntime` owns one :class:`~repro.core.saccs.Saccs` facade and
+turns it into a concurrent service.  The pipeline:
+
+1. ``search()`` checks the ranking cache (generation-stamped; a reindex
+   invalidates deterministically) and otherwise enqueues the request.
+2. A **batcher** thread drains the queue into micro-batches — up to
+   ``max_batch_size`` requests, waiting at most ``max_wait_ms`` for
+   stragglers once the first request arrives (a batch size of 1 never
+   waits).
+3. **Worker** threads execute whole batches under the facade lock: the
+   batch's distinct tag queries share one
+   :meth:`~repro.core.saccs.Saccs.answer_many` fold (duplicate concurrent
+   queries are computed once), per-request results are sliced, cached and
+   resolved.
+
+Equivalence guarantee: because the similarity kernel evaluates small blocks
+row-stationary and :meth:`answer_many` keeps per-request semantics,
+rankings served through the batched pipeline are **byte-identical** to
+sequential :meth:`Saccs.answer_tags` / :meth:`Saccs.answer` calls — the
+integration tests assert this with concurrent clients.
+
+The facade lock serialises index access (the facade mutates shared state:
+user tag history, lazy matrices, vocabulary).  Micro-batching is what makes
+that serialisation cheap: N concurrent requests cost one lock round-trip,
+one scheduler wake-up and one index fold instead of N.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.filtering import filter_and_rank
+from repro.core.saccs import IndexingRound, Saccs
+from repro.core.session import ConversationSession
+from repro.core.extractor import TagExtractor
+from repro.core.tags import SubjectiveTag
+from repro.serve.cache import ServingCache
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.protocol import ProtocolError, ReindexResponse, SearchResponse
+from repro.serve.sessions import SessionStore
+
+__all__ = ["ServeConfig", "SaccsRuntime"]
+
+_STOP = object()
+
+
+@dataclass
+class ServeConfig:
+    """Knobs for the serving pipeline."""
+
+    #: micro-batch ceiling; 1 disables batching (each request its own batch).
+    max_batch_size: int = 16
+    #: how long the batcher waits for stragglers after the first request.
+    max_wait_ms: float = 2.0
+    #: worker threads executing batches.
+    workers: int = 2
+    #: entries per cache level; 0 disables caching.
+    cache_size: int = 4096
+    #: idle session time-to-live.
+    session_ttl_seconds: float = 1800.0
+    max_sessions: int = 4096
+    #: per-session ranking depth (mirrors ConversationSession's default).
+    session_top_k: int = 10
+    #: how long ``search`` waits for its batch before giving up.
+    request_timeout_seconds: float = 30.0
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+
+
+class _Pending:
+    """One enqueued search: inputs, completion event, outputs."""
+
+    __slots__ = ("tags", "top_k", "api_entity_ids", "event", "results", "error",
+                 "generation", "batch_size")
+
+    def __init__(
+        self,
+        tags: Tuple[SubjectiveTag, ...],
+        top_k: Optional[int],
+        api_entity_ids: Optional[Tuple[str, ...]],
+    ):
+        self.tags = tags
+        self.top_k = top_k
+        self.api_entity_ids = api_entity_ids
+        self.event = threading.Event()
+        self.results: Optional[List[Tuple[str, float]]] = None
+        self.error: Optional[BaseException] = None
+        self.generation = -1
+        self.batch_size = 0
+
+    def resolve(self, results, generation: int, batch_size: int) -> None:
+        self.results = results
+        self.generation = generation
+        self.batch_size = batch_size
+        self.event.set()
+
+    def reject(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+
+class SaccsRuntime:
+    """Concurrent front door over a built :class:`Saccs` facade."""
+
+    def __init__(
+        self,
+        saccs: Saccs,
+        config: Optional[ServeConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.saccs = saccs
+        self.config = config or ServeConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.cache = ServingCache(self.config.cache_size, self.metrics)
+        self.sessions = SessionStore(
+            factory=self._new_session,
+            ttl_seconds=self.config.session_ttl_seconds,
+            max_sessions=self.config.max_sessions,
+        )
+        #: serialises every facade touch (index matrices, tag history,
+        #: extractor state are shared and not thread-safe).
+        self._facade_lock = threading.RLock()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._batches: "queue.Queue" = queue.Queue()
+        self._threads: List[threading.Thread] = []
+        self._running = False
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> "SaccsRuntime":
+        if self._running:
+            return self
+        self._running = True
+        batcher = threading.Thread(target=self._batcher_loop, name="saccs-batcher", daemon=True)
+        self._threads = [batcher]
+        for worker_id in range(self.config.workers):
+            self._threads.append(
+                threading.Thread(
+                    target=self._worker_loop, name=f"saccs-worker-{worker_id}", daemon=True
+                )
+            )
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+
+    def __enter__(self) -> "SaccsRuntime":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ----------------------------------------------------------------- search
+
+    @property
+    def generation(self) -> int:
+        return self.saccs.index_generation
+
+    def search(
+        self,
+        tags: Sequence[SubjectiveTag],
+        top_k: Optional[int] = None,
+        _api_entity_ids: Optional[Tuple[str, ...]] = None,
+    ) -> SearchResponse:
+        """Rank entities for ``tags`` through the batched pipeline."""
+        if not self._running:
+            raise RuntimeError("runtime is not started (use `with SaccsRuntime(...)`)")
+        self.metrics.incr("requests.search")
+        tags = tuple(tags)
+        tag_texts = tuple(tag.text for tag in tags)
+        with self.metrics.time("latency.search_seconds"):
+            cached = self.cache.ranking_for(
+                tag_texts, top_k, self.generation, api_entity_ids=_api_entity_ids
+            )
+            if cached is not None:
+                return SearchResponse(
+                    results=cached,
+                    generation=self.generation,
+                    cached=True,
+                    batch_size=0,
+                    tags=tag_texts,
+                )
+            pending = _Pending(tags, top_k, _api_entity_ids)
+            self._queue.put(pending)
+            if not pending.event.wait(self.config.request_timeout_seconds):
+                self.metrics.incr("errors.timeout")
+                raise TimeoutError("search request timed out waiting for a worker")
+            if pending.error is not None:
+                raise pending.error
+            return SearchResponse(
+                results=tuple(pending.results),
+                generation=pending.generation,
+                cached=False,
+                batch_size=pending.batch_size,
+                tags=tag_texts,
+            )
+
+    def search_utterance(self, utterance: str, top_k: Optional[int] = None) -> SearchResponse:
+        """Full conversational ``/search``: extract tags, restrict by slots.
+
+        Byte-identical to :meth:`Saccs.answer` — the objective slot
+        filtering and the extractor run exactly as the facade would, with
+        the extracted tags cached per (utterance, generation).
+        """
+        if not isinstance(self.saccs.extractor, TagExtractor):
+            raise ProtocolError(
+                "utterance search needs a neural TagExtractor; this runtime "
+                "was started with the oracle extractor — query with 'tags'",
+                status=501,
+                code="utterances_unavailable",
+            )
+        self.metrics.incr("requests.search_utterance")
+        generation = self.generation
+        cached = self.cache.tags_for(utterance, generation)
+        if cached is None:
+            with self._facade_lock:
+                parsed = self.saccs.dialog.recognizer.parse(utterance)
+                tags = tuple(self.saccs.extractor.extract(parsed.tokens))
+            api_entities = self.saccs.dialog.search(utterance)
+            api_ids = tuple(entity.entity_id for entity in api_entities)
+            self.cache.put_tags(utterance, generation, (tags, api_ids))
+        else:
+            tags, api_ids = cached
+        return self.search(tags, top_k=top_k, _api_entity_ids=api_ids)
+
+    # --------------------------------------------------------------- sessions
+
+    def _new_session(self) -> ConversationSession:
+        try:
+            return ConversationSession(self.saccs, top_k=self.config.session_top_k)
+        except TypeError as exc:
+            raise ProtocolError(
+                "sessions need a neural TagExtractor; this runtime was "
+                "started with the oracle extractor",
+                status=501,
+                code="sessions_unavailable",
+            ) from exc
+
+    def say(self, session_id: str, utterance: str):
+        """One conversational turn against the session's accumulated state."""
+        self.metrics.incr("requests.say")
+        with self.metrics.time("latency.say_seconds"):
+            with self.sessions.checkout(session_id) as session:
+                with self._facade_lock:
+                    turn = session.say(utterance)
+                summary = session.state_summary()
+        return turn, summary
+
+    # ------------------------------------------------------------------ admin
+
+    def reindex(self) -> ReindexResponse:
+        """Fold the user tag history into the index; bump the generation."""
+        self.metrics.incr("requests.reindex")
+        with self._facade_lock:
+            round_: IndexingRound = self.saccs.run_indexing_round()
+        invalidated = self.cache.invalidate_before(round_.generation)
+        self.metrics.incr("index.rounds")
+        return ReindexResponse(
+            generation=round_.generation,
+            adopted=tuple(tag.text for tag in round_.added),
+            invalidated_entries=invalidated,
+        )
+
+    def health(self) -> Dict[str, object]:
+        return {
+            "status": "ok" if self._running else "stopped",
+            "generation": self.generation,
+            "index_tags": len(self.saccs.index),
+            "sessions": len(self.sessions),
+            "queue_depth": self._queue.qsize(),
+        }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        snapshot = self.metrics.snapshot()
+        snapshot["generation"] = self.generation
+        snapshot["sessions"] = len(self.sessions)
+        return snapshot
+
+    # -------------------------------------------------------------- scheduler
+
+    def _batcher_loop(self) -> None:
+        """Drain the request queue into micro-batches."""
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                for _ in range(self.config.workers):
+                    self._batches.put(_STOP)
+                return
+            batch = [item]
+            if self.config.max_batch_size > 1:
+                deadline = None
+                while len(batch) < self.config.max_batch_size:
+                    try:
+                        if deadline is None:
+                            # First top-up attempt: take whatever is already
+                            # queued without blocking, then start the clock.
+                            extra = self._queue.get_nowait()
+                        else:
+                            remaining = deadline - time.monotonic()
+                            if remaining <= 0:
+                                break
+                            extra = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        if deadline is None and self.config.max_wait_ms > 0:
+                            deadline = time.monotonic() + self.config.max_wait_ms / 1000.0
+                            continue
+                        break
+                    if extra is _STOP:
+                        self._queue.put(_STOP)
+                        break
+                    batch.append(extra)
+            self._batches.put(batch)
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._batches.get()
+            if batch is _STOP:
+                return
+            try:
+                self._execute_batch(batch)
+            except BaseException as exc:  # resolve waiters, keep serving
+                self.metrics.incr("errors.batch")
+                for pending in batch:
+                    if not pending.event.is_set():
+                        pending.reject(exc)
+
+    def _execute_batch(self, batch: List[_Pending]) -> None:
+        """Run one micro-batch under the facade lock.
+
+        Distinct (tags, api-restriction) queries share one
+        :meth:`Saccs._tag_sets_many` fold; duplicates are computed once and
+        every request receives results bit-identical to a sequential facade
+        call.  Per-request ``top_k`` is a post-slice so it cannot perturb
+        scores.
+        """
+        self.metrics.observe("batch.size", len(batch))
+        distinct: Dict[Tuple, int] = {}
+        order: List[_Pending] = []
+        for pending in batch:
+            key = (pending.tags, pending.api_entity_ids)
+            if key not in distinct:
+                distinct[key] = len(order)
+                order.append(pending)
+        with self.metrics.time("latency.execute_seconds"):
+            with self._facade_lock:
+                generation = self.saccs.index_generation
+                tag_sets = self.saccs._tag_sets_many([list(p.tags) for p in order])
+                config = self.saccs.config.filter_config()
+                all_ids = [entity.entity_id for entity in self.saccs.entities]
+                computed = []
+                for pending, sets in zip(order, tag_sets):
+                    api_ids = (
+                        list(pending.api_entity_ids)
+                        if pending.api_entity_ids is not None
+                        else all_ids
+                    )
+                    computed.append(filter_and_rank(api_ids, sets, config))
+        for pending in batch:
+            ranked = computed[distinct[(pending.tags, pending.api_entity_ids)]]
+            results = ranked[: pending.top_k] if pending.top_k is not None else ranked
+            self.cache.put_ranking(
+                tuple(tag.text for tag in pending.tags),
+                pending.top_k,
+                generation,
+                tuple(results),
+                api_entity_ids=pending.api_entity_ids,
+            )
+            pending.resolve(results, generation, len(batch))

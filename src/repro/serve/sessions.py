@@ -1,0 +1,138 @@
+"""Concurrent session store: multi-turn state that survives across requests.
+
+Each HTTP session id owns one :class:`~repro.core.session.ConversationSession`
+plus a per-session lock, so turns within a session serialise (conversation
+state is inherently ordered) while different sessions proceed concurrently.
+Sessions idle longer than the TTL are evicted lazily on access and by an
+explicit sweep; a bounded store evicts the least-recently-used idle session
+when full rather than refusing new conversations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.core.session import ConversationSession
+
+__all__ = ["SessionStore", "SessionStoreFull"]
+
+
+class SessionStoreFull(RuntimeError):
+    """Raised when the store is at capacity and every session is busy."""
+
+
+class _Entry:
+    __slots__ = ("session", "lock", "created", "last_used")
+
+    def __init__(self, session: ConversationSession, now: float):
+        self.session = session
+        self.lock = threading.Lock()
+        self.created = now
+        self.last_used = now
+
+
+class SessionStore:
+    """TTL-evicting map of session id → locked conversation state.
+
+    ``factory`` builds a fresh :class:`ConversationSession` for a new id.
+    ``clock`` is injectable (tests drive eviction with a fake clock instead
+    of sleeping).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], ConversationSession],
+        ttl_seconds: float = 1800.0,
+        max_sessions: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        if max_sessions <= 0:
+            raise ValueError("max_sessions must be positive")
+        self.factory = factory
+        self.ttl_seconds = ttl_seconds
+        self.max_sessions = max_sessions
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _Entry] = {}
+
+    # --------------------------------------------------------------- access
+
+    @contextmanager
+    def checkout(self, session_id: str) -> Iterator[ConversationSession]:
+        """Exclusive access to one session, creating it on first use.
+
+        Holds only the per-session lock while the caller works, so other
+        sessions stay fully concurrent.
+        """
+        entry = self._acquire_entry(session_id)
+        with entry.lock:
+            try:
+                yield entry.session
+            finally:
+                entry.last_used = self.clock()
+
+    def _acquire_entry(self, session_id: str) -> _Entry:
+        with self._lock:
+            now = self.clock()
+            self._evict_expired_locked(now)
+            entry = self._entries.get(session_id)
+            if entry is None:
+                if len(self._entries) >= self.max_sessions:
+                    self._evict_lru_locked()
+                entry = self._entries[session_id] = _Entry(self.factory(), now)
+            entry.last_used = now
+            return entry
+
+    # ------------------------------------------------------------- eviction
+
+    def evict_expired(self) -> List[str]:
+        """Drop idle-past-TTL sessions; returns the evicted ids."""
+        with self._lock:
+            return self._evict_expired_locked(self.clock())
+
+    def _evict_expired_locked(self, now: float) -> List[str]:
+        expired = [
+            session_id
+            for session_id, entry in self._entries.items()
+            if now - entry.last_used > self.ttl_seconds and not entry.lock.locked()
+        ]
+        for session_id in expired:
+            del self._entries[session_id]
+        return expired
+
+    def _evict_lru_locked(self) -> None:
+        idle = [
+            (entry.last_used, session_id)
+            for session_id, entry in self._entries.items()
+            if not entry.lock.locked()
+        ]
+        if not idle:
+            raise SessionStoreFull(
+                f"session store at capacity ({self.max_sessions}) and all sessions busy"
+            )
+        _, session_id = min(idle)
+        del self._entries[session_id]
+
+    def drop(self, session_id: str) -> bool:
+        """Forget one session (explicit end-of-conversation)."""
+        with self._lock:
+            return self._entries.pop(session_id, None) is not None
+
+    # ----------------------------------------------------------- inspection
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, session_id: str) -> bool:
+        with self._lock:
+            return session_id in self._entries
+
+    def ids(self) -> List[str]:
+        with self._lock:
+            return list(self._entries)

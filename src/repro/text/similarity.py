@@ -45,6 +45,10 @@ _POLARITY_SCALE = 1.5
 _IDENTITY_DIM = 8
 _IDENTITY_SCALE = 0.5
 
+#: blocks up to this many query rows are evaluated one gemv per row so each
+#: row's scores do not depend on the batch shape (see similarity_block).
+_ROW_STATIONARY_MAX_ROWS = 64
+
 
 def tag_pair(tag) -> Tuple[str, str]:
     """(aspect, opinion) for a :class:`SubjectiveTag` or a raw 2-tuple."""
@@ -264,9 +268,20 @@ class ConceptualSimilarity:
         """
         if len(features_a) == 0 or len(features_b) == 0:
             return np.zeros((len(features_a), len(features_b)))
-        # Opinion channel: one stacked matmul over unit embeddings.  OOV rows
-        # are zero vectors, so unknown opinions yield cosine 0 for free.
-        opinion = features_a.units @ features_b.units.T
+        # Opinion channel over unit embeddings.  OOV rows are zero vectors,
+        # so unknown opinions yield cosine 0 for free.  Small blocks are
+        # evaluated row-stationary (one gemv per query row): BLAS gemm picks
+        # shape-dependent accumulation orders, so the same query row can land
+        # on different low bits depending on how many rows ride along in the
+        # block.  Row-stationary evaluation makes every row's scores bitwise
+        # independent of its batch — the guarantee `repro.serve`'s
+        # micro-batcher relies on to stay byte-identical with the sequential
+        # oracle.  Large blocks (index builds) keep the stacked matmul.
+        if len(features_a) <= _ROW_STATIONARY_MAX_ROWS:
+            bt = features_b.units.T
+            opinion = np.vstack([row @ bt for row in features_a.units])
+        else:
+            opinion = features_a.units @ features_b.units.T
         np.clip(opinion, 0.0, 1.0, out=opinion)
         # Equal normalised phrases are defined as 1.0 (even when both OOV).
         opinion[features_a.opinions[:, None] == features_b.opinions[None, :]] = 1.0

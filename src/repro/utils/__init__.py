@@ -5,6 +5,7 @@ every other subpackage can import them without cycles.
 """
 
 from repro.utils.caching import ArtifactCache, default_cache, fingerprint, memoize
+from repro.utils.env import environment_info
 from repro.utils.numerics import (
     log_softmax,
     logsumexp,
@@ -23,6 +24,7 @@ __all__ = [
     "default_cache",
     "derive_rng",
     "derive_seed",
+    "environment_info",
     "fingerprint",
     "log_softmax",
     "logsumexp",

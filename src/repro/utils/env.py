@@ -1,0 +1,29 @@
+"""Host environment fingerprinting for benchmark artifacts.
+
+Benchmark records (``BENCH_*.json``) are only comparable across runs when
+they say *where* they ran; every record embeds this snapshot.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["environment_info"]
+
+
+def environment_info() -> Dict[str, object]:
+    """A JSON-serialisable snapshot of the host this process runs on."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "argv0": os.path.basename(sys.argv[0]) if sys.argv else "",
+    }

@@ -1,0 +1,301 @@
+"""Integration tests for the serving runtime and its HTTP frontend.
+
+The load-bearing property: rankings served through the concurrent,
+micro-batched pipeline are **byte-identical** to what a single-threaded
+:class:`~repro.core.saccs.Saccs` oracle computes for the same queries —
+including across an ``/admin/reindex`` generation bump (no stale cache may
+survive the index moving).
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConversationSession,
+    HeuristicPairer,
+    OracleExtractor,
+    Saccs,
+    SaccsConfig,
+    SequenceTagger,
+    SubjectiveTag,
+    TagExtractor,
+    TaggerTrainer,
+    TaggerTrainingConfig,
+    TreePairingHeuristic,
+)
+from repro.bert import PretrainPlan, pretrained_encoder
+from repro.data import WorldConfig, build_tagging_dataset, build_world
+from repro.serve import SaccsHttpServer, SaccsRuntime, ServeConfig
+from repro.text import ChunkParser, ConceptualSimilarity, PosLexicon, restaurant_lexicon
+
+
+def _post(url: str, payload) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url) as response:
+        return json.loads(response.read())
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig.small(num_entities=30, mean_reviews=8))
+
+
+def _oracle_saccs(world):
+    system = Saccs(
+        world.entities, world.reviews, OracleExtractor(),
+        ConceptualSimilarity(restaurant_lexicon()), SaccsConfig(),
+    )
+    system.build_index([SubjectiveTag.from_text(d.name) for d in world.dimensions])
+    return system
+
+
+QUERIES = [
+    ["delicious food"],
+    ["really delicious food", "friendly staff"],
+    ["truly cheap price"],
+    ["delicious food", "quick service"],
+    ["really quiet atmosphere"],
+]
+
+
+class TestConcurrentEquivalence:
+    def test_concurrent_clients_match_sequential_oracle(self, world):
+        """8 client threads through HTTP == the single-threaded facade, byte for byte."""
+        oracle = _oracle_saccs(world)
+        expected = {
+            tuple(q): oracle.answer_tags([SubjectiveTag.from_text(t) for t in q])
+            for q in QUERIES
+        }
+
+        runtime = SaccsRuntime(
+            _oracle_saccs(world),
+            ServeConfig(max_batch_size=8, max_wait_ms=5.0, workers=2, cache_size=64),
+        )
+        with SaccsHttpServer(runtime) as server:
+            per_thread = [None] * 8
+            def client(thread_id):
+                out = []
+                for repeat in range(3):
+                    for q in QUERIES:
+                        out.append((tuple(q), _post(f"{server.url}/search", {"tags": q})))
+                per_thread[thread_id] = out
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            batch_hist = runtime.metrics_snapshot()["histograms"].get("batch.size")
+
+        for out in per_thread:
+            assert out is not None, "a client thread died"
+            for key, response in out:
+                want = [[entity_id, score] for entity_id, score in expected[key]]
+                # json round-trips floats exactly (shortest-repr), so this
+                # equality is bitwise on every score.
+                assert response["results"] == want
+        # concurrency actually exercised the batcher
+        assert batch_hist is None or batch_hist["max"] >= 1
+
+    def test_rankings_stay_exact_across_reindex(self, world):
+        """The generation bump invalidates caches: no pre-reindex ranking leaks."""
+        oracle = _oracle_saccs(world)
+        served = _oracle_saccs(world)
+        runtime = SaccsRuntime(
+            served, ServeConfig(max_batch_size=4, max_wait_ms=2.0, workers=2, cache_size=64)
+        )
+        unknown = ["really delicious food"]
+        with SaccsHttpServer(runtime) as server:
+            # phase 1: unknown tag answered by similar-tag combination, cached
+            first = _post(f"{server.url}/search", {"tags": unknown})
+            again = _post(f"{server.url}/search", {"tags": unknown})
+            assert again["cached"] is True
+            assert again["results"] == first["results"]
+            expected_before = oracle.answer_tags([SubjectiveTag.from_text(unknown[0])])
+            assert first["results"] == [[e, s] for e, s in expected_before]
+
+            # phase 2: fold the history on both sides
+            reindex = _post(f"{server.url}/admin/reindex", {})
+            oracle_round = oracle.run_indexing_round()
+            assert reindex["adopted"] == [t.text for t in oracle_round.added]
+            assert reindex["generation"] == served.index_generation
+
+            # phase 3: post-reindex answers must match the post-fold oracle
+            # (and must NOT be served from the stale cache)
+            after = _post(f"{server.url}/search", {"tags": unknown})
+            assert after["cached"] is False
+            assert after["generation"] > first["generation"]
+            expected_after = oracle.answer_tags([SubjectiveTag.from_text(unknown[0])])
+            assert after["results"] == [[e, s] for e, s in expected_after]
+            # the indexed tag now answers exactly; the combined answer differed
+            assert unknown[0] in [t.text for t in served.index.tags]
+
+    def test_concurrent_searches_racing_a_reindex_stay_coherent(self, world):
+        """Every response's generation matches a ranking valid at that generation."""
+        served = _oracle_saccs(world)
+        before_oracle = _oracle_saccs(world)
+        runtime = SaccsRuntime(
+            served, ServeConfig(max_batch_size=4, max_wait_ms=1.0, workers=2, cache_size=64)
+        )
+        query = ["really delicious food"]
+        tag = SubjectiveTag.from_text(query[0])
+        expected_before = before_oracle.answer_tags([tag])
+        with SaccsHttpServer(runtime) as server:
+            _post(f"{server.url}/search", {"tags": query})  # seed the history
+            responses = []
+            lock = threading.Lock()
+
+            def searcher():
+                for _ in range(10):
+                    response = _post(f"{server.url}/search", {"tags": query})
+                    with lock:
+                        responses.append(response)
+
+            def reindexer():
+                _post(f"{server.url}/admin/reindex", {})
+
+            threads = [threading.Thread(target=searcher) for _ in range(4)]
+            threads.append(threading.Thread(target=reindexer))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        before_oracle.run_indexing_round()
+        expected_after = before_oracle.answer_tags([tag])
+        valid = {
+            json.dumps([[e, s] for e, s in expected_before]),
+            json.dumps([[e, s] for e, s in expected_after]),
+        }
+        for response in responses:
+            assert json.dumps(response["results"]) in valid
+
+
+class TestHttpSurface:
+    @pytest.fixture(scope="class")
+    def server(self, world):
+        runtime = SaccsRuntime(_oracle_saccs(world), ServeConfig(cache_size=64))
+        with SaccsHttpServer(runtime) as server:
+            yield server
+
+    def test_healthz(self, server):
+        health = _get(f"{server.url}/healthz")
+        assert health["status"] == "ok"
+        assert health["index_tags"] > 0
+
+    def test_metrics_shape_and_ratio(self, server):
+        _post(f"{server.url}/search", {"tags": ["delicious food"]})
+        _post(f"{server.url}/search", {"tags": ["delicious food"]})
+        snapshot = _get(f"{server.url}/metrics")
+        assert snapshot["counters"]["requests.search"] >= 2
+        assert "latency.search_seconds" in snapshot["histograms"]
+        assert 0.0 < snapshot["ratios"]["cache.ranking"] <= 1.0
+
+    def test_top_k_slices(self, server):
+        response = _post(f"{server.url}/search", {"tags": ["delicious food"], "top_k": 3})
+        assert len(response["results"]) == 3
+
+    def test_validation_error_envelope(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{server.url}/search", {"tags": []})
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["code"] == "bad_request"
+
+    def test_malformed_json_is_a_client_error(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/search", data=b"{not json", headers={"Content-Type": "application/json"}
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_unknown_route_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server.url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_sessions_unavailable_with_oracle_extractor(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{server.url}/session/s1/say", {"utterance": "delicious food please"})
+        assert excinfo.value.code == 501
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["code"] == "sessions_unavailable"
+
+    def test_utterance_search_unavailable_with_oracle_extractor(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{server.url}/search", {"utterance": "a place with delicious food"})
+        assert excinfo.value.code == 501
+
+
+class TestSessionsOverHttp:
+    @pytest.fixture(scope="class")
+    def neural_saccs(self, world):
+        encoder = pretrained_encoder("restaurants", plan=PretrainPlan.quick(seed=31))
+        tagger = SequenceTagger(encoder, np.random.default_rng(0))
+        TaggerTrainer(tagger, TaggerTrainingConfig(epochs=8)).fit(
+            build_tagging_dataset("S1", scale=0.06, seed=6).train
+        )
+        parser = ChunkParser(PosLexicon(restaurant_lexicon()))
+        extractor = TagExtractor(
+            tagger, HeuristicPairer([TreePairingHeuristic(parser, direction="opinions")])
+        )
+        system = Saccs(
+            world.entities, world.reviews, extractor,
+            ConceptualSimilarity(restaurant_lexicon()), SaccsConfig(),
+        )
+        system.build_index([SubjectiveTag.from_text(d.name) for d in world.dimensions])
+        return system
+
+    UTTERANCES = [
+        "I want a restaurant in montreal with delicious food",
+        "it should also have a nice staff",
+        "actually the staff doesn't matter",
+    ]
+
+    def test_http_session_matches_sequential_session(self, neural_saccs):
+        runtime = SaccsRuntime(neural_saccs, ServeConfig(cache_size=64))
+        with SaccsHttpServer(runtime) as server:
+            served_turns = [
+                _post(f"{server.url}/session/alice/say", {"utterance": utterance})
+                for utterance in self.UTTERANCES
+            ]
+        oracle = ConversationSession(neural_saccs, top_k=runtime.config.session_top_k)
+        for served, utterance in zip(served_turns, self.UTTERANCES):
+            turn = oracle.say(utterance)
+            assert served["added_tags"] == [t.text for t in turn.added_tags]
+            assert served["removed_tags"] == [t.text for t in turn.removed_tags]
+            assert served["results"] == [[e, s] for e, s in turn.results]
+            assert served["slots"] == turn.slots
+        assert served_turns[-1]["state"] == oracle.state_summary()
+
+    def test_sessions_are_isolated(self, neural_saccs):
+        runtime = SaccsRuntime(neural_saccs, ServeConfig(cache_size=64))
+        with SaccsHttpServer(runtime) as server:
+            _post(f"{server.url}/session/a/say", {"utterance": self.UTTERANCES[0]})
+            fresh = _post(f"{server.url}/session/b/say", {"utterance": "start over"})
+            assert fresh["added_tags"] == []
+            assert len(runtime.sessions) == 2
+
+    def test_utterance_search_matches_answer(self, neural_saccs):
+        utterance = "find me a restaurant in montreal with delicious food"
+        expected = neural_saccs.answer(utterance)
+        runtime = SaccsRuntime(neural_saccs, ServeConfig(cache_size=64))
+        with SaccsHttpServer(runtime) as server:
+            first = _post(f"{server.url}/search", {"utterance": utterance})
+            second = _post(f"{server.url}/search", {"utterance": utterance})
+        assert first["results"] == [[e, s] for e, s in expected]
+        assert second["results"] == first["results"]
+        assert second["cached"] is True  # level-2 hit via the cached tag extraction

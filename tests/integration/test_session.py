@@ -107,3 +107,56 @@ class TestConversationSession:
         session.say("a restaurant with a beautiful view")
         session.say("and generous portions")
         assert len(session.turns) == 2
+
+
+class TestSessionEdgeCases:
+    def test_retract_never_added_tag(self, saccs):
+        """Retracting an aspect that was never active is a harmless no-op."""
+        session = ConversationSession(saccs, top_k=3)
+        turn = session.say("the price doesn't matter")
+        assert turn.removed_tags == []
+        assert session.turns  # the turn is still recorded
+
+    def test_retraction_marker_without_matching_aspect(self, saccs):
+        session = ConversationSession(saccs, top_k=3)
+        session.say("a restaurant with delicious food")
+        active_before = list(session.active_tags)
+        turn = session.say("forget the parking")  # aspect never mentioned
+        assert turn.removed_tags == []
+        assert all(tag in session.active_tags for tag in active_before)
+
+    def test_empty_utterance(self, saccs):
+        session = ConversationSession(saccs, top_k=3)
+        turn = session.say("")
+        assert turn.added_tags == []
+        assert turn.removed_tags == []
+        assert len(session.turns) == 1
+
+    def test_whitespace_only_utterance_after_state(self, saccs):
+        session = ConversationSession(saccs, top_k=3)
+        session.say("a restaurant with delicious food in montreal")
+        active_before = list(session.active_tags)
+        turn = session.say("   ")
+        assert turn.added_tags == []
+        assert session.active_tags == active_before
+        assert turn.results  # still ranks against the accumulated state
+
+    def test_reset_is_idempotent(self, saccs):
+        session = ConversationSession(saccs, top_k=3)
+        session.reset()  # reset before any turn: nothing to clear
+        session.say("a restaurant with delicious food")
+        session.reset()
+        session.reset()
+        assert session.active_tags == []
+        assert session.slots == {}
+
+    def test_state_summary_deterministic_under_tag_order(self, saccs):
+        one = ConversationSession(saccs, top_k=3)
+        two = ConversationSession(saccs, top_k=3)
+        tags = [SubjectiveTag.from_text("delicious food"), SubjectiveTag.from_text("nice staff")]
+        one.active_tags.extend(tags)
+        two.active_tags.extend(reversed(tags))
+        one.slots.update({"city": "montreal", "cuisine": "italian"})
+        two.slots.update({"cuisine": "italian", "city": "montreal"})
+        assert one.state_summary() == two.state_summary()
+        assert "delicious food" in one.state_summary()

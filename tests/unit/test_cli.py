@@ -21,6 +21,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["search", "--world", "w", "--index", "i"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8350
+        assert args.max_batch_size == 16
+        assert args.world is None
+
+    def test_bench_serve_knobs(self):
+        args = build_parser().parse_args(
+            ["bench-serve", "--seed", "3", "--clients", "1", "4", "--requests", "10"]
+        )
+        assert args.seed == 3
+        assert args.clients == [1, 4]
+        assert args.requests == 10
+
 
 class TestCommands:
     def test_full_workflow(self, tmp_path, capsys):

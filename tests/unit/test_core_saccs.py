@@ -105,6 +105,79 @@ class TestSaccs:
             saccs.answer("I want a restaurant with delicious food")
 
 
+class TestIndexGeneration:
+    @staticmethod
+    def fresh(world, similarity):
+        system = Saccs(world.entities, world.reviews, OracleExtractor(), similarity, SaccsConfig())
+        system.build_index([SubjectiveTag.from_text(d.name) for d in world.dimensions])
+        return system
+
+    def test_build_index_bumps_generation(self, world, similarity):
+        system = Saccs(world.entities, world.reviews, OracleExtractor(), similarity, SaccsConfig())
+        assert system.index_generation == 0
+        system.build_index([SubjectiveTag.from_text("delicious food")])
+        assert system.index_generation == 1
+
+    def test_round_bumps_even_when_empty(self, world, similarity):
+        system = self.fresh(world, similarity)
+        before = system.index_generation
+        round_ = system.run_indexing_round()
+        assert round_.generation == before + 1
+        assert len(round_) == 0
+        assert list(round_) == []
+
+    def test_folding_is_idempotent(self, world, similarity):
+        system = self.fresh(world, similarity)
+        tag = SubjectiveTag.from_text("scrumptious dishes")
+        system.answer_tags([tag])
+        system.answer_tags([tag])  # same unknown tag twice in the history
+        size_before = len(system.index)
+        first = system.run_indexing_round()
+        assert tag in first
+        assert len(system.index) == size_before + 1
+        # a second round (tag now known) adopts nothing and still bumps
+        system.answer_tags([tag])
+        second = system.run_indexing_round()
+        assert len(second) == 0
+        assert second.generation == first.generation + 1
+        assert len(system.index) == size_before + 1
+
+    def test_folding_order_independent(self, world, similarity):
+        tags = [SubjectiveTag.from_text(t) for t in
+                ("scrumptious dishes", "lovely view", "speedy service")]
+        one, two = self.fresh(world, similarity), self.fresh(world, similarity)
+        for tag in tags:
+            one.answer_tags([tag])
+        for tag in reversed(tags):
+            two.answer_tags([tag])
+        one.run_indexing_round()
+        two.run_indexing_round()
+        assert [t.text for t in one.index.tags] == [t.text for t in two.index.tags]
+        for tag in tags:
+            assert one.index.lookup(tag) == two.index.lookup(tag)
+
+    def test_answer_many_matches_sequential(self, world, similarity):
+        import json
+
+        system = self.fresh(world, similarity)
+        queries = [
+            [SubjectiveTag.from_text("delicious food")],
+            [SubjectiveTag.from_text("scrumptious dishes"), SubjectiveTag.from_text("nice staff")],
+            [SubjectiveTag.from_text("scrumptious dishes")],  # duplicate unknown
+            [SubjectiveTag.from_text("delicious food"), SubjectiveTag.from_text("fair prices")],
+        ]
+        expected = [system.answer_tags(list(q)) for q in queries]
+        batched = system.answer_many(queries)
+        assert json.dumps(batched) == json.dumps(expected)
+
+    def test_answer_many_records_history_in_request_order(self, world, similarity):
+        system = self.fresh(world, similarity)
+        unknown_a = SubjectiveTag.from_text("scrumptious dishes")
+        unknown_b = SubjectiveTag.from_text("lovely view")
+        system.answer_many([[unknown_b], [unknown_a], [unknown_b]])
+        assert system.user_tag_history == [unknown_b, unknown_a, unknown_b]
+
+
 class TestIRBaseline:
     def test_rank_returns_scores(self, world):
         ir = IRBaseline(world.entities, world.reviews, restaurant_lexicon())

@@ -1,0 +1,344 @@
+"""Unit tests for the serving subsystem (metrics, caches, sessions, protocol)."""
+
+import threading
+
+import pytest
+
+from repro.serve import (
+    GenerationalCache,
+    MetricsRegistry,
+    ProtocolError,
+    SayRequest,
+    SearchRequest,
+    ServeConfig,
+    ServingCache,
+    SessionStore,
+    SessionStoreFull,
+    error_payload,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank_on_1_to_100(self):
+        samples = list(range(1, 101))
+        assert percentile(samples, 50.0) == 50.0
+        assert percentile(samples, 95.0) == 95.0
+        assert percentile(samples, 99.0) == 99.0
+        assert percentile(samples, 100.0) == 100.0
+
+    def test_single_sample_is_every_percentile(self):
+        assert percentile([7.5], 1.0) == 7.5
+        assert percentile([7.5], 99.0) == 7.5
+
+    def test_zeroth_percentile_is_minimum(self):
+        assert percentile([3.0, 1.0, 2.0], 0.0) == 1.0
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0, 3.0], 50.0) == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        metrics = MetricsRegistry()
+        metrics.incr("requests")
+        metrics.incr("requests", 4)
+        assert metrics.counter("requests") == 5
+        assert metrics.counter("never_touched") == 0
+
+    def test_histogram_snapshot(self):
+        metrics = MetricsRegistry()
+        for value in range(1, 101):
+            metrics.observe("latency", float(value))
+        snap = metrics.snapshot()["histograms"]["latency"]
+        assert snap["count"] == 100
+        assert snap["mean"] == pytest.approx(50.5)
+        assert snap["min"] == 1.0
+        assert snap["max"] == 100.0
+        assert snap["p50"] == 50.0
+        assert snap["p95"] == 95.0
+        assert snap["p99"] == 99.0
+
+    def test_window_bounds_percentiles_but_not_count(self):
+        metrics = MetricsRegistry(window_size=10)
+        for value in range(100):
+            metrics.observe("latency", float(value))
+        snap = metrics.snapshot()["histograms"]["latency"]
+        assert snap["count"] == 100  # lifetime
+        assert snap["p50"] >= 90.0  # window holds the last 10 only
+
+    def test_time_context_manager_uses_injected_clock(self):
+        clock = FakeClock()
+        metrics = MetricsRegistry(clock=clock)
+        with metrics.time("op"):
+            clock.advance(1.5)
+        snap = metrics.snapshot()["histograms"]["op"]
+        assert snap["max"] == pytest.approx(1.5)
+
+    def test_hit_miss_ratio_rollup(self):
+        metrics = MetricsRegistry()
+        metrics.incr("cache.ranking.hit", 3)
+        metrics.incr("cache.ranking.miss", 1)
+        assert metrics.snapshot()["ratios"]["cache.ranking"] == pytest.approx(0.75)
+
+    def test_snapshot_is_json_clean(self):
+        import json
+
+        metrics = MetricsRegistry()
+        metrics.incr("a")
+        metrics.observe("b", 1.0)
+        json.dumps(metrics.snapshot())  # should not raise
+
+    def test_thread_safety_of_counters(self):
+        metrics = MetricsRegistry()
+
+        def spin():
+            for _ in range(1000):
+                metrics.incr("n")
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.counter("n") == 8000
+
+
+class TestGenerationalCache:
+    def test_put_get_same_generation(self):
+        cache = GenerationalCache()
+        cache.put("k", 1, "value")
+        assert cache.get("k", 1) == "value"
+
+    def test_generation_mismatch_misses_and_evicts(self):
+        cache = GenerationalCache()
+        cache.put("k", 1, "stale")
+        assert cache.get("k", 2) is None
+        assert len(cache) == 0  # the stale entry is gone
+        assert cache.get("k", 1) is None  # even asking for the old generation
+
+    def test_lru_bound(self):
+        cache = GenerationalCache(max_size=2)
+        cache.put("a", 1, 1)
+        cache.put("b", 1, 2)
+        cache.get("a", 1)  # refresh a
+        cache.put("c", 1, 3)  # evicts b
+        assert cache.get("a", 1) == 1
+        assert cache.get("b", 1) is None
+        assert cache.get("c", 1) == 3
+
+    def test_zero_size_disables(self):
+        cache = GenerationalCache(max_size=0)
+        cache.put("k", 1, "v")
+        assert cache.get("k", 1) is None
+        assert len(cache) == 0
+
+    def test_purge_older_than(self):
+        cache = GenerationalCache()
+        cache.put("old", 1, 1)
+        cache.put("new", 2, 2)
+        assert cache.purge_older_than(2) == 1
+        assert cache.get("new", 2) == 2
+        assert len(cache) == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            GenerationalCache(max_size=-1)
+
+
+class TestServingCache:
+    def test_ranking_roundtrip_and_metrics(self):
+        metrics = MetricsRegistry()
+        cache = ServingCache(16, metrics)
+        assert cache.ranking_for(("delicious food",), 5, 1) is None
+        cache.put_ranking(("delicious food",), 5, 1, (("e1", 0.9),))
+        assert cache.ranking_for(("delicious food",), 5, 1) == (("e1", 0.9),)
+        assert metrics.counter("cache.ranking.miss") == 1
+        assert metrics.counter("cache.ranking.hit") == 1
+
+    def test_top_k_is_part_of_the_key(self):
+        cache = ServingCache(16)
+        cache.put_ranking(("t",), 5, 1, "five")
+        assert cache.ranking_for(("t",), 10, 1) is None
+        assert cache.ranking_for(("t",), 5, 1) == "five"
+
+    def test_utterance_normalisation(self):
+        cache = ServingCache(16)
+        cache.put_tags("Delicious   Food", 1, "tags")
+        assert cache.tags_for("delicious food", 1) == "tags"
+
+    def test_invalidate_before_sweeps_both_levels(self):
+        cache = ServingCache(16)
+        cache.put_tags("hello", 1, "t")
+        cache.put_ranking(("a",), None, 1, "r")
+        assert cache.invalidate_before(2) == 2
+        assert cache.tags_for("hello", 1) is None
+
+
+class TestSessionStore:
+    @staticmethod
+    def store(clock, **kwargs):
+        counter = iter(range(10_000))
+        return SessionStore(
+            factory=lambda: f"session-{next(counter)}", clock=clock, **kwargs
+        )
+
+    def test_checkout_creates_once(self):
+        clock = FakeClock()
+        store = self.store(clock)
+        with store.checkout("alice") as first:
+            pass
+        with store.checkout("alice") as second:
+            pass
+        assert first is second
+        assert len(store) == 1
+
+    def test_ttl_eviction(self):
+        clock = FakeClock()
+        store = self.store(clock, ttl_seconds=60.0)
+        with store.checkout("alice"):
+            pass
+        clock.advance(61.0)
+        assert store.evict_expired() == ["alice"]
+        assert "alice" not in store
+
+    def test_access_refreshes_ttl(self):
+        clock = FakeClock()
+        store = self.store(clock, ttl_seconds=60.0)
+        with store.checkout("alice"):
+            pass
+        clock.advance(50.0)
+        with store.checkout("alice"):
+            pass
+        clock.advance(50.0)
+        assert store.evict_expired() == []  # only 50s idle since last touch
+
+    def test_expired_session_replaced_on_access(self):
+        clock = FakeClock()
+        store = self.store(clock, ttl_seconds=60.0)
+        with store.checkout("alice") as before:
+            pass
+        clock.advance(120.0)
+        with store.checkout("alice") as after:
+            pass
+        assert before is not after  # a fresh conversation, not the stale one
+
+    def test_lru_eviction_at_capacity(self):
+        clock = FakeClock()
+        store = self.store(clock, max_sessions=2)
+        with store.checkout("a"):
+            pass
+        clock.advance(1.0)
+        with store.checkout("b"):
+            pass
+        clock.advance(1.0)
+        with store.checkout("c"):
+            pass
+        assert "a" not in store  # least recently used went first
+        assert "b" in store and "c" in store
+
+    def test_busy_sessions_survive_capacity_eviction(self):
+        clock = FakeClock()
+        store = self.store(clock, max_sessions=1)
+        with store.checkout("busy"):
+            with pytest.raises(SessionStoreFull):
+                store._acquire_entry("newcomer")
+
+    def test_drop(self):
+        store = self.store(FakeClock())
+        with store.checkout("alice"):
+            pass
+        assert store.drop("alice") is True
+        assert store.drop("alice") is False
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SessionStore(factory=object, ttl_seconds=0)
+        with pytest.raises(ValueError):
+            SessionStore(factory=object, max_sessions=0)
+
+
+class TestProtocol:
+    def test_search_request_with_tags(self):
+        request = SearchRequest.parse({"tags": ["delicious food"], "top_k": 3})
+        assert request.tags[0].text == "delicious food"
+        assert request.utterance is None
+        assert request.top_k == 3
+
+    def test_search_request_with_utterance(self):
+        request = SearchRequest.parse({"utterance": "cheap italian place"})
+        assert request.utterance == "cheap italian place"
+        assert request.tags == ()
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},  # neither tags nor utterance
+            {"tags": []},  # empty tags
+            {"tags": "delicious food"},  # not a list
+            {"tags": [42]},  # non-string tag
+            {"tags": ["delicious food"], "utterance": "x"},  # both
+            {"utterance": "   "},  # blank utterance
+            {"tags": ["food"] * 17},  # over the per-query ceiling
+            {"tags": ["delicious food"], "top_k": 0},
+            {"tags": ["delicious food"], "top_k": True},
+            {"tags": ["delicious food"], "top_k": "many"},
+            "not a mapping",
+        ],
+    )
+    def test_invalid_search_requests(self, payload):
+        with pytest.raises(ProtocolError):
+            SearchRequest.parse(payload)
+
+    def test_unparseable_tag_mentions_it(self):
+        with pytest.raises(ProtocolError, match="unparseable tag"):
+            SearchRequest.parse({"tags": ["food"]})  # no opinion part
+
+    def test_say_request(self):
+        assert SayRequest.parse({"utterance": "hi"}).utterance == "hi"
+        with pytest.raises(ProtocolError):
+            SayRequest.parse({})
+
+    def test_error_payload_shape(self):
+        assert error_payload("code", "msg") == {
+            "error": {"code": "code", "message": "msg"}
+        }
+
+    def test_protocol_error_carries_status(self):
+        error = ProtocolError("nope", status=413, code="too_large")
+        assert error.status == 413
+        assert error.code == "too_large"
+
+
+class TestServeConfig:
+    def test_defaults_are_sane(self):
+        config = ServeConfig()
+        assert config.max_batch_size >= 1
+        assert config.workers >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_batch_size": 0}, {"workers": 0}, {"max_wait_ms": -1.0}],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs)
