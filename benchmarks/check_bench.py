@@ -1,0 +1,91 @@
+"""Bench regression guard: recorded speedups must never dip below 1.0.
+
+Every optimisation PR commits a ``BENCH_*.json`` whose record contains one
+or more *speedup ratios* (optimised over baseline).  A ratio below 1.0
+means the "optimisation" in the committed record is a slowdown — either the
+record is stale or the code regressed.  This guard loads every record,
+walks it for numeric leaves living under a key containing ``speedup`` (the
+key itself, or any ancestor key — ``{"speedup": {"build": 27.2}}`` counts
+both layers), and fails if any ratio is below the floor.
+
+Run directly (``python benchmarks/check_bench.py [paths...]``) or via the
+tier-1 test ``tests/unit/test_bench_guard.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_FLOOR = 1.0
+
+__all__ = ["iter_speedups", "check_record", "check_files", "main"]
+
+
+def iter_speedups(node, prefix: str = "", inherited: bool = False) -> Iterator[Tuple[str, float]]:
+    """Yield ``(json_path, ratio)`` for every speedup leaf in a record."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            tagged = inherited or "speedup" in str(key).lower()
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                if tagged:
+                    yield path, float(value)
+            else:
+                yield from iter_speedups(value, path, tagged)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from iter_speedups(value, f"{prefix}[{index}]", inherited)
+
+
+def check_record(payload, floor: float = DEFAULT_FLOOR) -> Tuple[List[Tuple[str, float]], List[str]]:
+    """All speedups in a record plus failure messages for those below ``floor``."""
+    found = list(iter_speedups(payload))
+    failures = [
+        f"{path} = {ratio:.4f} (< {floor})" for path, ratio in found if ratio < floor
+    ]
+    return found, failures
+
+
+def check_files(
+    paths: Iterable[Path], floor: float = DEFAULT_FLOOR
+) -> Tuple[int, List[str]]:
+    """Check each record file; returns (speedups checked, failure messages)."""
+    checked = 0
+    failures: List[str] = []
+    for path in paths:
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            failures.append(f"{path}: unreadable bench record ({exc})")
+            continue
+        found, bad = check_record(payload, floor)
+        checked += len(found)
+        failures.extend(f"{path}: {message}" for message in bad)
+    return checked, failures
+
+
+def default_records() -> List[Path]:
+    """The repo root's committed ``BENCH_*.json`` records."""
+    return sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def main(argv: Sequence[str] = ()) -> int:
+    paths = [Path(arg) for arg in argv] or default_records()
+    if not paths:
+        print("no BENCH_*.json records found")
+        return 1
+    checked, failures = check_files(paths)
+    for message in failures:
+        print(f"FAIL {message}")
+    print(f"checked {checked} speedup ratios across {len(paths)} records")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -202,6 +202,41 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_extract(args: argparse.Namespace) -> int:
+    from repro.core.extraction_bench import run_extraction_benchmark, write_extract_record
+
+    payload = run_extraction_benchmark(
+        seed=args.seed,
+        entities=args.entities,
+        mean_reviews=args.reviews,
+        batch_sentences=args.batch_sentences,
+        pairing_workers=args.workers,
+        train_epochs=args.train_epochs,
+        progress=print,
+    )
+    header = f"{'variant':<20}{'ingest s':>10}{'speedup':>9}{'cache hit%':>12}"
+    print(header)
+    print("-" * len(header))
+    speedup = payload["summary"]["speedup"]
+    for name, cell in payload["variants"].items():
+        ratio = speedup.get(name)
+        cache = cell["cache"]
+        print(
+            f"{name:<20}{cell['ingest_seconds']:>10.3f}"
+            f"{(f'{ratio:.2f}x' if ratio is not None else '1.00x'):>9}"
+            f"{cache['hit_ratio'] * 100:>11.1f}%"
+        )
+    print(
+        f"bucketed+parallel over sequential: "
+        f"{speedup['bucketed_parallel']:.2f}x; warm-cache reingest: "
+        f"{speedup['warm_cache']:.2f}x at "
+        f"{payload['summary']['warm_cache_hit_ratio'] * 100:.1f}% hits"
+    )
+    path = write_extract_record(payload, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.data import DATASET_SPECS
 
@@ -280,6 +315,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--max-wait-ms", type=float, default=2.0)
     bench_serve.add_argument("--output", help="record path (default: ./BENCH_serve.json)")
     bench_serve.set_defaults(func=_cmd_bench_serve)
+
+    bench_extract = subparsers.add_parser(
+        "bench-extract",
+        help="benchmark the batched extraction engine against sequential ingest",
+    )
+    bench_extract.add_argument("--seed", type=int, default=7)
+    bench_extract.add_argument("--entities", type=int, default=60)
+    bench_extract.add_argument("--reviews", type=float, default=10.0)
+    bench_extract.add_argument(
+        "--batch-sentences", type=int, default=128, help="sentences per length bucket"
+    )
+    bench_extract.add_argument(
+        "--workers", type=int, default=4, help="pairing pool threads (0 = serial)"
+    )
+    bench_extract.add_argument(
+        "--train-epochs", type=int, default=2, help="tagger warm-up epochs before timing"
+    )
+    bench_extract.add_argument("--output", help="record path (default: ./BENCH_extract.json)")
+    bench_extract.set_defaults(func=_cmd_bench_extract)
 
     datasets = subparsers.add_parser("datasets", help="list the S1-S4 benchmarks")
     datasets.set_defaults(func=_cmd_datasets)

@@ -14,6 +14,11 @@ from repro.core.evaluation import (
     classification_report,
     span_f1,
 )
+from repro.core.extraction_engine import (
+    ExtractionCache,
+    ExtractionEngine,
+    ExtractionEngineConfig,
+)
 from repro.core.extractor import (
     ClassifierPairer,
     HeuristicPairer,
@@ -59,6 +64,9 @@ __all__ = [
     "ClassifierPairer",
     "ConversationSession",
     "DialogSystem",
+    "ExtractionCache",
+    "ExtractionEngine",
+    "ExtractionEngineConfig",
     "FakeReviewFilter",
     "FilterConfig",
     "FraudFilterConfig",

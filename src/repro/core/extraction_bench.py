@@ -1,0 +1,208 @@
+"""Extraction-engine benchmark (``repro bench-extract``).
+
+Measures the end-to-end ingest pass — the offline budget of Figure 2 —
+under four extraction strategies on one seeded corpus with one trained
+neural extractor:
+
+* ``sequential`` — the original one-review-at-a-time loop (the oracle);
+* ``bucketed`` — corpus-wide length buckets, batch Viterbi, serial pairing;
+* ``bucketed_parallel`` — bucketed plus the pairing worker pool;
+* ``warm_cache`` — a second bucketed+parallel pass over the *unchanged*
+  corpus through the content-hash extraction cache (the incremental
+  reingest path; expects ~100% hits).
+
+Every variant's extracted tags are checked **identical** per entity/review
+before speedups are reported, and the record embeds the engine's stage
+spans (encode / decode / pair / register) so the win is attributable.
+``benchmarks/check_bench.py`` guards the recorded speedups against
+regressions in the tier-1 flow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.extraction_engine import ExtractionEngine
+from repro.core.extractor import TagExtractor
+from repro.core.heuristics import TreePairingHeuristic
+from repro.core.saccs import Saccs, SaccsConfig
+from repro.core.tags import SubjectiveTag
+from repro.data import WorldConfig, build_tagging_dataset, build_world
+from repro.text import ChunkParser, ConceptualSimilarity, PosLexicon, restaurant_lexicon
+from repro.utils.env import environment_info
+from repro.utils.timing import Timer
+
+__all__ = ["build_bench_extractor", "run_extraction_benchmark", "write_extract_record"]
+
+
+def build_bench_extractor(seed: int = 21, train_epochs: int = 2) -> TagExtractor:
+    """The neural extractor the bench drives: quick BERT + briefly trained
+    tagger + tree-heuristic pairer.
+
+    The quick pre-train plan is artifact-cached per machine; a couple of
+    training epochs give the tagger realistic span density (so the pairing
+    stage does real work) without burning bench time on model quality.
+    """
+    from repro.bert import PretrainPlan, pretrained_encoder
+    from repro.core.extractor import HeuristicPairer
+    from repro.core.tagger import SequenceTagger
+    from repro.core.training import TaggerTrainer, TaggerTrainingConfig
+
+    encoder = pretrained_encoder("restaurants", plan=PretrainPlan.quick(seed=seed))
+    tagger = SequenceTagger(encoder, np.random.default_rng(0))
+    if train_epochs > 0:
+        dataset = build_tagging_dataset("S1", scale=0.06, seed=4)
+        TaggerTrainer(tagger, TaggerTrainingConfig(epochs=train_epochs)).fit(dataset.train)
+    parser = ChunkParser(PosLexicon(restaurant_lexicon()))
+    pairer = HeuristicPairer([TreePairingHeuristic(parser, direction="opinions")])
+    return TagExtractor(tagger, pairer)
+
+
+def _make_saccs(world, extractor: TagExtractor, config: SaccsConfig) -> Saccs:
+    return Saccs(
+        world.entities,
+        world.reviews,
+        extractor,
+        ConceptualSimilarity(restaurant_lexicon()),
+        config,
+    )
+
+
+def _extracted_tags(saccs: Saccs) -> Dict[str, List[Tuple[SubjectiveTag, ...]]]:
+    """Per-entity per-review extracted tag tuples (the equivalence witness)."""
+    return {
+        entity_id: [tuple(tags) for tags in per_review]
+        for entity_id, per_review in saccs.index._entity_tags.items()
+    }
+
+
+def run_extraction_benchmark(
+    seed: int = 7,
+    entities: int = 60,
+    mean_reviews: float = 10.0,
+    batch_sentences: int = 128,
+    pairing_workers: int = 4,
+    train_epochs: int = 2,
+    progress=None,
+) -> Dict[str, object]:
+    """Run the four-variant sweep and return the ``BENCH_extract`` payload."""
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    say("building world and extractor (pre-trained encoder is cached per machine) ...")
+    world = build_world(
+        WorldConfig.small(seed=seed, num_entities=entities, mean_reviews=mean_reviews)
+    )
+    extractor = build_bench_extractor(train_epochs=train_epochs)
+    num_reviews = sum(len(reviews) for reviews in world.reviews.values())
+    num_sentences = sum(
+        len(review.sentences) for reviews in world.reviews.values() for review in reviews
+    )
+
+    variant_configs = {
+        "sequential": SaccsConfig(extraction_mode="sequential"),
+        "bucketed": SaccsConfig(
+            extraction_batch_sentences=batch_sentences, extraction_workers=0
+        ),
+        "bucketed_parallel": SaccsConfig(
+            extraction_batch_sentences=batch_sentences, extraction_workers=pairing_workers
+        ),
+    }
+    variants: Dict[str, Dict[str, object]] = {}
+    witnesses: Dict[str, Dict[str, List[Tuple[SubjectiveTag, ...]]]] = {}
+    warm_engine: Optional[ExtractionEngine] = None
+    for name, config in variant_configs.items():
+        say(f"variant: {name} ...")
+        saccs = _make_saccs(world, extractor, config)
+        with Timer() as timer:
+            saccs.ingest_reviews()
+        variants[name] = {
+            "ingest_seconds": timer.elapsed,
+            "stages": saccs.extraction_engine.timings.as_dict(),
+            "cache": saccs.extraction_engine.cache_stats(),
+        }
+        witnesses[name] = _extracted_tags(saccs)
+        if name == "bucketed_parallel":
+            warm_engine = saccs.extraction_engine
+
+    say("variant: warm_cache (unchanged-corpus reingest) ...")
+    assert warm_engine is not None
+    warm_engine.timings.reset()
+    hits_before, misses_before = warm_engine.cache.hits, warm_engine.cache.misses
+    warm_saccs = _make_saccs(
+        world, extractor, variant_configs["bucketed_parallel"]
+    )
+    warm_saccs.extraction_engine = warm_engine  # inherit the populated cache
+    with Timer() as timer:
+        warm_saccs.ingest_reviews()
+    warm_hits = warm_engine.cache.hits - hits_before
+    warm_misses = warm_engine.cache.misses - misses_before
+    warm_total = warm_hits + warm_misses
+    variants["warm_cache"] = {
+        "ingest_seconds": timer.elapsed,
+        "stages": warm_engine.timings.as_dict(),
+        "cache": {
+            "enabled": True,
+            "entries": len(warm_engine.cache),
+            "hits": warm_hits,
+            "misses": warm_misses,
+            "hit_ratio": warm_hits / warm_total if warm_total else 0.0,
+        },
+    }
+    witnesses["warm_cache"] = _extracted_tags(warm_saccs)
+
+    oracle = witnesses["sequential"]
+    equivalent = all(witnesses[name] == oracle for name in witnesses)
+    if not equivalent:
+        raise AssertionError(
+            "bucketed/parallel/cached extraction diverged from the sequential "
+            "oracle — refusing to write a benchmark record for broken output"
+        )
+
+    baseline = variants["sequential"]["ingest_seconds"]
+    speedup = {
+        name: baseline / variants[name]["ingest_seconds"]
+        for name in ("bucketed", "bucketed_parallel", "warm_cache")
+    }
+    return {
+        "seed": seed,
+        "workload": {
+            "entities": entities,
+            "mean_reviews_per_entity": mean_reviews,
+            "reviews": num_reviews,
+            "sentences": num_sentences,
+            "train_epochs": train_epochs,
+        },
+        "config": {
+            "batch_sentences": batch_sentences,
+            "pairing_workers": pairing_workers,
+        },
+        "variants": variants,
+        "summary": {
+            "sequential_seconds": baseline,
+            "speedup": speedup,
+            "warm_cache_hit_ratio": variants["warm_cache"]["cache"]["hit_ratio"],
+        },
+        "equivalent": equivalent,
+        "environment": environment_info(),
+    }
+
+
+def write_extract_record(payload: Dict[str, object], output: Optional[str] = None) -> Path:
+    """Persist the payload as ``BENCH_extract.json`` (same contract as the
+    benchmark harness: ``REPRO_BENCH_OUTPUT_DIR`` overrides the directory)."""
+    if output is not None:
+        path = Path(output)
+    else:
+        out_dir = Path(os.environ.get("REPRO_BENCH_OUTPUT_DIR", "."))
+        path = out_dir / "BENCH_extract.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.dialog import DialogSystem
+from repro.core.extraction_engine import ExtractionEngine, ExtractionEngineConfig
 from repro.core.extractor import OracleExtractor, TagExtractor
 from repro.core.fraud import FakeReviewFilter
 from repro.core.filtering import FilterConfig, filter_and_rank
@@ -70,6 +71,22 @@ class SaccsConfig:
     #: or ``"scalar"`` (per-pair reference oracle, kept for equivalence
     #: testing and ablation benchmarks).
     backend: str = "vectorized"
+    #: extraction pass: ``"bucketed"`` (corpus-wide length buckets through
+    #: the :class:`~repro.core.extraction_engine.ExtractionEngine`, default)
+    #: or ``"sequential"`` (one extractor call per review — the reference
+    #: oracle the engine is tested against).
+    extraction_mode: str = "bucketed"
+    #: sentences per extraction length bucket (one encoder forward each).
+    extraction_batch_sentences: int = 64
+    #: pairing worker threads for the extraction engine (0/1 = serial).
+    extraction_workers: int = 0
+    #: cache extracted tags per review content hash, making
+    #: :meth:`Saccs.rebuild_index` after small corpus edits incremental.
+    extraction_cache: bool = True
+
+    def __post_init__(self):
+        if self.extraction_mode not in ("bucketed", "sequential"):
+            raise ValueError("extraction_mode must be 'bucketed' or 'sequential'")
 
     def filter_config(self) -> FilterConfig:
         return FilterConfig(
@@ -77,6 +94,13 @@ class SaccsConfig:
             top_k=self.top_k,
             mode=self.mode,
             backfill=self.backfill,
+        )
+
+    def extraction_config(self) -> ExtractionEngineConfig:
+        return ExtractionEngineConfig(
+            batch_sentences=self.extraction_batch_sentences,
+            pairing_workers=self.extraction_workers,
+            cache_enabled=self.extraction_cache,
         )
 
 
@@ -108,6 +132,11 @@ class Saccs:
         #: optional fake-review defence (Section 7 future work); suspicious
         #: reviews are dropped before extraction.
         self.review_filter = review_filter
+        #: the corpus-wide batched extraction pass (buckets, pairing pool,
+        #: content-hash cache).  Shared with the serving runtime so utterance
+        #: micro-batches reuse the same buckets and ``/metrics`` sees the
+        #: cache counters.
+        self.extraction_engine = ExtractionEngine(extractor, self.config.extraction_config())
         self.user_tag_history: List[SubjectiveTag] = []
         #: monotonically increasing counter, bumped by every indexing round
         #: (including :meth:`build_index`).  Serving layers stamp cached
@@ -120,15 +149,30 @@ class Saccs:
     # ------------------------------------------------------------- ingestion
 
     def ingest_reviews(self) -> None:
-        """Extract subjective tags from every review (the extractor pass)."""
+        """Extract subjective tags from every review (the extractor pass).
+
+        With ``extraction_mode="bucketed"`` (default) the whole corpus goes
+        through the :class:`ExtractionEngine` — sentences from all entities
+        flattened, length-bucketed, batch-tagged and paired, with per-review
+        results cached by content hash.  ``"sequential"`` keeps the original
+        one-review-at-a-time loop as the equivalence oracle.
+        """
+        entity_reviews = []
         for entity in self.entities:
             reviews = list(self.reviews.get(entity.entity_id, []))
             if self.review_filter is not None:
                 reviews = self.review_filter.filter_reviews(reviews)
-            per_review: List[List[SubjectiveTag]] = []
-            for review in reviews:
-                per_review.append(self.extractor.extract_review(review))
-            self.index.register_entity(entity.entity_id, per_review)
+            entity_reviews.append((entity.entity_id, reviews))
+        if self.config.extraction_mode == "sequential":
+            extracted = [
+                (entity_id, [self.extractor.extract_review(review) for review in reviews])
+                for entity_id, reviews in entity_reviews
+            ]
+        else:
+            extracted = self.extraction_engine.extract_corpus(entity_reviews)
+        with self.extraction_engine.timings.span("register"):
+            for entity_id, per_review in extracted:
+                self.index.register_entity(entity_id, per_review)
         self._ingested = True
 
     def build_index(self, tags: Iterable[SubjectiveTag]) -> None:
@@ -136,6 +180,32 @@ class Saccs:
         if not self._ingested:
             self.ingest_reviews()
         self.index.build(tags)
+        self.index_generation += 1
+
+    def rebuild_index(self, reviews: Optional[Mapping[str, Sequence[Review]]] = None) -> None:
+        """Re-extract the (possibly updated) corpus and rebuild the index.
+
+        The incremental path for corpus changes: pass the new ``reviews``
+        mapping (or ``None`` to re-read the current one) and the extraction
+        engine's content-hash cache makes the pass re-tag only new or edited
+        reviews.  The indexed tag set — initial build tags plus every tag
+        adopted from the user history — is preserved, rebuilt against the
+        fresh extraction, and the generation bumped so serving caches
+        invalidate deterministically.
+        """
+        if reviews is not None:
+            self.reviews = reviews
+        indexed_tags = list(self.index.tags)
+        self.index = SubjectiveTagIndex(
+            self.similarity,
+            theta_index=self.config.theta_index,
+            review_count_mode=self.config.review_count_mode,
+            theta_mode=self.config.theta_mode,
+            backend=self.config.backend,
+        )
+        self._ingested = False
+        self.ingest_reviews()
+        self.index.build(indexed_tags)
         self.index_generation += 1
 
     def run_indexing_round(self) -> IndexingRound:

@@ -7,6 +7,7 @@ IOB sequence under learned (and IOB-grammar-constrained) transitions.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -16,6 +17,7 @@ from repro.bert.model import BatchEncoding
 from repro.nn import BiLSTM, Dropout, LinearChainCRF, Linear, Module
 from repro.nn.tensor import Tensor, no_grad
 from repro.text.labels import ID_TO_LABEL, LABEL_TO_ID, NUM_LABELS, forbidden_transitions, labels_to_spans
+from repro.utils.timing import StageTimings
 
 __all__ = ["SequenceTagger"]
 
@@ -85,23 +87,39 @@ class SequenceTagger(Module):
 
     # --------------------------------------------------------------- decoding
 
-    def predict(self, sentences: Sequence[Sequence[str]]) -> List[List[str]]:
-        """IOB label sequences for a batch of tokenised sentences."""
+    def predict(
+        self,
+        sentences: Sequence[Sequence[str]],
+        timings: Optional["StageTimings"] = None,
+    ) -> List[List[str]]:
+        """IOB label sequences for a batch of tokenised sentences.
+
+        ``timings`` (a :class:`~repro.utils.timing.StageTimings`) receives
+        ``encode`` (BERT→BiLSTM→projection forward) and ``decode`` (Viterbi
+        / argmax) spans — how the extraction engine attributes ingest time.
+        """
         if not sentences:
             return []
         was_training = self.training
         self.eval()
-        with no_grad():
-            emissions, mask, _ = self.emissions(sentences)
-        if self.use_crf:
-            paths = self.crf.decode(emissions.data, mask=mask, beam=self.decode_beam)
-        else:
-            argmax = emissions.data.argmax(axis=-1)
-            paths = [
-                [int(v) for v in row[: int(m.sum())]] for row, m in zip(argmax, mask)
-            ]
-        if was_training:
-            self.train()
+        try:
+            encode_span = timings.span("encode") if timings is not None else nullcontext()
+            with encode_span, no_grad():
+                emissions, mask, _ = self.emissions(sentences)
+            decode_span = timings.span("decode") if timings is not None else nullcontext()
+            with decode_span:
+                if self.use_crf:
+                    paths = self.crf.decode(emissions.data, mask=mask, beam=self.decode_beam)
+                else:
+                    argmax = emissions.data.argmax(axis=-1)
+                    paths = [
+                        [int(v) for v in row[: int(m.sum())]] for row, m in zip(argmax, mask)
+                    ]
+        finally:
+            # An exception mid-decode must not leave the model stuck in
+            # eval mode (dropout silently disabled for the rest of training).
+            if was_training:
+                self.train()
         labels = [[ID_TO_LABEL[i] for i in path] for path in paths]
         # Pad back to the original sentence length if the encoder truncated.
         out: List[List[str]] = []

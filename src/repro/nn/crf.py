@@ -109,6 +109,11 @@ class LinearChainCRF(Module):
     ) -> List[List[int]]:
         """Viterbi decoding (optionally beam-restricted) of a score batch.
 
+        Dispatches to the fully vectorized whole-batch recurrence
+        (:meth:`decode_batch`); :meth:`decode_scalar` is the original
+        per-sentence Python loop, kept as the reference oracle the property
+        tests compare against.
+
         Parameters
         ----------
         emissions:
@@ -124,6 +129,76 @@ class LinearChainCRF(Module):
         -------
         list of per-sequence label-id lists, each of the sequence's true length.
         """
+        return self.decode_batch(emissions, mask=mask, beam=beam)
+
+    def decode_batch(
+        self,
+        emissions: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        beam: Optional[int] = None,
+    ) -> List[List[int]]:
+        """Vectorized batch Viterbi: one ``(B, L, L)`` max-plus step per t.
+
+        The recurrence runs over the whole batch at once.  Mask handling:
+        at a padded step the score vector is frozen and the backpointer is
+        the identity permutation, so the backtrace walks unchanged through
+        padding until it reaches the sequence's true last step — per-row
+        results are exactly those of :meth:`decode_scalar`.
+        """
+        emissions = np.asarray(emissions, dtype=np.float64)
+        batch, steps, num_labels = emissions.shape
+        if mask is None:
+            mask = np.ones((batch, steps))
+        mask = np.asarray(mask, dtype=np.float64)
+        if batch == 0 or steps == 0:
+            return [[] for _ in range(batch)]
+        lengths = mask.sum(axis=1).astype(int)
+        transitions = self.transitions.data
+        use_beam = beam is not None and beam < num_labels
+
+        score = self.start.data + emissions[:, 0, :]  # (B, L)
+        identity = np.broadcast_to(np.arange(num_labels), (batch, num_labels))
+        backpointers = np.empty((batch, steps, num_labels), dtype=np.int64)
+        for t in range(1, steps):
+            prev = score
+            if use_beam:
+                # Prune all but the top-`beam` predecessor states per row
+                # (same argsort tie behaviour as the scalar oracle).
+                keep = np.argsort(prev, axis=1)[:, -beam:]
+                pruned = np.full_like(prev, -np.inf)
+                np.put_along_axis(pruned, keep, np.take_along_axis(prev, keep, axis=1), axis=1)
+                prev = pruned
+            total = prev[:, :, None] + transitions[None, :, :]  # (B, L_prev, L_next)
+            best_prev = total.argmax(axis=1)  # (B, L_next)
+            stepped = (
+                np.take_along_axis(total, best_prev[:, None, :], axis=1)[:, 0, :]
+                + emissions[:, t, :]
+            )
+            active = (mask[:, t] > 0)[:, None]
+            score = np.where(active, stepped, score)
+            backpointers[:, t, :] = np.where(active, best_prev, identity)
+        score = score + self.end.data
+
+        # Vectorized backtrace: frozen scores + identity backpointers make
+        # the walk through padded steps a no-op, so every row's first
+        # `length` positions hold its true Viterbi path.
+        paths = np.empty((batch, steps), dtype=np.int64)
+        rows = np.arange(batch)
+        current = score.argmax(axis=1)
+        paths[:, steps - 1] = current
+        for t in range(steps - 1, 0, -1):
+            current = backpointers[rows, t, current]
+            paths[:, t - 1] = current
+        return [paths[b, : lengths[b]].tolist() for b in range(batch)]
+
+    def decode_scalar(
+        self,
+        emissions: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        beam: Optional[int] = None,
+    ) -> List[List[int]]:
+        """Per-sentence Python Viterbi — the reference oracle for
+        :meth:`decode_batch` (kept for equivalence tests and ablations)."""
         emissions = np.asarray(emissions, dtype=np.float64)
         batch, steps, num_labels = emissions.shape
         if mask is None:

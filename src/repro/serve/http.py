@@ -109,13 +109,25 @@ def make_handler(runtime: SaccsRuntime):
                 self._dispatch(self._handle_search)
                 return
             if self.path == "/admin/reindex":
-                self._dispatch(lambda: (200, runtime.reindex().to_payload()))
+                self._dispatch(self._handle_reindex)
                 return
             match = _SAY_PATH.match(self.path)
             if match:
                 self._dispatch(lambda: self._handle_say(match.group("session_id")))
                 return
             self._send_json(404, error_payload("not_found", f"no route {self.path!r}"))
+
+        def _handle_reindex(self) -> Tuple[int, dict]:
+            # The body is optional: empty → history fold only;
+            # {"full": true} → re-extract the corpus and rebuild first.
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self._read_json() if length else {}
+            if not isinstance(body, dict):
+                raise ProtocolError("reindex body must be a JSON object")
+            full = body.get("full", False)
+            if not isinstance(full, bool):
+                raise ProtocolError("'full' must be a boolean")
+            return 200, runtime.reindex(full=full).to_payload()
 
         def _handle_search(self) -> Tuple[int, dict]:
             request = SearchRequest.parse(self._read_json())

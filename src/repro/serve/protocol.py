@@ -158,10 +158,13 @@ class ReindexResponse:
     generation: int
     adopted: Tuple[str, ...]
     invalidated_entries: int
+    #: whether the round also re-extracted the corpus and rebuilt the index.
+    full: bool = False
 
     def to_payload(self) -> Dict[str, object]:
         return {
             "generation": self.generation,
             "adopted": list(self.adopted),
             "invalidated_entries": self.invalidated_entries,
+            "full": self.full,
         }

@@ -80,20 +80,29 @@ class ServeConfig:
 
 
 class _Pending:
-    """One enqueued search: inputs, completion event, outputs."""
+    """One enqueued search: inputs, completion event, outputs.
+
+    Two kinds share the queue: tag queries (``tags`` set on enqueue) and
+    utterance queries (``tags is None`` until the worker extracts them —
+    ``utterance``/``tokens`` carry the input, so every utterance in a
+    micro-batch shares one bucketed encoder forward)."""
 
     __slots__ = ("tags", "top_k", "api_entity_ids", "event", "results", "error",
-                 "generation", "batch_size")
+                 "generation", "batch_size", "utterance", "tokens")
 
     def __init__(
         self,
-        tags: Tuple[SubjectiveTag, ...],
+        tags: Optional[Tuple[SubjectiveTag, ...]],
         top_k: Optional[int],
         api_entity_ids: Optional[Tuple[str, ...]],
+        utterance: Optional[str] = None,
+        tokens: Optional[Tuple[str, ...]] = None,
     ):
         self.tags = tags
         self.top_k = top_k
         self.api_entity_ids = api_entity_ids
+        self.utterance = utterance
+        self.tokens = tokens
         self.event = threading.Event()
         self.results: Optional[List[Tuple[str, float]]] = None
         self.error: Optional[BaseException] = None
@@ -132,6 +141,9 @@ class SaccsRuntime:
         #: serialises every facade touch (index matrices, tag history,
         #: extractor state are shared and not thread-safe).
         self._facade_lock = threading.RLock()
+        # Surface the extraction engine's cache hit/miss counters through
+        # this runtime's /metrics (extract.cache.{hit,miss} → ratio rollup).
+        saccs.extraction_engine.bind_metrics(self.metrics)
         self._queue: "queue.Queue" = queue.Queue()
         self._batches: "queue.Queue" = queue.Queue()
         self._threads: List[threading.Thread] = []
@@ -201,26 +213,34 @@ class SaccsRuntime:
                     tags=tag_texts,
                 )
             pending = _Pending(tags, top_k, _api_entity_ids)
-            self._queue.put(pending)
-            if not pending.event.wait(self.config.request_timeout_seconds):
-                self.metrics.incr("errors.timeout")
-                raise TimeoutError("search request timed out waiting for a worker")
-            if pending.error is not None:
-                raise pending.error
-            return SearchResponse(
-                results=tuple(pending.results),
-                generation=pending.generation,
-                cached=False,
-                batch_size=pending.batch_size,
-                tags=tag_texts,
-            )
+            return self._enqueue_and_wait(pending)
+
+    def _enqueue_and_wait(self, pending: _Pending) -> SearchResponse:
+        """Queue one request for the batcher and block on its resolution."""
+        self._queue.put(pending)
+        if not pending.event.wait(self.config.request_timeout_seconds):
+            self.metrics.incr("errors.timeout")
+            raise TimeoutError("search request timed out waiting for a worker")
+        if pending.error is not None:
+            raise pending.error
+        return SearchResponse(
+            results=tuple(pending.results),
+            generation=pending.generation,
+            cached=False,
+            batch_size=pending.batch_size,
+            tags=tuple(tag.text for tag in pending.tags),
+        )
 
     def search_utterance(self, utterance: str, top_k: Optional[int] = None) -> SearchResponse:
         """Full conversational ``/search``: extract tags, restrict by slots.
 
         Byte-identical to :meth:`Saccs.answer` — the objective slot
         filtering and the extractor run exactly as the facade would, with
-        the extracted tags cached per (utterance, generation).
+        the extracted tags cached per (utterance, generation).  On a tags
+        cache miss the *utterance itself* rides the micro-batch queue:
+        the worker extracts every utterance in the batch through the
+        extraction engine's bucketed path, so concurrent ``/search``
+        utterances share one encoder forward instead of tagging one by one.
         """
         if not isinstance(self.saccs.extractor, TagExtractor):
             raise ProtocolError(
@@ -230,18 +250,22 @@ class SaccsRuntime:
                 code="utterances_unavailable",
             )
         self.metrics.incr("requests.search_utterance")
-        generation = self.generation
-        cached = self.cache.tags_for(utterance, generation)
-        if cached is None:
-            with self._facade_lock:
-                parsed = self.saccs.dialog.recognizer.parse(utterance)
-                tags = tuple(self.saccs.extractor.extract(parsed.tokens))
-            api_entities = self.saccs.dialog.search(utterance)
-            api_ids = tuple(entity.entity_id for entity in api_entities)
-            self.cache.put_tags(utterance, generation, (tags, api_ids))
-        else:
+        cached = self.cache.tags_for(utterance, self.generation)
+        if cached is not None:
             tags, api_ids = cached
-        return self.search(tags, top_k=top_k, _api_entity_ids=api_ids)
+            return self.search(tags, top_k=top_k, _api_entity_ids=api_ids)
+        if not self._running:
+            raise RuntimeError("runtime is not started (use `with SaccsRuntime(...)`)")
+        # Parsing and the objective-slot API probe are read-only over the
+        # dialog shim, so they stay outside the facade lock.
+        parsed = self.saccs.dialog.recognizer.parse(utterance)
+        api_entities = self.saccs.dialog.search(utterance)
+        api_ids = tuple(entity.entity_id for entity in api_entities)
+        with self.metrics.time("latency.search_seconds"):
+            pending = _Pending(
+                None, top_k, api_ids, utterance=utterance, tokens=tuple(parsed.tokens)
+            )
+            return self._enqueue_and_wait(pending)
 
     # --------------------------------------------------------------- sessions
 
@@ -268,17 +292,28 @@ class SaccsRuntime:
 
     # ------------------------------------------------------------------ admin
 
-    def reindex(self) -> ReindexResponse:
-        """Fold the user tag history into the index; bump the generation."""
+    def reindex(self, full: bool = False) -> ReindexResponse:
+        """Fold the user tag history into the index; bump the generation.
+
+        ``full=True`` additionally re-extracts the corpus and rebuilds the
+        whole index first (:meth:`Saccs.rebuild_index`) — the path for
+        corpus edits.  The extraction engine's content-hash cache makes it
+        incremental: only new or edited reviews are re-tagged, and the
+        hit/miss counters land in this runtime's ``/metrics``.
+        """
         self.metrics.incr("requests.reindex")
-        with self._facade_lock:
-            round_: IndexingRound = self.saccs.run_indexing_round()
+        with self.metrics.time("latency.reindex_seconds"):
+            with self._facade_lock:
+                if full:
+                    self.saccs.rebuild_index()
+                round_: IndexingRound = self.saccs.run_indexing_round()
         invalidated = self.cache.invalidate_before(round_.generation)
         self.metrics.incr("index.rounds")
         return ReindexResponse(
             generation=round_.generation,
             adopted=tuple(tag.text for tag in round_.added),
             invalidated_entries=invalidated,
+            full=full,
         )
 
     def health(self) -> Dict[str, object]:
@@ -347,13 +382,38 @@ class SaccsRuntime:
     def _execute_batch(self, batch: List[_Pending]) -> None:
         """Run one micro-batch under the facade lock.
 
-        Distinct (tags, api-restriction) queries share one
-        :meth:`Saccs._tag_sets_many` fold; duplicates are computed once and
-        every request receives results bit-identical to a sequential facade
-        call.  Per-request ``top_k`` is a post-slice so it cannot perturb
-        scores.
+        Utterance requests are tagged first — every distinct utterance in
+        the batch goes through one bucketed
+        :meth:`~repro.core.extraction_engine.ExtractionEngine.extract_token_lists`
+        call (shared encoder forwards, batch Viterbi), and the extracted
+        tags are cached per (utterance, generation).  Then distinct (tags,
+        api-restriction) queries share one :meth:`Saccs._tag_sets_many`
+        fold; duplicates are computed once and every request receives
+        results bit-identical to a sequential facade call.  Per-request
+        ``top_k`` is a post-slice so it cannot perturb scores.
         """
         self.metrics.observe("batch.size", len(batch))
+        untagged = [pending for pending in batch if pending.tags is None]
+        if untagged:
+            by_utterance: Dict[str, List[_Pending]] = {}
+            for pending in untagged:
+                by_utterance.setdefault(pending.utterance, []).append(pending)
+            utterances = list(by_utterance)
+            with self.metrics.time("latency.extract_seconds"):
+                with self._facade_lock:
+                    tag_generation = self.saccs.index_generation
+                    tag_lists = self.saccs.extraction_engine.extract_token_lists(
+                        [list(by_utterance[u][0].tokens) for u in utterances]
+                    )
+            for utterance, extracted in zip(utterances, tag_lists):
+                waiting = by_utterance[utterance]
+                for pending in waiting:
+                    pending.tags = tuple(extracted)
+                self.cache.put_tags(
+                    utterance,
+                    tag_generation,
+                    (tuple(extracted), waiting[0].api_entity_ids),
+                )
         distinct: Dict[Tuple, int] = {}
         order: List[_Pending] = []
         for pending in batch:

@@ -15,11 +15,12 @@ from repro.utils.numerics import (
     stable_log,
 )
 from repro.utils.rng import SeedSequence, derive_rng, derive_seed, new_rng
-from repro.utils.timing import Timer
+from repro.utils.timing import StageTimings, Timer
 
 __all__ = [
     "ArtifactCache",
     "SeedSequence",
+    "StageTimings",
     "Timer",
     "default_cache",
     "derive_rng",

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Optional
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
 
-__all__ = ["Timer"]
+__all__ = ["Timer", "StageTimings"]
 
 
 class Timer:
@@ -32,3 +34,56 @@ class Timer:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Timer({self.label!r}, elapsed={self.elapsed:.3f}s)"
+
+
+class StageTimings:
+    """Named wall-clock spans accumulated across a multi-stage pipeline.
+
+    The extraction engine wraps its ingest stages (encode / decode / pair /
+    register) in :meth:`span` blocks; bench records export :meth:`as_dict`
+    so stage shares are readable straight off ``BENCH_*.json``.  Recording
+    is lock-protected — pairing workers report from pool threads.
+
+    >>> spans = StageTimings()
+    >>> with spans.span("encode"):
+    ...     pass
+    >>> spans.as_dict()["encode"]["calls"]
+    1
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        """Fold ``seconds`` into stage ``name`` (created at 0 on first use)."""
+        with self._lock:
+            self._seconds[name] = self._seconds.get(name, 0.0) + float(seconds)
+            self._calls[name] = self._calls.get(name, 0) + 1
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Context manager adding the block's elapsed time to stage ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def seconds(self, name: str) -> float:
+        with self._lock:
+            return self._seconds.get(name, 0.0)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._seconds.clear()
+            self._calls.clear()
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-serialisable ``{stage: {seconds, calls}}`` snapshot."""
+        with self._lock:
+            return {
+                name: {"seconds": self._seconds[name], "calls": self._calls[name]}
+                for name in sorted(self._seconds)
+            }

@@ -225,3 +225,67 @@ def test_tag_similarity_matrix_matches_scalar(tags_a, tags_b):
             scalar = _KERNEL_SIM.tag_similarity(tag_a, tag_b)
             assert abs(matrix[i, j] - scalar) <= 1e-9
             assert 0.0 <= matrix[i, j] <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# vectorized batch Viterbi ≡ per-sentence scalar decode
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def viterbi_cases(draw):
+    """Random (emissions, mask, transitions, beam) decode problems.
+
+    Lengths are drawn from [0, T] so fully-masked padding rows and
+    length-1 sentences are first-class citizens, not edge cases.
+    """
+    batch = draw(st.integers(min_value=1, max_value=5))
+    steps = draw(st.integers(min_value=1, max_value=7))
+    num_labels = draw(st.integers(min_value=2, max_value=6))
+    finite = st.floats(min_value=-20, max_value=20, allow_nan=False, width=32)
+    emissions = np.array(
+        draw(
+            st.lists(
+                finite, min_size=batch * steps * num_labels, max_size=batch * steps * num_labels
+            )
+        )
+    ).reshape(batch, steps, num_labels)
+    lengths = draw(st.lists(st.integers(0, steps), min_size=batch, max_size=batch))
+    mask = (np.arange(steps)[None, :] < np.array(lengths)[:, None]).astype(float)
+    transitions = np.array(
+        draw(st.lists(finite, min_size=num_labels * num_labels, max_size=num_labels * num_labels))
+    ).reshape(num_labels, num_labels)
+    start = np.array(draw(st.lists(finite, min_size=num_labels, max_size=num_labels)))
+    end = np.array(draw(st.lists(finite, min_size=num_labels, max_size=num_labels)))
+    beam = draw(st.sampled_from([None, 1, 2, num_labels]))
+    return emissions, mask, transitions, start, end, beam
+
+
+@settings(deadline=None, max_examples=120)
+@given(viterbi_cases())
+def test_batch_viterbi_equals_scalar_decode(case):
+    """decode_batch returns exactly decode_scalar's paths, beam included."""
+    emissions, mask, transitions, start, end, beam = case
+    crf = LinearChainCRF(emissions.shape[2], np.random.default_rng(0))
+    crf.transitions.data[...] = transitions
+    crf.start.data[...] = start
+    crf.end.data[...] = end
+    batched = crf.decode_batch(emissions, mask=mask, beam=beam)
+    scalar = crf.decode_scalar(emissions, mask=mask, beam=beam)
+    assert batched == scalar
+    for path, row_mask in zip(batched, mask):
+        assert len(path) == int(row_mask.sum())
+
+
+@settings(deadline=None, max_examples=30)
+@given(viterbi_cases())
+def test_default_decode_is_the_batch_path(case):
+    """CRF.decode dispatches to the vectorized recurrence."""
+    emissions, mask, transitions, start, end, beam = case
+    crf = LinearChainCRF(emissions.shape[2], np.random.default_rng(0))
+    crf.transitions.data[...] = transitions
+    crf.start.data[...] = start
+    crf.end.data[...] = end
+    assert crf.decode(emissions, mask=mask, beam=beam) == crf.decode_batch(
+        emissions, mask=mask, beam=beam
+    )

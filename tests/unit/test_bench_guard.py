@@ -1,0 +1,67 @@
+"""The bench regression guard: committed speedup records must hold the line."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.check_bench import check_files, check_record, iter_speedups  # noqa: E402
+
+
+class TestGuardLogic:
+    def test_finds_speedup_keys_at_any_depth(self):
+        payload = {
+            "summary": {"speedup_batching_at_peak": 2.9},
+            "speedup": {"build": 27.2, "lookup": 3.0},
+            "noise": {"throughput_rps": 0.4},
+        }
+        found = dict(iter_speedups(payload))
+        assert found == {
+            "summary.speedup_batching_at_peak": 2.9,
+            "speedup.build": 27.2,
+            "speedup.lookup": 3.0,
+        }
+
+    def test_flags_ratios_below_floor(self):
+        _, failures = check_record({"speedup": {"fast": 1.4, "slow": 0.7}})
+        assert len(failures) == 1
+        assert "slow" in failures[0]
+
+    def test_clean_record_passes(self):
+        found, failures = check_record({"summary": {"speedup": 3.2}})
+        assert found and not failures
+
+    def test_booleans_and_lists_handled(self):
+        payload = {"cells": [{"speedup": 1.5}, {"speedup": 2.0}], "speedup_ok": True}
+        found = dict(iter_speedups(payload))
+        assert found == {"cells[0].speedup": 1.5, "cells[1].speedup": 2.0}
+
+    def test_unreadable_record_fails(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        _, failures = check_files([bad])
+        assert failures and "unreadable" in failures[0]
+
+
+class TestCommittedRecords:
+    """The tier-1 wiring: every BENCH_*.json in the repo root is guarded."""
+
+    def test_repo_records_have_no_regressed_speedups(self):
+        records = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        assert records, "expected committed BENCH_*.json records in the repo root"
+        checked, failures = check_files(records)
+        assert not failures, "\n".join(failures)
+        assert checked > 0, "guard found no speedup ratios — records changed shape?"
+
+    def test_extract_record_meets_the_bar(self):
+        path = REPO_ROOT / "BENCH_extract.json"
+        if not path.exists():
+            pytest.skip("BENCH_extract.json not generated yet (run repro bench-extract)")
+        payload = json.loads(path.read_text())
+        assert payload["equivalent"] is True
+        assert payload["summary"]["speedup"]["bucketed_parallel"] >= 3.0
+        assert payload["summary"]["warm_cache_hit_ratio"] == pytest.approx(1.0)

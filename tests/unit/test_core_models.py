@@ -80,6 +80,29 @@ class TestSequenceTagger:
         assert isinstance(aspects, list)
         assert isinstance(opinions, list)
 
+    def test_predict_restores_training_mode(self, encoder):
+        tagger = SequenceTagger(encoder, np.random.default_rng(0))
+        tagger.train()
+        tagger.predict([["the", "food"]])
+        assert tagger.training
+        tagger.eval()
+        tagger.predict([["the", "food"]])
+        assert not tagger.training
+
+    def test_predict_restores_training_mode_on_decode_error(self, encoder, monkeypatch):
+        tagger = SequenceTagger(encoder, np.random.default_rng(0))
+        tagger.train()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("decode blew up")
+
+        monkeypatch.setattr(tagger.crf, "decode", boom)
+        with pytest.raises(RuntimeError, match="decode blew up"):
+            tagger.predict([["the", "food"]])
+        # A mid-decode failure must not leave the model stuck in eval mode
+        # (dropout silently disabled for the rest of a training run).
+        assert tagger.training
+
 
 class TestAdversarialTraining:
     def test_adversarial_step_runs_and_descends(self, encoder, tiny_dataset):
