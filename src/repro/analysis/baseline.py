@@ -1,0 +1,68 @@
+"""Committed baseline of accepted findings.
+
+The baseline lets the analyzer be adopted on a codebase with pre-existing
+findings without blocking every change: known findings are recorded (path,
+rule, line, message) in a reviewed JSON file and reported separately; only
+*new* findings fail the lint guard.  ``repro lint --update-baseline``
+rewrites the file after intentional churn — the diff shows exactly which
+accepted findings appeared or went away.
+
+Keys include the line number, so unrelated edits that shift a baselined
+finding will surface it as "new" — that is intentional friction: touching
+the surrounding code is the moment to fix or explicitly re-accept it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.registry import Finding
+
+__all__ = ["load_baseline", "write_baseline", "partition_findings", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The set of accepted finding keys; empty when the file is absent."""
+    if not os.path.exists(path):
+        return set()
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path!r} has version {payload.get('version')!r}; "
+            f"expected {BASELINE_VERSION}"
+        )
+    return {
+        f"{entry['path']}:{entry['rule']}:{entry['line']}"
+        for entry in payload.get("findings", [])
+    }
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    entries: List[Dict[str, object]] = [
+        {"path": f.path, "rule": f.rule_id, "line": f.line, "message": f.message}
+        for f in sorted(set(findings))
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def partition_findings(
+    findings: Iterable[Finding], accepted: Set[str]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split into (new, baselined) by baseline key membership."""
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        (baselined if finding.key in accepted else new).append(finding)
+    return new, baselined

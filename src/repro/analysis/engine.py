@@ -1,0 +1,145 @@
+"""The analysis engine: file discovery, per-file rule dispatch, triage.
+
+One :func:`run_analysis` call walks the requested paths, parses each
+``.py`` file once, lets every in-scope rule visit the tree, then triages
+raw findings three ways:
+
+* **suppressed** — an inline ``# repro: disable=<rule-id>`` covers the line;
+* **baselined** — the finding's key is in the committed baseline;
+* **new** — everything else; these fail the lint guard.
+
+Paths inside findings are relative to ``root`` (posix separators) so the
+baseline is stable regardless of where the analyzer is invoked from.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Set
+
+from repro.analysis.baseline import load_baseline, partition_findings
+from repro.analysis.registry import Finding, Rule, all_rules
+from repro.analysis.suppressions import SuppressionIndex
+
+__all__ = ["AnalysisResult", "FileReport", "run_analysis", "iter_python_files", "analyze_source"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "node_modules"}
+
+
+@dataclass
+class FileReport:
+    """Raw per-file output before baseline triage."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    error: Optional[str] = None
+
+
+@dataclass
+class AnalysisResult:
+    """Triaged output of one analyzer run."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    errors: List[FileReport] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing new was found (parse errors still fail)."""
+        return not self.new and not self.errors
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        return sorted(self.new + self.baselined)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+    seen: Set[str] = set()
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            candidates = [path] if path.endswith(".py") else []
+        else:
+            candidates = []
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+                candidates.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".py")
+                )
+        for candidate in candidates:
+            resolved = os.path.abspath(candidate)
+            if resolved not in seen:
+                seen.add(resolved)
+                collected.append(candidate)
+    return iter(sorted(collected))
+
+
+def _relpath(path: str, root: str) -> str:
+    absolute = os.path.abspath(path)
+    relative = os.path.relpath(absolute, root)
+    if relative.startswith(".."):
+        # Outside the root: keep the absolute path rather than a ../ chain
+        # that would make baseline keys depend on the invocation directory.
+        relative = absolute
+    return relative.replace(os.sep, "/")
+
+
+def analyze_source(
+    source: str, relpath: str, rules: Optional[Sequence[Rule]] = None
+) -> FileReport:
+    """Run the rule set over one in-memory module (the unit-test entry)."""
+    rules = list(rules) if rules is not None else all_rules()
+    report = FileReport(path=relpath)
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        report.error = f"syntax error: {exc.msg} (line {exc.lineno})"
+        return report
+    lines = source.splitlines()
+    suppressions = SuppressionIndex(lines)
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.applies_to(relpath):
+            raw.extend(rule.check(tree, lines, relpath))
+    for finding in sorted(raw):
+        if suppressions.is_suppressed(finding):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    return report
+
+
+def run_analysis(
+    paths: Sequence[str],
+    root: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline_path: Optional[str] = None,
+) -> AnalysisResult:
+    """Analyze ``paths`` and triage findings against the baseline."""
+    root = os.path.abspath(root or os.getcwd())
+    rules = list(rules) if rules is not None else all_rules()
+    accepted = load_baseline(baseline_path) if baseline_path else set()
+    result = AnalysisResult(rules_run=len(rules))
+    collected: List[Finding] = []
+    for path in iter_python_files(paths):
+        relative = _relpath(path, root)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        report = analyze_source(source, relative, rules)
+        result.files_scanned += 1
+        if report.error is not None:
+            result.errors.append(report)
+            continue
+        collected.extend(report.findings)
+        result.suppressed.extend(report.suppressed)
+    result.new, result.baselined = partition_findings(sorted(collected), accepted)
+    return result

@@ -1,0 +1,11 @@
+"""Rule families — importing this package registers every rule.
+
+Four families, each encoding an invariant the oracle-equivalence story
+depends on: lock discipline (shared state under its lock), determinism
+(no entropy in ranking paths), numpy-kernel hygiene (portable, fully
+initialised numerics) and API hygiene (exception- and call-safety).
+"""
+
+from repro.analysis.rules import api_hygiene, determinism, locks, numpy_kernels
+
+__all__ = ["api_hygiene", "determinism", "locks", "numpy_kernels"]

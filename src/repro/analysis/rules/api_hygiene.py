@@ -1,0 +1,140 @@
+"""API-hygiene rules.
+
+General correctness hazards that have each bitten this codebase (or nearly
+did): bare ``except:`` swallowing ``KeyboardInterrupt``/``SystemExit`` in
+long-running servers, mutable default arguments shared across calls, and
+mode flips (``.eval()`` / ``.train()`` / ``self.training = ...``) whose
+restore is not protected by ``try/finally`` — the exact bug class fixed by
+hand in ``SequenceTagger.predict``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.registry import Finding, Rule, register
+
+__all__ = ["BareExcept", "MutableDefault", "ModeFlipNoRestore"]
+
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "OrderedDict", "defaultdict", "deque"})
+
+
+@register
+class BareExcept(Rule):
+    rule_id = "bare-except"
+    family = "api-hygiene"
+    summary = "bare except: catches SystemExit and KeyboardInterrupt"
+    rationale = (
+        "`except:` (and `except BaseException:` without re-raise intent) "
+        "traps interpreter shutdown signals; serving loops become "
+        "unkillable.  Catch Exception or something narrower."
+    )
+
+    def check(self, tree: ast.Module, lines: Sequence[str], relpath: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                findings.append(self.finding(node, relpath, "bare except: clause"))
+        return findings
+
+
+@register
+class MutableDefault(Rule):
+    rule_id = "mutable-default"
+    family = "api-hygiene"
+    summary = "mutable default argument shared across calls"
+    rationale = (
+        "A list/dict/set default is evaluated once at def time; every call "
+        "mutating it leaks state across requests.  Default to None and "
+        "allocate inside the function."
+    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return name is not None and name.split(".")[-1] in _MUTABLE_FACTORIES
+        return False
+
+    def check(self, tree: ast.Module, lines: Sequence[str], relpath: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    label = getattr(node, "name", "<lambda>")
+                    findings.append(
+                        self.finding(
+                            default, relpath, f"mutable default argument in {label}()"
+                        )
+                    )
+        return findings
+
+
+def _mode_flip(node: ast.AST) -> Optional[Tuple[str, str]]:
+    """(receiver, description) when ``node`` flips a train/eval mode.
+
+    Matches ``X.eval()``, ``X.train(...)`` and ``X.training = <expr>``.
+    """
+    if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+        callee = dotted_name(node.value.func)
+        if callee is not None:
+            parts = callee.split(".")
+            if len(parts) >= 2 and parts[-1] in ("eval", "train"):
+                return ".".join(parts[:-1]), f"{callee}()"
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            name = dotted_name(target)
+            if name is not None and name.endswith(".training"):
+                return name.rsplit(".", 1)[0], f"{name} = ..."
+    return None
+
+
+@register
+class ModeFlipNoRestore(Rule):
+    rule_id = "mode-flip-no-restore"
+    family = "api-hygiene"
+    summary = "train/eval mode flipped and restored without try/finally"
+    rationale = (
+        "If the work between `model.eval()` and the restoring `model.train()` "
+        "raises, the model is silently stuck in the wrong mode (dropout off "
+        "for the rest of training).  The restore must live in a finally:."
+    )
+
+    def check(self, tree: ast.Module, lines: Sequence[str], relpath: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            # Flips at the function's statement level (not inside try/finally).
+            top_flips: List[Tuple[ast.AST, str, str]] = []
+            for statement in node.body:
+                flip = _mode_flip(statement)
+                if flip is not None:
+                    top_flips.append((statement, flip[0], flip[1]))
+            if len(top_flips) < 2:
+                continue
+            # Same receiver flipped twice outside any finally → first flip's
+            # restore is not exception-safe.
+            seen = {}
+            for statement, receiver, description in top_flips:
+                if receiver in seen:
+                    findings.append(
+                        self.finding(
+                            seen[receiver][0],
+                            relpath,
+                            f"{seen[receiver][1]} restored by {description} "
+                            "without try/finally",
+                        )
+                    )
+                    break
+                seen[receiver] = (statement, description)
+        return findings

@@ -1,0 +1,54 @@
+"""Inline suppression comments: ``# repro: disable=<rule-id>[,<rule-id>...]``.
+
+A suppression on the same line as a finding silences it; a *comment-only*
+line silences the next code line (for statements too long to annotate
+inline).  ``disable=all`` silences every rule on that line.  Suppressions
+are deliberately line-scoped — block- or file-level escapes would let a
+whole module drift out from under an invariant, which is exactly what the
+baseline file (reviewed, committed, diffable) is for instead.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Sequence, Set
+
+from repro.analysis.registry import Finding
+
+__all__ = ["SuppressionIndex", "SUPPRESSION_PATTERN"]
+
+SUPPRESSION_PATTERN = re.compile(r"#\s*repro:\s*disable=([A-Za-z0-9_,\s\-]+)")
+_COMMENT_ONLY = re.compile(r"^\s*#")
+
+
+class SuppressionIndex:
+    """Per-file map of line number → rule ids suppressed on that line."""
+
+    def __init__(self, lines: Sequence[str]):
+        self._by_line: Dict[int, Set[str]] = {}
+        for lineno, text in enumerate(lines, start=1):
+            match = SUPPRESSION_PATTERN.search(text)
+            if not match:
+                continue
+            rule_ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            self._add(lineno, rule_ids)
+            if _COMMENT_ONLY.match(text):
+                # A standalone suppression covers the first code line below
+                # it, skipping the rest of its comment block (justifications
+                # may continue on following comment lines).
+                target = lineno + 1
+                while target <= len(lines) and _COMMENT_ONLY.match(lines[target - 1]):
+                    target += 1
+                self._add(target, rule_ids)
+
+    def _add(self, lineno: int, rule_ids: Set[str]) -> None:
+        self._by_line.setdefault(lineno, set()).update(rule_ids)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rule_ids = self._by_line.get(finding.line)
+        if not rule_ids:
+            return False
+        return "all" in rule_ids or finding.rule_id in rule_ids
+
+    def __len__(self) -> int:
+        return len(self._by_line)

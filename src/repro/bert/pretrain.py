@@ -74,23 +74,27 @@ def pretrain_mlm(
     optimizer = Adam(model.parameters(), lr=config.learning_rate)
     losses: List[float] = []
     model.train()
-    for step in range(config.steps):
-        picks = rng.integers(0, len(encoded_all), size=config.batch_size)
-        batch_sentences = [encoded_all[i] for i in picks]
-        corrupted, targets, loss_mask = _mask_batch(batch_sentences, tokenizer, config, rng)
-        if loss_mask.sum() == 0:
-            continue
-        batch = BatchEncoding.from_piece_lists(
-            corrupted, tokenizer.pad_id, model.config.max_pieces_per_word,
-            max_words=model.config.max_positions,
-        )
-        width = batch.num_words
-        logits = model.mlm_logits(batch)
-        loss = F.cross_entropy(logits, targets[:, :width], mask=loss_mask[:, :width])
-        optimizer.zero_grad()
-        loss.backward()
-        clip_grad_norm(model.parameters(), config.max_grad_norm)
-        optimizer.step()
-        losses.append(loss.item())
-    model.eval()
+    try:
+        for step in range(config.steps):
+            picks = rng.integers(0, len(encoded_all), size=config.batch_size)
+            batch_sentences = [encoded_all[i] for i in picks]
+            corrupted, targets, loss_mask = _mask_batch(batch_sentences, tokenizer, config, rng)
+            if loss_mask.sum() == 0:
+                continue
+            batch = BatchEncoding.from_piece_lists(
+                corrupted, tokenizer.pad_id, model.config.max_pieces_per_word,
+                max_words=model.config.max_positions,
+            )
+            width = batch.num_words
+            logits = model.mlm_logits(batch)
+            loss = F.cross_entropy(logits, targets[:, :width], mask=loss_mask[:, :width])
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(model.parameters(), config.max_grad_norm)
+            optimizer.step()
+            losses.append(loss.item())
+    finally:
+        # An exception mid-step must not leave the encoder in train mode
+        # (dropout active) for whoever inspects or reuses the model next.
+        model.eval()
     return losses

@@ -237,6 +237,35 @@ def _cmd_bench_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        render_human,
+        render_json,
+        rules_by_family,
+        run_analysis,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for family, rules in rules_by_family().items():
+            print(family)
+            for rule in rules:
+                scope = f"  [scope: {', '.join(rule.scope)}]" if rule.scope else ""
+                print(f"  {rule.rule_id:<24}{rule.summary}{scope}")
+        return 0
+    baseline_path = None if args.no_baseline else args.baseline
+    result = run_analysis(args.paths, root=args.root, baseline_path=baseline_path)
+    if args.update_baseline:
+        count = write_baseline(args.baseline, result.new + result.baselined)
+        print(f"wrote {count} accepted findings to {args.baseline}")
+        return 0
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_human(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.data import DATASET_SPECS
 
@@ -334,6 +363,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_extract.add_argument("--output", help="record path (default: ./BENCH_extract.json)")
     bench_extract.set_defaults(func=_cmd_bench_extract)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static analysis of concurrency/determinism/kernel invariants",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    lint.add_argument("--format", choices=["human", "json"], default="human")
+    lint.add_argument(
+        "--baseline",
+        default="analysis/baseline.json",
+        help="accepted-findings file (default: analysis/baseline.json)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true", help="report baselined findings as new"
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept the current findings",
+    )
+    lint.add_argument(
+        "--root", help="directory finding paths are made relative to (default: cwd)"
+    )
+    lint.add_argument(
+        "--verbose", action="store_true", help="also list baselined findings"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     datasets = subparsers.add_parser("datasets", help="list the S1-S4 benchmarks")
     datasets.set_defaults(func=_cmd_datasets)

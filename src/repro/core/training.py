@@ -74,13 +74,17 @@ class TaggerTrainer:
         rng = np.random.default_rng(self.config.seed)
         batches = self._bucketed_batches(sentences)
         self.tagger.train()
-        for _ in range(self.config.epochs):
-            order = rng.permutation(len(batches))
-            epoch_losses = []
-            for index in order:
-                epoch_losses.append(self._step(batches[index], rng))
-            self.history.append(float(np.mean(epoch_losses)))
-        self.tagger.eval()
+        try:
+            for _ in range(self.config.epochs):
+                order = rng.permutation(len(batches))
+                epoch_losses = []
+                for index in order:
+                    epoch_losses.append(self._step(batches[index], rng))
+                self.history.append(float(np.mean(epoch_losses)))
+        finally:
+            # An exception mid-epoch must not leave the tagger in train mode
+            # (dropout would silently perturb every later predict call).
+            self.tagger.eval()
         return self.history
 
     def _bucketed_batches(self, sentences: Sequence[LabeledSentence]) -> List[List[LabeledSentence]]:

@@ -164,6 +164,9 @@ class LinearChainCRF(Module):
             if use_beam:
                 # Prune all but the top-`beam` predecessor states per row
                 # (same argsort tie behaviour as the scalar oracle).
+                # repro: disable=unstable-argsort — beam keeps a *set* of
+                # states; both this path and decode_scalar use the default
+                # kind, so tie selection is identical (property-tested).
                 keep = np.argsort(prev, axis=1)[:, -beam:]
                 pruned = np.full_like(prev, -np.inf)
                 np.put_along_axis(pruned, keep, np.take_along_axis(prev, keep, axis=1), axis=1)
@@ -221,6 +224,8 @@ class LinearChainCRF(Module):
                 prev = score
                 if use_beam:
                     # Prune all but the top-`beam` predecessor states.
+                    # repro: disable=unstable-argsort — oracle twin of the
+                    # batched beam prune above; must keep the same kind.
                     keep = np.argsort(prev)[-beam:]
                     pruned = np.full(num_labels, -np.inf)
                     pruned[keep] = prev[keep]

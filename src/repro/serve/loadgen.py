@@ -109,7 +109,9 @@ def _run_cell(
                 errors.append(exc)
 
         threads = [
-            threading.Thread(target=client, args=(client_id,), name=f"loadgen-{client_id}")
+            threading.Thread(
+                target=client, args=(client_id,), name=f"loadgen-{client_id}", daemon=True
+            )
             for client_id in range(clients)
         ]
         wall_start = time.perf_counter()

@@ -141,6 +141,9 @@ class SaccsRuntime:
         #: serialises every facade touch (index matrices, tag history,
         #: extractor state are shared and not thread-safe).
         self._facade_lock = threading.RLock()
+        #: serialises start/stop: concurrent callers must not double-spawn
+        #: or double-drain the scheduler threads.
+        self._lifecycle_lock = threading.Lock()
         # Surface the extraction engine's cache hit/miss counters through
         # this runtime's /metrics (extract.cache.{hit,miss} → ratio rollup).
         saccs.extraction_engine.bind_metrics(self.metrics)
@@ -152,29 +155,37 @@ class SaccsRuntime:
     # -------------------------------------------------------------- lifecycle
 
     def start(self) -> "SaccsRuntime":
-        if self._running:
-            return self
-        self._running = True
-        batcher = threading.Thread(target=self._batcher_loop, name="saccs-batcher", daemon=True)
-        self._threads = [batcher]
-        for worker_id in range(self.config.workers):
-            self._threads.append(
-                threading.Thread(
-                    target=self._worker_loop, name=f"saccs-worker-{worker_id}", daemon=True
-                )
+        with self._lifecycle_lock:
+            if self._running:
+                return self
+            self._running = True
+            batcher = threading.Thread(
+                target=self._batcher_loop, name="saccs-batcher", daemon=True
             )
-        for thread in self._threads:
-            thread.start()
+            self._threads = [batcher]
+            for worker_id in range(self.config.workers):
+                self._threads.append(
+                    threading.Thread(
+                        target=self._worker_loop,
+                        name=f"saccs-worker-{worker_id}",
+                        daemon=True,
+                    )
+                )
+            for thread in self._threads:
+                thread.start()
         return self
 
     def stop(self) -> None:
-        if not self._running:
-            return
-        self._running = False
-        self._queue.put(_STOP)
-        for thread in self._threads:
+        with self._lifecycle_lock:
+            if not self._running:
+                return
+            self._running = False
+            self._queue.put(_STOP)
+            threads, self._threads = self._threads, []
+        # Join outside the lock: a wedged worker must not block a concurrent
+        # start/stop caller for the full drain timeout.
+        for thread in threads:
             thread.join(timeout=5.0)
-        self._threads = []
 
     def __enter__(self) -> "SaccsRuntime":
         return self.start()

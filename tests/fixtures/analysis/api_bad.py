@@ -1,0 +1,11 @@
+"""Seeded API-hygiene violations (fixture corpus — never imported)."""
+
+
+def risky(model, items=[]):
+    model.eval()
+    try:
+        items.append(model.run())
+    except:
+        pass
+    model.train()
+    return items

@@ -1,0 +1,14 @@
+"""Clean near-misses for the API-hygiene rules."""
+
+
+def safe(model, items=None):
+    if items is None:
+        items = []
+    model.eval()
+    try:
+        items.append(model.run())
+    except ValueError:
+        pass
+    finally:
+        model.train()
+    return items

@@ -1,0 +1,18 @@
+"""Clean near-misses for the determinism rules."""
+
+import random
+
+import numpy as np
+
+
+def rank(scores, rng: np.random.Generator, clock=None):
+    jitter = rng.random()
+    local = random.Random(7).random()
+    seeded = np.random.default_rng(11).normal(size=3)
+    stamp = clock() if clock is not None else 0.0
+    order = np.argsort(scores, kind="stable")
+    return order, jitter, local, seeded, stamp
+
+
+def collect(tags):
+    return [tag for tag in sorted(set(tags))]

@@ -1,0 +1,8 @@
+"""Seeded ranking-module violation (fixture corpus — never imported)."""
+
+import time
+
+
+def score(entities):
+    stamp = time.time()
+    return [(entity, stamp) for entity in entities]

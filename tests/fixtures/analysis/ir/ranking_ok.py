@@ -1,0 +1,6 @@
+"""Clean near-miss: time is injected, never read from the wall clock."""
+
+
+def score(entities, clock):
+    stamp = clock()
+    return [(entity, stamp) for entity in entities]

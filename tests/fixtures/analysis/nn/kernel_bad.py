@@ -1,0 +1,11 @@
+"""Seeded numpy-kernel violations (fixture corpus — never imported)."""
+
+import numpy as np
+
+
+def scores(emissions):
+    buffer = np.empty((4, 4), dtype=np.float64)
+    weights = np.exp(emissions)
+    same = weights == emissions
+    table = np.zeros((2, 2))
+    return buffer, same, table

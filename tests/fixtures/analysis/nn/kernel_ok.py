@@ -1,0 +1,13 @@
+"""Clean near-misses for the numpy-kernel rules."""
+
+import numpy as np
+
+
+def scores(emissions, mask):
+    buffer = np.empty((4, 4), dtype=np.float64)
+    buffer[:, :] = 0.0
+    weights = np.exp(emissions)
+    close = np.isclose(weights, emissions)
+    active = mask == 1
+    table = np.zeros((2, 2), dtype=np.float64)
+    return buffer, close, active, table

@@ -1,0 +1,21 @@
+"""Seeded lock-discipline violations (fixture corpus — never imported)."""
+
+import threading
+
+
+class Runtime:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._running = False
+        self._threads = []
+
+    def start(self):
+        if self._running:
+            return
+        self._running = True
+        worker = threading.Thread(target=self._loop)
+        self._threads.append(worker)
+        worker.start()
+
+    def _loop(self):
+        pass

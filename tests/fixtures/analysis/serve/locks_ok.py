@@ -1,0 +1,35 @@
+"""Clean near-misses for the lock-discipline rules."""
+
+import threading
+
+
+class Runtime:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._running = False
+        self._threads = []
+
+    def start(self):
+        with self._lock:
+            if self._running:
+                return
+            self._running = True
+        worker = threading.Thread(target=self._loop, daemon=True)
+        worker.start()
+
+    def _reset_locked(self):
+        # *_locked helpers are called with the lock already held.
+        self._threads = []
+
+    def _loop(self):
+        pass
+
+
+class PlainBag:
+    """Owns no lock, so private mutation is unexceptional."""
+
+    def __init__(self):
+        self._items = []
+
+    def add(self, item):
+        self._items.append(item)

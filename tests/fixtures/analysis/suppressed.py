@@ -1,0 +1,10 @@
+"""Suppression fixture: every violation here carries a disable comment."""
+
+
+def quiet(items=[]):  # repro: disable=mutable-default — fixture: shared scratch
+    try:
+        items.append(1)
+    # repro: disable=bare-except — fixture: suppression-binding test
+    except:
+        pass
+    return items

@@ -1,0 +1,258 @@
+"""Tests for the ``repro.analysis`` static-analysis framework.
+
+The fixture corpus under ``tests/fixtures/analysis/`` carries at least one
+seeded violation *and* one clean near-miss per rule; the tests assert exact
+(rule-id, line) findings so rule regressions cannot hide behind count
+matches.  Suppression and baseline behaviour are round-tripped in full.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import (
+    AnalysisResult,
+    Finding,
+    SuppressionIndex,
+    all_rules,
+    analyze_source,
+    get_rule,
+    load_baseline,
+    render_human,
+    render_json,
+    result_payload,
+    rules_by_family,
+    run_analysis,
+    write_baseline,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "..", "fixtures", "analysis")
+
+
+def fixture_findings(relpath):
+    result = run_analysis([os.path.join(FIXTURES, relpath)], root=FIXTURES)
+    assert not result.errors
+    return [(f.rule_id, f.line) for f in result.new]
+
+
+# ---------------------------------------------------------------- fixtures
+
+
+def test_lock_family_seeded_violations():
+    assert fixture_findings("serve/locks_bad.py") == [
+        ("check-then-act", 13),
+        ("unguarded-attr-write", 15),
+        ("thread-no-daemon", 16),
+        ("unguarded-attr-write", 17),
+    ]
+
+
+def test_lock_family_near_misses_are_clean():
+    assert fixture_findings("serve/locks_ok.py") == []
+
+
+def test_determinism_family_seeded_violations():
+    assert fixture_findings("core/determinism_bad.py") == [
+        ("global-rng", 10),
+        ("global-rng", 11),
+        ("unstable-argsort", 13),
+        ("set-iteration-order", 19),
+        ("set-iteration-order", 21),
+    ]
+
+
+def test_determinism_family_near_misses_are_clean():
+    assert fixture_findings("core/determinism_ok.py") == []
+
+
+def test_wallclock_rule_fires_only_inside_ranking_scope():
+    assert fixture_findings("ir/ranking_bad.py") == [("wallclock-in-ranking", 7)]
+    assert fixture_findings("ir/ranking_ok.py") == []
+    # The same call sits in core/determinism_bad.py line 12 but that path is
+    # outside the ranking-module scope, so the rule stays quiet there.
+    assert ("wallclock-in-ranking", 12) not in fixture_findings("core/determinism_bad.py")
+
+
+def test_numpy_family_seeded_violations():
+    assert fixture_findings("nn/kernel_bad.py") == [
+        ("empty-no-fill", 7),
+        ("float-array-compare", 9),
+        ("implicit-dtype", 10),
+    ]
+
+
+def test_numpy_family_near_misses_are_clean():
+    assert fixture_findings("nn/kernel_ok.py") == []
+
+
+def test_api_family_seeded_violations():
+    assert fixture_findings("api_bad.py") == [
+        ("mutable-default", 4),
+        ("mode-flip-no-restore", 5),
+        ("bare-except", 8),
+    ]
+
+
+def test_api_family_near_misses_are_clean():
+    assert fixture_findings("api_ok.py") == []
+
+
+def test_every_rule_family_has_a_seeded_true_positive():
+    result = run_analysis([FIXTURES], root=FIXTURES)
+    found_rules = {f.rule_id for f in result.new} | {f.rule_id for f in result.suppressed}
+    families_hit = {
+        rule.family for rule in all_rules() if rule.rule_id in found_rules
+    }
+    assert families_hit == {
+        "api-hygiene",
+        "determinism",
+        "lock-discipline",
+        "numpy-kernel",
+    }
+
+
+# ----------------------------------------------------------- suppressions
+
+
+def test_inline_and_standalone_suppressions_bind():
+    result = run_analysis([os.path.join(FIXTURES, "suppressed.py")], root=FIXTURES)
+    assert [(f.rule_id, f.line) for f in result.new] == []
+    assert sorted((f.rule_id, f.line) for f in result.suppressed) == [
+        ("bare-except", 8),
+        ("mutable-default", 4),
+    ]
+
+
+def test_standalone_suppression_skips_its_comment_block():
+    source = (
+        "import numpy as np\n"
+        "\n"
+        "def f(x):\n"
+        "    # repro: disable=unstable-argsort — ties cannot reach the\n"
+        "    # output because scores are distinct by construction.\n"
+        "    return np.argsort(x)\n"
+    )
+    report = analyze_source(source, "core/filtering.py")
+    assert report.findings == []
+    assert [f.rule_id for f in report.suppressed] == ["unstable-argsort"]
+
+
+def test_disable_all_suppresses_every_rule_on_the_line():
+    source = "def f(items=[]):  # repro: disable=all\n    return items\n"
+    report = analyze_source(source, "anything.py")
+    assert report.findings == []
+    assert [f.rule_id for f in report.suppressed] == ["mutable-default"]
+
+
+def test_unrelated_suppression_does_not_bind():
+    source = "def f(items=[]):  # repro: disable=bare-except\n    return items\n"
+    report = analyze_source(source, "anything.py")
+    assert [f.rule_id for f in report.findings] == ["mutable-default"]
+
+
+# --------------------------------------------------------------- baseline
+
+
+def test_baseline_round_trip(tmp_path):
+    baseline_path = str(tmp_path / "baseline.json")
+    first = run_analysis([FIXTURES], root=FIXTURES)
+    assert first.new  # the corpus seeds violations
+    write_baseline(baseline_path, first.new)
+    second = run_analysis([FIXTURES], root=FIXTURES, baseline_path=baseline_path)
+    assert second.new == []
+    assert sorted(second.baselined) == sorted(first.new)
+    # A fresh violation not in the baseline still fails.
+    extra = tmp_path / "extra.py"
+    extra.write_text("def f(items=[]):\n    return items\n")
+    third = run_analysis(
+        [FIXTURES, str(extra)], root=FIXTURES, baseline_path=baseline_path
+    )
+    assert [(f.rule_id, f.line) for f in third.new] == [("mutable-default", 1)]
+
+
+def test_baseline_missing_file_is_empty(tmp_path):
+    assert load_baseline(str(tmp_path / "absent.json")) == set()
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"version": 99, "findings": []}')
+    with pytest.raises(ValueError):
+        load_baseline(str(path))
+
+
+# ------------------------------------------------------ registry / engine
+
+
+def test_registry_has_four_families_and_unique_ids():
+    rules = all_rules()
+    ids = [rule.rule_id for rule in rules]
+    assert len(ids) == len(set(ids))
+    assert len(rules) >= 13
+    assert set(rules_by_family()) == {
+        "api-hygiene",
+        "determinism",
+        "lock-discipline",
+        "numpy-kernel",
+    }
+    for rule in rules:
+        assert rule.summary and rule.rationale
+
+
+def test_get_rule_unknown_id_raises():
+    with pytest.raises(KeyError):
+        get_rule("no-such-rule")
+
+
+def test_scope_matching_is_segment_anchored():
+    rule = get_rule("implicit-dtype")
+    assert rule.applies_to("src/repro/nn/crf.py")
+    assert rule.applies_to("nn/kernel_bad.py")
+    assert not rule.applies_to("src/repro/cnn/crf.py")
+    assert not rule.applies_to("src/repro/serve/runtime.py")
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    result = run_analysis([str(bad)], root=str(tmp_path))
+    assert not result.ok
+    assert result.errors and "syntax error" in result.errors[0].error
+
+
+def test_init_and_locked_methods_are_exempt():
+    source = (
+        "import threading\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._state = 0\n"
+        "    def _bump_locked(self):\n"
+        "        self._state += 1\n"
+    )
+    report = analyze_source(source, "x.py")
+    assert report.findings == []
+
+
+def test_reporters_render_both_formats():
+    result = run_analysis([os.path.join(FIXTURES, "api_bad.py")], root=FIXTURES)
+    human = render_human(result)
+    assert "mutable-default" in human and "api_bad.py" in human
+    payload = result_payload(result)
+    assert payload["ok"] is False
+    assert payload["summary"]["new"] == 3
+    assert "mutable-default" in render_json(result)
+
+
+def test_finding_key_is_stable():
+    finding = Finding(path="a/b.py", line=7, col=0, rule_id="bare-except", message="m")
+    assert finding.key == "a/b.py:bare-except:7"
+
+
+def test_suppression_index_len_counts_annotated_lines():
+    index = SuppressionIndex(["x = 1  # repro: disable=bare-except", "y = 2"])
+    assert len(index) == 1
+
+
+def test_analysis_result_ok_property():
+    assert AnalysisResult().ok

@@ -35,6 +35,18 @@ class TestParser:
         assert args.clients == [1, 4]
         assert args.requests == 10
 
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == ["src"]
+        assert args.format == "human"
+        assert args.baseline == "analysis/baseline.json"
+        assert not args.update_baseline
+
+    def test_lint_json_format(self):
+        args = build_parser().parse_args(["lint", "src", "tests", "--format", "json"])
+        assert args.paths == ["src", "tests"]
+        assert args.format == "json"
+
 
 class TestCommands:
     def test_full_workflow(self, tmp_path, capsys):

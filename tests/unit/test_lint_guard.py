@@ -1,0 +1,102 @@
+"""Tier-1 lint guard: ``repro lint src/`` must stay clean.
+
+Mirrors ``benchmarks/check_bench.py``'s role for performance: this guard
+runs the static analyzer over the real ``src/`` tree exactly as CI would
+(fresh interpreter, JSON reporter, committed baseline) and fails the suite
+on any non-baselined, non-suppressed finding — so a seeded race or
+nondeterminism violation in ``src/`` breaks the build, not a prod bench.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro import cli
+from repro.analysis import run_analysis
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+BASELINE = os.path.join(REPO_ROOT, "analysis", "baseline.json")
+
+
+def run_lint_cli(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_src_tree_has_no_new_findings():
+    completed = run_lint_cli("src", "--format", "json")
+    payload = json.loads(completed.stdout)
+    assert payload["new"] == [], (
+        "non-baselined lint findings in src/ — fix them, suppress with "
+        "`# repro: disable=<rule-id>` + justification, or (for accepted "
+        "pre-existing debt) run `repro lint src --update-baseline`:\n"
+        + json.dumps(payload["new"], indent=2)
+    )
+    assert payload["errors"] == []
+    assert completed.returncode == 0
+    # The committed baseline and suppressions are in active use, not stale.
+    assert payload["summary"]["files_scanned"] > 90
+    assert payload["summary"]["rules_run"] >= 13
+
+
+def test_seeded_violation_is_caught(tmp_path):
+    seeded = tmp_path / "seeded.py"
+    seeded.write_text(
+        "import threading\n"
+        "\n"
+        "class Store:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._items = []\n"
+        "    def put(self, item):\n"
+        "        self._items.append(item)\n"
+    )
+    result = run_analysis(
+        [os.path.join(REPO_ROOT, "src"), str(seeded)],
+        root=REPO_ROOT,
+        baseline_path=BASELINE,
+    )
+    assert not result.ok
+    assert [(f.rule_id, f.line) for f in result.new] == [("unguarded-attr-write", 8)]
+
+
+def test_cli_exit_code_reflects_findings(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f():\n    return 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(items=[]):\n    return items\n")
+    assert cli.main(["lint", str(clean), "--no-baseline"]) == 0
+    assert cli.main(["lint", str(dirty), "--no-baseline"]) == 1
+
+
+def test_update_baseline_flag_accepts_current_findings(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(items=[]):\n    return items\n")
+    baseline = str(tmp_path / "baseline.json")
+    # Intentional churn: accept, then the same findings no longer fail.
+    assert cli.main(
+        ["lint", str(dirty), "--baseline", baseline, "--update-baseline", "--root", str(tmp_path)]
+    ) == 0
+    capsys.readouterr()
+    assert cli.main(["lint", str(dirty), "--baseline", baseline, "--root", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "0 new, 1 baselined" in out
+    # Without the baseline the accepted finding is visible again.
+    assert cli.main(["lint", str(dirty), "--no-baseline", "--root", str(tmp_path)]) == 1
+
+
+def test_list_rules_prints_catalogue(capsys):
+    assert cli.main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for family in ("lock-discipline", "determinism", "numpy-kernel", "api-hygiene"):
+        assert family in out
+    assert "unguarded-attr-write" in out

@@ -342,3 +342,93 @@ class TestServeConfig:
     def test_invalid_config_rejected(self, kwargs):
         with pytest.raises(ValueError):
             ServeConfig(**kwargs)
+
+
+class _StubExtractionEngine:
+    def bind_metrics(self, metrics):
+        self.metrics = metrics
+
+
+class _StubSaccs:
+    """Just enough facade surface for SaccsRuntime's lifecycle paths."""
+
+    def __init__(self):
+        self.extraction_engine = _StubExtractionEngine()
+        self.index_generation = 0
+        self.index = {}
+        self.entities = []
+
+
+def _scheduler_threads():
+    return [
+        thread
+        for thread in threading.enumerate()
+        if thread.name.startswith(("saccs-batcher", "saccs-worker"))
+    ]
+
+
+class TestRuntimeLifecycle:
+    """Regression tests for the lock-discipline fixes in SaccsRuntime.
+
+    start()/stop() used to test-and-set self._running and rebuild
+    self._threads without a lock (flagged by `unguarded-attr-write` and
+    `check-then-act`); racing callers could double-spawn the scheduler or
+    drop live threads.  Both now serialise on the lifecycle lock.
+    """
+
+    def test_concurrent_start_spawns_exactly_one_scheduler(self):
+        from repro.serve import SaccsRuntime
+
+        runtime = SaccsRuntime(_StubSaccs(), ServeConfig(workers=2))
+        before = len(_scheduler_threads())
+        barrier = threading.Barrier(8)
+
+        def racer():
+            barrier.wait()
+            runtime.start()
+
+        racers = [threading.Thread(target=racer, daemon=True) for _ in range(8)]
+        for thread in racers:
+            thread.start()
+        for thread in racers:
+            thread.join(timeout=5.0)
+        try:
+            # One batcher + `workers` workers, regardless of racing callers.
+            assert len(runtime._threads) == 3
+            assert len(_scheduler_threads()) - before == 3
+        finally:
+            runtime.stop()
+
+    def test_concurrent_stop_is_idempotent_and_drains(self):
+        from repro.serve import SaccsRuntime
+
+        before = len(_scheduler_threads())
+        runtime = SaccsRuntime(_StubSaccs(), ServeConfig(workers=2)).start()
+        barrier = threading.Barrier(8)
+
+        def racer():
+            barrier.wait()
+            runtime.stop()
+
+        racers = [threading.Thread(target=racer, daemon=True) for _ in range(8)]
+        for thread in racers:
+            thread.start()
+        for thread in racers:
+            thread.join(timeout=5.0)
+        assert runtime._threads == []
+        assert len(_scheduler_threads()) == before
+
+    def test_restart_after_stop(self):
+        from repro.serve import SaccsRuntime
+
+        runtime = SaccsRuntime(_StubSaccs(), ServeConfig(workers=1))
+        runtime.start()
+        runtime.stop()
+        runtime.start()
+        try:
+            assert runtime.health()["status"] == "ok"
+            assert len(runtime._threads) == 2
+            assert all(thread.is_alive() for thread in runtime._threads)
+        finally:
+            runtime.stop()
+        assert runtime.health()["status"] == "stopped"
