@@ -1,4 +1,4 @@
-"""Bench regression guard: recorded speedups must never dip below 1.0.
+"""Bench regression guard: speedups stay ≥ 1.0, overheads stay ≤ ceiling.
 
 Every optimisation PR commits a ``BENCH_*.json`` whose record contains one
 or more *speedup ratios* (optimised over baseline).  A ratio below 1.0
@@ -7,6 +7,12 @@ record is stale or the code regressed.  This guard loads every record,
 walks it for numeric leaves living under a key containing ``speedup`` (the
 key itself, or any ancestor key — ``{"speedup": {"build": 27.2}}`` counts
 both layers), and fails if any ratio is below the floor.
+
+Symmetrically, *overhead fractions* (cost of an opt-in feature relative to
+having it off — e.g. ``summary.tracing.tracing_overhead_frac`` from
+``repro bench-serve``) live under keys containing ``overhead`` and must
+stay at or below ``DEFAULT_OVERHEAD_CEILING`` (5%): tracing and friends are
+only acceptable on the hot path while they are near-free.
 
 Run directly (``python benchmarks/check_bench.py [paths...]``) or via the
 tier-1 test ``tests/unit/test_bench_guard.py``.
@@ -21,41 +27,79 @@ from typing import Iterable, Iterator, List, Sequence, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_FLOOR = 1.0
+DEFAULT_OVERHEAD_CEILING = 0.05
 
-__all__ = ["iter_speedups", "check_record", "check_files", "main"]
+__all__ = [
+    "iter_speedups",
+    "iter_overheads",
+    "check_record",
+    "check_files",
+    "main",
+]
 
 
-def iter_speedups(node, prefix: str = "", inherited: bool = False) -> Iterator[Tuple[str, float]]:
-    """Yield ``(json_path, ratio)`` for every speedup leaf in a record."""
+def _iter_tagged(
+    node, tag: str, prefix: str = "", inherited: bool = False
+) -> Iterator[Tuple[str, float]]:
+    """Yield ``(json_path, value)`` for numeric leaves under a ``tag`` key."""
     if isinstance(node, dict):
         for key, value in node.items():
             path = f"{prefix}.{key}" if prefix else str(key)
-            tagged = inherited or "speedup" in str(key).lower()
+            tagged = inherited or tag in str(key).lower()
             if isinstance(value, bool):
                 continue
             if isinstance(value, (int, float)):
                 if tagged:
                     yield path, float(value)
             else:
-                yield from iter_speedups(value, path, tagged)
+                yield from _iter_tagged(value, tag, path, tagged)
     elif isinstance(node, list):
         for index, value in enumerate(node):
-            yield from iter_speedups(value, f"{prefix}[{index}]", inherited)
+            yield from _iter_tagged(value, tag, f"{prefix}[{index}]", inherited)
 
 
-def check_record(payload, floor: float = DEFAULT_FLOOR) -> Tuple[List[Tuple[str, float]], List[str]]:
-    """All speedups in a record plus failure messages for those below ``floor``."""
-    found = list(iter_speedups(payload))
+def iter_speedups(node, prefix: str = "", inherited: bool = False) -> Iterator[Tuple[str, float]]:
+    """Yield ``(json_path, ratio)`` for every speedup leaf in a record."""
+    yield from _iter_tagged(node, "speedup", prefix, inherited)
+
+
+def iter_overheads(node, prefix: str = "", inherited: bool = False) -> Iterator[Tuple[str, float]]:
+    """Yield ``(json_path, fraction)`` for every overhead leaf in a record."""
+    yield from _iter_tagged(node, "overhead", prefix, inherited)
+
+
+def check_record(
+    payload,
+    floor: float = DEFAULT_FLOOR,
+    overhead_ceiling: float = DEFAULT_OVERHEAD_CEILING,
+) -> Tuple[List[Tuple[str, float]], List[str]]:
+    """All guarded leaves in a record plus failure messages for violations.
+
+    Speedups below ``floor`` and overhead fractions above
+    ``overhead_ceiling`` both fail.  (A key naming both tags is checked
+    against both bounds — don't do that.)
+    """
+    speedups = list(iter_speedups(payload))
+    overheads = list(iter_overheads(payload))
     failures = [
-        f"{path} = {ratio:.4f} (< {floor})" for path, ratio in found if ratio < floor
+        f"{path} = {ratio:.4f} (< {floor} speedup floor)"
+        for path, ratio in speedups
+        if ratio < floor
     ]
-    return found, failures
+    failures.extend(
+        f"{path} = {fraction:.4f} (> {overhead_ceiling} overhead ceiling)"
+        for path, fraction in overheads
+        if fraction > overhead_ceiling
+    )
+    return speedups + overheads, failures
 
 
 def check_files(
-    paths: Iterable[Path], floor: float = DEFAULT_FLOOR
+    paths: Iterable[Path],
+    floor: float = DEFAULT_FLOOR,
+    overhead_ceiling: float = DEFAULT_OVERHEAD_CEILING,
 ) -> Tuple[int, List[str]]:
-    """Check each record file; returns (speedups checked, failure messages)."""
+    """Check each record file; returns (leaves checked, failure messages)."""
     checked = 0
     failures: List[str] = []
     for path in paths:
@@ -64,7 +108,7 @@ def check_files(
         except (OSError, json.JSONDecodeError) as exc:
             failures.append(f"{path}: unreadable bench record ({exc})")
             continue
-        found, bad = check_record(payload, floor)
+        found, bad = check_record(payload, floor, overhead_ceiling)
         checked += len(found)
         failures.extend(f"{path}: {message}" for message in bad)
     return checked, failures
@@ -83,7 +127,7 @@ def main(argv: Sequence[str] = ()) -> int:
     checked, failures = check_files(paths)
     for message in failures:
         print(f"FAIL {message}")
-    print(f"checked {checked} speedup ratios across {len(paths)} records")
+    print(f"checked {checked} speedup/overhead leaves across {len(paths)} records")
     return 1 if failures else 0
 
 

@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.analysis.astutil import dotted_name
 from repro.analysis.registry import Finding, Rule, register
 
-__all__ = ["BareExcept", "MutableDefault", "ModeFlipNoRestore"]
+__all__ = ["BareExcept", "MutableDefault", "ModeFlipNoRestore", "NoPrintInSrc"]
 
 _MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "OrderedDict", "defaultdict", "deque"})
 
@@ -137,4 +137,40 @@ class ModeFlipNoRestore(Rule):
                     )
                     break
                 seen[receiver] = (statement, description)
+        return findings
+
+
+@register
+class NoPrintInSrc(Rule):
+    rule_id = "no-print-in-src"
+    family = "api-hygiene"
+    summary = "print() in library code instead of the structured logger"
+    rationale = (
+        "Library and server modules must not write free-form lines to "
+        "stdout: output belongs in repro.obs.log, where every record is "
+        "one JSON object stamped with the active trace/span ids.  CLI "
+        "entry points, the lint reporters and the logger's own emitter "
+        "are the sanctioned exceptions."
+    )
+
+    #: path suffixes where print() is the interface, not a leak.
+    _EXEMPT_SUFFIXES = ("cli.py", "analysis/reporters.py", "obs/log.py")
+
+    def applies_to(self, relpath: str) -> bool:
+        anchored = relpath.replace("\\", "/")
+        return not any(anchored.endswith(suffix) for suffix in self._EXEMPT_SUFFIXES)
+
+    def check(self, tree: ast.Module, lines: Sequence[str], relpath: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                findings.append(
+                    self.finding(
+                        node, relpath, "print() bypasses the structured logger"
+                    )
+                )
         return findings

@@ -146,6 +146,7 @@ def _build_serving_saccs(args: argparse.Namespace):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import TraceStore, Tracer, get_logger
     from repro.serve import SaccsHttpServer, SaccsRuntime, ServeConfig
 
     saccs = _build_serving_saccs(args)
@@ -156,16 +157,74 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         session_ttl_seconds=args.session_ttl,
     )
-    runtime = SaccsRuntime(saccs, config)
+    tracer = None
+    if not args.no_trace:
+        tracer = Tracer(
+            store=TraceStore(
+                capacity=args.trace_capacity,
+                slow_threshold_seconds=args.slow_ms / 1000.0,
+            ),
+            logger=get_logger("repro.serve"),
+            sample_every=args.trace_sample,
+        )
+    runtime = SaccsRuntime(saccs, config, tracer=tracer)
     server = SaccsHttpServer(runtime, host=args.host, port=args.port)
     print(
         f"serving {len(saccs.index)} index tags over {len(saccs.entities)} entities "
         f"at {server.url}"
     )
-    print("  POST /search   POST /session/<id>/say   POST /admin/reindex")
-    print("  GET  /healthz  GET  /metrics            (Ctrl-C to stop)")
+    print("  POST /search        POST /session/<id>/say   POST /admin/reindex")
+    print("  GET  /healthz       GET  /metrics")
+    if tracer is not None:
+        print("  GET  /debug/traces  GET  /debug/trace/<id>   (repro trace <id>)")
+    print("  (Ctrl-C to stop)")
     server.serve_forever()
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    from repro.obs import render_trace, to_collapsed_stacks
+
+    def render(trace) -> int:
+        print(to_collapsed_stacks(trace) if args.collapsed else render_trace(trace))
+        return 0
+
+    if args.input:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        # Accept both a bare trace payload and the /debug/trace envelope.
+        return render(payload.get("trace", payload))
+    try:
+        if args.trace_id is None:
+            with urlopen(f"{args.url}/debug/traces") as response:
+                snapshot = json.load(response)
+            if not snapshot.get("enabled", True):
+                print("tracing is disabled on this server (started with --no-trace)")
+                return 1
+            for section in ("recent", "slow"):
+                print(f"{section} ({len(snapshot[section])}):")
+                for summary in snapshot[section]:
+                    print(
+                        f"  {summary['trace_id']}  {summary['name']:<16}"
+                        f"{summary['duration_seconds'] * 1000:>10.3f}ms"
+                        f"  {summary['spans']:>3} spans"
+                        + ("  slow" if summary["slow"] else "")
+                    )
+            return 0
+        with urlopen(f"{args.url}/debug/trace/{args.trace_id}") as response:
+            payload = json.load(response)
+        return render(payload["trace"])
+    except HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace")
+        print(f"server returned {exc.code}: {detail}", file=sys.stderr)
+        return 1
+    except URLError as exc:
+        print(f"cannot reach {args.url}: {exc.reason}", file=sys.stderr)
+        return 1
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
@@ -196,6 +255,14 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     print(
         f"speedup at {summary['peak_clients']} clients "
         f"(batching on vs off): {summary['speedup_batching_at_peak']:.2f}x"
+    )
+    tracing = summary["tracing"]
+    print(
+        f"tracing overhead at {tracing['clients']} clients "
+        f"(1-in-{tracing['sample_every']} sampling): "
+        f"{tracing['tracing_overhead_frac'] * 100:.2f}% "
+        f"({tracing['throughput_rps_traced']:.1f} traced vs "
+        f"{tracing['throughput_rps_untraced']:.1f} untraced rps)"
     )
     path = write_serve_record(payload, args.output)
     print(f"wrote {path}")
@@ -329,7 +396,44 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-wait-ms", type=float, default=2.0)
     serve.add_argument("--cache-size", type=int, default=4096)
     serve.add_argument("--session-ttl", type=float, default=1800.0)
+    serve.add_argument(
+        "--no-trace", action="store_true", help="disable request tracing"
+    )
+    serve.add_argument(
+        "--trace-capacity", type=int, default=256, help="recent traces retained"
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=int,
+        default=8,
+        help="trace 1 of every N requests (1 = trace everything)",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=50.0,
+        help="slow-exemplar threshold in milliseconds",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    trace = subparsers.add_parser(
+        "trace", help="render span trees from a serving runtime's trace store"
+    )
+    trace.add_argument(
+        "trace_id", nargs="?", help="trace id (omit to list recent + slow traces)"
+    )
+    trace.add_argument(
+        "--url", default="http://127.0.0.1:8350", help="server base URL"
+    )
+    trace.add_argument(
+        "--input", help="render a saved /debug/trace JSON file instead of fetching"
+    )
+    trace.add_argument(
+        "--collapsed",
+        action="store_true",
+        help="emit collapsed-stack (flamegraph) lines instead of a tree",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     bench_serve = subparsers.add_parser(
         "bench-serve", help="closed-loop load benchmark of the serving runtime"

@@ -39,6 +39,7 @@ seeded world; ``repro bench-extract`` re-checks it on every run.
 
 from __future__ import annotations
 
+import contextvars
 import hashlib
 import threading
 from collections import OrderedDict
@@ -152,7 +153,10 @@ class ExtractionEngine:
         #: :class:`~repro.serve.metrics.MetricsRegistry` (duck-typed here to
         #: keep ``repro.core`` import-independent of ``repro.serve``).
         self.metrics = metrics
-        self.timings = timings or StageTimings()
+        # The "extract." prefix mirrors every stage timing into the active
+        # request trace as a span (no-op when untraced), so serving span
+        # trees show encode/decode/pair without instrumenting the tagger.
+        self.timings = timings or StageTimings(span_prefix="extract.")
         self.cache: Optional[ExtractionCache] = (
             ExtractionCache(self.config.cache_capacity) if self.config.cache_enabled else None
         )
@@ -214,11 +218,22 @@ class ExtractionEngine:
                 # off the per-sentence path; extending in chunk order keeps
                 # the output deterministic.
                 chunk = max(1, -(-total // (workers * 4)))
-                starts = range(0, total, chunk)
+                starts = list(range(0, total, chunk))
+                # One context copy per submitted chunk, made here in the
+                # submitting thread: pool workers inherit the active trace
+                # group (a Context cannot be entered concurrently, so the
+                # copies must be distinct).
+                contexts = [contextvars.copy_context() for _ in starts]
                 with ThreadPoolExecutor(max_workers=workers) as pool:
                     parts = pool.map(
-                        lambda start: [pair_one(i) for i in range(start, min(start + chunk, total))],
-                        starts,
+                        lambda job: job[0].run(
+                            lambda start: [
+                                pair_one(i)
+                                for i in range(start, min(start + chunk, total))
+                            ],
+                            job[1],
+                        ),
+                        zip(contexts, starts),
                     )
                     out: List[List[SubjectiveTag]] = []
                     for part in parts:

@@ -33,6 +33,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.tags import SubjectiveTag
+from repro.obs import tracing as obs
 from repro.text.similarity import ConceptualSimilarity, tag_pair
 from repro.text.vocab import TagVocabulary
 
@@ -434,47 +435,48 @@ class SubjectiveTagIndex:
         (index_tags × vocab) matrix, the rest share one kernel block.
         """
         tags = list(tags)
-        if self.backend == "scalar":
-            return [self._scalar_lookup_similar(tag, theta_filter) for tag in tags]
-        if not self._entries or not tags:
-            return [{} for _ in tags]
-        self._ensure_occ()
-        self._ensure_matrix()
-        self._sync_sim_cols()
-        degree_matrix = self._degree_matrix()
-        index_tags = list(self._entries)
-        score_rows: List[Optional[np.ndarray]] = []
-        fresh_tags: List[SubjectiveTag] = []
-        fresh_positions: List[int] = []
-        sim_matrix: Optional[np.ndarray] = None
-        for position, tag in enumerate(tags):
-            tag_id = self.vocab.id_of(tag)
-            if tag_id is not None and tag_id < self._sim_cols:
-                if sim_matrix is None:
-                    sim_matrix = self._sim_matrix()
-                # Similarity is symmetric, so the cached column doubles as
-                # the query row.
-                score_rows.append(sim_matrix[:, tag_id])
-            else:
-                score_rows.append(None)
-                fresh_tags.append(tag)
-                fresh_positions.append(position)
-        if fresh_tags:
-            block = self.similarity.tag_similarity_matrix(fresh_tags, index_tags)
-            for block_i, position in enumerate(fresh_positions):
-                score_rows[position] = block[block_i]
-        results: List[Dict[str, float]] = []
-        for scores in score_rows:
-            weights = np.where(scores > theta_filter, scores, 0.0)
-            combined = weights @ degree_matrix
-            results.append(
-                {
-                    entity_id: float(value)
-                    for entity_id, value in zip(self._entity_order, combined)
-                    if value > 0.0
-                }
-            )
-        return results
+        with obs.span("index.similarity", tags=len(tags), backend=self.backend):
+            if self.backend == "scalar":
+                return [self._scalar_lookup_similar(tag, theta_filter) for tag in tags]
+            if not self._entries or not tags:
+                return [{} for _ in tags]
+            self._ensure_occ()
+            self._ensure_matrix()
+            self._sync_sim_cols()
+            degree_matrix = self._degree_matrix()
+            index_tags = list(self._entries)
+            score_rows: List[Optional[np.ndarray]] = []
+            fresh_tags: List[SubjectiveTag] = []
+            fresh_positions: List[int] = []
+            sim_matrix: Optional[np.ndarray] = None
+            for position, tag in enumerate(tags):
+                tag_id = self.vocab.id_of(tag)
+                if tag_id is not None and tag_id < self._sim_cols:
+                    if sim_matrix is None:
+                        sim_matrix = self._sim_matrix()
+                    # Similarity is symmetric, so the cached column doubles as
+                    # the query row.
+                    score_rows.append(sim_matrix[:, tag_id])
+                else:
+                    score_rows.append(None)
+                    fresh_tags.append(tag)
+                    fresh_positions.append(position)
+            if fresh_tags:
+                block = self.similarity.tag_similarity_matrix(fresh_tags, index_tags)
+                for block_i, position in enumerate(fresh_positions):
+                    score_rows[position] = block[block_i]
+            results: List[Dict[str, float]] = []
+            for scores in score_rows:
+                weights = np.where(scores > theta_filter, scores, 0.0)
+                combined = weights @ degree_matrix
+                results.append(
+                    {
+                        entity_id: float(value)
+                        for entity_id, value in zip(self._entity_order, combined)
+                        if value > 0.0
+                    }
+                )
+            return results
 
     def _scalar_lookup_similar(self, tag: SubjectiveTag, theta_filter: float) -> Dict[str, float]:
         combined: Dict[str, float] = {}

@@ -27,6 +27,7 @@ from repro.core.filtering import FilterConfig, filter_and_rank
 from repro.core.index import SubjectiveTagIndex
 from repro.core.tags import SubjectiveTag
 from repro.data.schema import Entity, Review
+from repro.obs import tracing as obs
 from repro.text.similarity import ConceptualSimilarity
 
 __all__ = ["SaccsConfig", "Saccs", "IndexingRound"]
@@ -253,28 +254,32 @@ class Saccs:
         :meth:`answer_tags` call would produce, which is what lets the
         serving layer micro-batch concurrent requests safely.
         """
-        tag_sets: List[List[Optional[Dict[str, float]]]] = [
-            [None] * len(tags) for tags in batches
-        ]
-        distinct: List[SubjectiveTag] = []
-        distinct_of: Dict[SubjectiveTag, int] = {}
-        placements: List[Tuple[int, int, int]] = []
-        for request, tags in enumerate(batches):
-            for position, tag in enumerate(tags):
-                if tag in self.index:
-                    tag_sets[request][position] = self.index.lookup(tag)
-                else:
-                    self.user_tag_history.append(tag)
-                    slot = distinct_of.get(tag)
-                    if slot is None:
-                        slot = distinct_of[tag] = len(distinct)
-                        distinct.append(tag)
-                    placements.append((request, position, slot))
-        if distinct:
-            combined = self.index.lookup_similar_batch(distinct, self.config.theta_filter)
-            for request, position, slot in placements:
-                tag_sets[request][position] = combined[slot]
-        return tag_sets
+        with obs.span("index.lookup", requests=len(batches)):
+            tag_sets: List[List[Optional[Dict[str, float]]]] = [
+                [None] * len(tags) for tags in batches
+            ]
+            distinct: List[SubjectiveTag] = []
+            distinct_of: Dict[SubjectiveTag, int] = {}
+            placements: List[Tuple[int, int, int]] = []
+            for request, tags in enumerate(batches):
+                for position, tag in enumerate(tags):
+                    if tag in self.index:
+                        tag_sets[request][position] = self.index.lookup(tag)
+                    else:
+                        self.user_tag_history.append(tag)
+                        slot = distinct_of.get(tag)
+                        if slot is None:
+                            slot = distinct_of[tag] = len(distinct)
+                            distinct.append(tag)
+                        placements.append((request, position, slot))
+            obs.annotate(unknown_tags=len(distinct))
+            if distinct:
+                combined = self.index.lookup_similar_batch(
+                    distinct, self.config.theta_filter
+                )
+                for request, position, slot in placements:
+                    tag_sets[request][position] = combined[slot]
+            return tag_sets
 
     def answer_tags(
         self,
@@ -284,7 +289,9 @@ class Saccs:
         """Rank entities for a set of subjective tags (evaluation entry point)."""
         if api_entity_ids is None:
             api_entity_ids = [entity.entity_id for entity in self.entities]
-        return filter_and_rank(api_entity_ids, self._tag_sets(tags), self.config.filter_config())
+        tag_sets = self._tag_sets(tags)
+        with obs.span("rank.filter_and_rank", queries=1):
+            return filter_and_rank(api_entity_ids, tag_sets, self.config.filter_config())
 
     def answer_many(
         self,
@@ -302,10 +309,12 @@ class Saccs:
         if api_entity_ids is None:
             api_entity_ids = [entity.entity_id for entity in self.entities]
         config = self.config.filter_config()
-        return [
-            filter_and_rank(api_entity_ids, tag_sets, config)
-            for tag_sets in self._tag_sets_many([list(tags) for tags in tag_lists])
-        ]
+        per_request = self._tag_sets_many([list(tags) for tags in tag_lists])
+        with obs.span("rank.filter_and_rank", queries=len(per_request)):
+            return [
+                filter_and_rank(api_entity_ids, tag_sets, config)
+                for tag_sets in per_request
+            ]
 
     def answer(self, utterance: str) -> List[Tuple[str, float]]:
         """Full conversational path for a natural-language utterance."""
@@ -319,4 +328,6 @@ class Saccs:
                 "answer() needs a TagExtractor (the oracle extractor has no "
                 "gold labels for arbitrary utterances); use answer_tags()"
             )
-        return filter_and_rank(api_ids, self._tag_sets(tags), self.config.filter_config())
+        tag_sets = self._tag_sets(tags)
+        with obs.span("rank.filter_and_rank", queries=1):
+            return filter_and_rank(api_ids, tag_sets, self.config.filter_config())

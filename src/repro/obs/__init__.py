@@ -1,0 +1,45 @@
+"""Observability: request tracing, trace retention, structured logs.
+
+``repro.obs`` is the per-request complement to the aggregate
+``repro.serve.metrics`` registry: span trees attribute one request's
+latency to batching wait vs. encoder forward vs. similarity kernel vs.
+filtering, a bounded :class:`TraceStore` retains recent traces plus slow
+exemplars, and :mod:`repro.obs.log` emits JSON records stamped with the
+active trace/span ids.  Everything is off by default (:class:`NullTracer`)
+and zero-cost when off.
+"""
+
+from repro.obs.log import StructuredLogger, get_logger, set_default_stream
+from repro.obs.render import build_span_tree, render_trace, to_collapsed_stacks
+from repro.obs.store import TraceStore, trace_summary
+from repro.obs.tracing import (
+    ActiveSpan,
+    NullTracer,
+    Tracer,
+    annotate,
+    current_group,
+    current_span,
+    record,
+    scope,
+    span,
+)
+
+__all__ = [
+    "ActiveSpan",
+    "NullTracer",
+    "StructuredLogger",
+    "TraceStore",
+    "Tracer",
+    "annotate",
+    "build_span_tree",
+    "current_group",
+    "current_span",
+    "get_logger",
+    "record",
+    "render_trace",
+    "scope",
+    "set_default_stream",
+    "span",
+    "to_collapsed_stacks",
+    "trace_summary",
+]

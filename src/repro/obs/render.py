@@ -1,0 +1,104 @@
+"""Span-tree rendering: ASCII trees for humans, collapsed stacks for tools.
+
+Works on the plain-dict trace payloads produced by
+``repro.obs.tracing._TraceBuilder.finalize`` (and returned verbatim by
+``/debug/trace/<id>``), so the CLI can render either a live server's trace
+or a JSON file saved earlier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["build_span_tree", "render_trace", "to_collapsed_stacks"]
+
+
+def build_span_tree(trace: Dict[str, Any]) -> Dict[str, Any]:
+    """Nest the flat span list into a tree rooted at the parentless span.
+
+    Children are ordered by (start, span_id) so sibling order matches
+    execution order; spans whose parent is missing (late writer raced a
+    finalize) attach to the root rather than vanishing.
+    """
+    spans = trace.get("spans", [])
+    if not spans:
+        raise ValueError(f"trace {trace.get('trace_id')!r} has no spans")
+    nodes = {item["span_id"]: {**item, "children": []} for item in spans}
+    root = None
+    for item in spans:
+        node = nodes[item["span_id"]]
+        parent_id = item["parent_id"]
+        if parent_id is None:
+            if root is None:
+                root = node
+            continue
+        parent = nodes.get(parent_id)
+        if parent is None or parent is node:
+            parent = root
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+    if root is None:
+        raise ValueError(f"trace {trace.get('trace_id')!r} has no root span")
+    for node in nodes.values():
+        node["children"].sort(key=lambda child: (child["start"], child["span_id"]))
+    return root
+
+
+def _format_attributes(attributes: Dict[str, Any]) -> str:
+    if not attributes:
+        return ""
+    parts = [f"{key}={attributes[key]}" for key in sorted(attributes)]
+    return "  [" + " ".join(parts) + "]"
+
+
+def render_trace(trace: Dict[str, Any]) -> str:
+    """Box-drawing span tree with millisecond durations and attributes."""
+    root = build_span_tree(trace)
+    header = (
+        f"trace {trace['trace_id']}  {trace['name']}  "
+        f"{trace['duration_seconds'] * 1000.0:.3f}ms  "
+        f"({len(trace.get('spans', []))} spans"
+        + (", slow" if trace.get("slow") else "")
+        + ")"
+    )
+    lines = [header]
+
+    def walk(node: Dict[str, Any], prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            connector, child_prefix = "", ""
+        else:
+            connector = prefix + ("└─ " if is_last else "├─ ")
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        lines.append(
+            f"{connector}{node['name']}  "
+            f"{node['duration_seconds'] * 1000.0:.3f}ms"
+            f"{_format_attributes(node['attributes'])}"
+        )
+        children = node["children"]
+        for position, child in enumerate(children):
+            walk(child, child_prefix, position == len(children) - 1, False)
+
+    walk(root, "", True, True)
+    return "\n".join(lines)
+
+
+def to_collapsed_stacks(trace: Dict[str, Any]) -> str:
+    """Flamegraph collapsed-stack format: ``a;b;c <exclusive-us>`` lines.
+
+    Values are each span's *exclusive* time in integer microseconds (own
+    duration minus direct children), which is what flamegraph tooling sums
+    back up into inclusive widths.
+    """
+    root = build_span_tree(trace)
+    lines: List[str] = []
+
+    def walk(node: Dict[str, Any], stack: List[str]) -> None:
+        stack = stack + [node["name"]]
+        child_total = sum(child["duration_seconds"] for child in node["children"])
+        exclusive = max(0.0, node["duration_seconds"] - child_total)
+        lines.append(f"{';'.join(stack)} {int(round(exclusive * 1e6))}")
+        for child in node["children"]:
+            walk(child, stack)
+
+    walk(root, [])
+    return "\n".join(lines)

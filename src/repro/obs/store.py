@@ -1,0 +1,110 @@
+"""Bounded, lock-safe retention for finished traces.
+
+Two rings: ``recent`` keeps the last *capacity* traces regardless of
+latency; ``slow`` always keeps exemplars whose root duration crossed the
+configured threshold, so a p99 outlier survives long after the steady
+stream of fast requests has evicted it from the recent ring.  Both rings
+are insertion-ordered dicts trimmed from the oldest end — O(1) per add,
+no timestamps consulted for eviction (determinism rules).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional
+
+__all__ = ["TraceStore", "trace_summary"]
+
+
+def trace_summary(trace: Dict[str, Any]) -> Dict[str, Any]:
+    """Flat one-line view of a trace for listings (``/debug/traces``)."""
+    spans = trace.get("spans", [])
+    return {
+        "trace_id": trace["trace_id"],
+        "name": trace["name"],
+        "duration_seconds": trace["duration_seconds"],
+        "slow": bool(trace.get("slow")),
+        "spans": len(spans),
+        "attributes": dict(spans[0]["attributes"]) if spans else {},
+    }
+
+
+class TraceStore:
+    """Ring buffer of finished traces plus always-keep slow exemplars."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        slow_capacity: int = 64,
+        slow_threshold_seconds: float = 0.05,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if slow_capacity < 0:
+            raise ValueError(f"slow_capacity must be >= 0, got {slow_capacity}")
+        if slow_threshold_seconds < 0.0:
+            raise ValueError(
+                f"slow_threshold_seconds must be >= 0, got {slow_threshold_seconds}"
+            )
+        self.capacity = capacity
+        self.slow_capacity = slow_capacity
+        self.slow_threshold_seconds = slow_threshold_seconds
+        self._lock = threading.Lock()
+        self._recent: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._slow: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._recorded = 0
+
+    def add(self, trace: Dict[str, Any]) -> Dict[str, Any]:
+        """Retain a finished trace; stamps and returns it with ``slow``."""
+        trace["slow"] = trace["duration_seconds"] >= self.slow_threshold_seconds
+        with self._lock:
+            self._recorded += 1
+            self._recent[trace["trace_id"]] = trace
+            while len(self._recent) > self.capacity:
+                self._recent.popitem(last=False)
+            if trace["slow"] and self.slow_capacity > 0:
+                self._slow[trace["trace_id"]] = trace
+                while len(self._slow) > self.slow_capacity:
+                    self._slow.popitem(last=False)
+        return trace
+
+    def get(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            found = self._recent.get(trace_id)
+            return found if found is not None else self._slow.get(trace_id)
+
+    def recent(self, limit: int = 20) -> List[Dict[str, Any]]:
+        """Most recent traces, newest first."""
+        with self._lock:
+            kept = list(self._recent.values())
+        return kept[::-1][:limit]
+
+    def slow(self, limit: int = 20) -> List[Dict[str, Any]]:
+        """Slow exemplars, slowest first (insertion order breaks ties)."""
+        with self._lock:
+            kept = list(self._slow.values())
+        ranked = sorted(
+            enumerate(kept), key=lambda item: (-item[1]["duration_seconds"], item[0])
+        )
+        return [trace for _, trace in ranked[:limit]]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._recent)
+
+    def snapshot(self, limit: int = 20) -> Dict[str, Any]:
+        """Listing payload for ``/debug/traces``."""
+        return {
+            "capacity": self.capacity,
+            "slow_capacity": self.slow_capacity,
+            "slow_threshold_seconds": self.slow_threshold_seconds,
+            "recorded": self.recorded,
+            "recent": [trace_summary(trace) for trace in self.recent(limit)],
+            "slow": [trace_summary(trace) for trace in self.slow(limit)],
+        }
+
+    @property
+    def recorded(self) -> int:
+        with self._lock:
+            return self._recorded

@@ -17,6 +17,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Optional, Sequence, Tuple
 
+from repro.obs import tracing as obs
 from repro.utils.caching import fingerprint
 
 __all__ = ["GenerationalCache", "ServingCache"]
@@ -154,3 +155,6 @@ class ServingCache:
     def _count(self, base: str, hit: bool) -> None:
         if self.metrics is not None:
             self.metrics.incr(f"{base}.hit" if hit else f"{base}.miss")
+        # Stamp the lookup outcome onto the active request trace (no-op
+        # untraced), so a span tree shows which cache level answered.
+        obs.annotate(**{base: "hit" if hit else "miss"})

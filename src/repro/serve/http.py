@@ -5,6 +5,8 @@ Stdlib only (:mod:`http.server`).  Endpoints:
 ================================  =============================================
 ``GET  /healthz``                 liveness + index generation
 ``GET  /metrics``                 :meth:`MetricsRegistry.snapshot` as JSON
+``GET  /debug/traces``            recent traces + slow exemplars (summaries)
+``GET  /debug/trace/<id>``        one trace's full span tree
 ``POST /search``                  rank entities for ``tags`` or an ``utterance``
 ``POST /session/<id>/say``        one conversational turn in session ``<id>``
 ``POST /admin/reindex``           fold the tag history; bump the generation
@@ -40,6 +42,8 @@ __all__ = ["SaccsHttpServer", "make_handler"]
 MAX_BODY_BYTES = 64 * 1024
 
 _SAY_PATH = re.compile(r"^/session/(?P<session_id>[A-Za-z0-9._~-]{1,128})/say$")
+
+_TRACE_PATH = re.compile(r"^/debug/trace/(?P<trace_id>[A-Za-z0-9._-]{1,64})$")
 
 
 def make_handler(runtime: SaccsRuntime):
@@ -101,7 +105,15 @@ def make_handler(runtime: SaccsRuntime):
                 self._dispatch(lambda: (200, runtime.health()))
             elif self.path == "/metrics":
                 self._dispatch(lambda: (200, runtime.metrics_snapshot()))
+            elif self.path == "/debug/traces":
+                self._dispatch(lambda: (200, runtime.traces_snapshot()))
             else:
+                match = _TRACE_PATH.match(self.path)
+                if match:
+                    self._dispatch(
+                        lambda: (200, runtime.trace_payload(match.group("trace_id")))
+                    )
+                    return
                 self._send_json(404, error_payload("not_found", f"no route {self.path!r}"))
 
         def do_POST(self):  # noqa: N802 - stdlib casing

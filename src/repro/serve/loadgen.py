@@ -25,15 +25,22 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import OracleExtractor, Saccs, SaccsConfig, SubjectiveTag
 from repro.data import WorldConfig, build_world
+from repro.obs.store import TraceStore
+from repro.obs.tracing import Tracer
 from repro.serve.metrics import percentile
 from repro.serve.runtime import SaccsRuntime, ServeConfig
 from repro.text import ConceptualSimilarity, restaurant_lexicon
 from repro.utils.env import environment_info
 
-__all__ = ["run_load_benchmark", "write_serve_record"]
+__all__ = ["TRACE_SAMPLE_EVERY_DEFAULT", "run_load_benchmark", "write_serve_record"]
 
 #: (batching?, client threads) cells, in run order.
 _DEFAULT_CLIENTS = (1, 4, 16)
+
+#: ``repro serve``'s default head-based trace sampling (1-in-N requests).
+#: The overhead cell measures tracing at this shipped configuration, and
+#: the ≤5% ceiling in benchmarks/check_bench.py holds it there.
+TRACE_SAMPLE_EVERY_DEFAULT = 8
 
 
 def _build_runtime_world(seed: int, entities: int, mean_reviews: float) -> Saccs:
@@ -82,6 +89,8 @@ def _run_cell(
     max_wait_ms: float,
     workers: int,
     seed: int,
+    traced: bool = False,
+    sample_every: int = TRACE_SAMPLE_EVERY_DEFAULT,
 ) -> Dict[str, object]:
     """One (batching, clients) measurement: closed-loop client threads."""
     import random
@@ -92,10 +101,18 @@ def _run_cell(
         workers=workers,
         cache_size=0,  # isolate scheduler effects from cache hits
     )
+    # ``traced`` measures the tracing overhead itself: a real Tracer with a
+    # live store at the serving default's sampling, versus the default
+    # NullTracer's no-op branch.
+    tracer = (
+        Tracer(store=TraceStore(capacity=1024), sample_every=sample_every)
+        if traced
+        else None
+    )
     latencies: List[List[float]] = [[] for _ in range(clients)]
     errors: List[BaseException] = []
 
-    with SaccsRuntime(saccs, config) as runtime:
+    with SaccsRuntime(saccs, config, tracer=tracer) as runtime:
 
         def client(client_id: int) -> None:
             rng = random.Random(seed * 1009 + client_id)
@@ -129,6 +146,7 @@ def _run_cell(
     return {
         "clients": clients,
         "batching": batching,
+        "traced": traced,
         "max_batch_size": config.max_batch_size,
         "max_wait_ms": config.max_wait_ms,
         "workers": workers,
@@ -158,6 +176,7 @@ def run_load_benchmark(
     max_batch_size: int = 16,
     max_wait_ms: float = 2.0,
     workers: int = 2,
+    overhead_repeats: int = 2,
     progress=None,
 ) -> Dict[str, object]:
     """Run the full sweep and return the ``BENCH_serve`` payload."""
@@ -203,6 +222,44 @@ def run_load_benchmark(
         "throughput_rps_batching_off": off["throughput_rps"],
         "speedup_batching_at_peak": on["throughput_rps"] / off["throughput_rps"],
         "mean_batch_size_at_peak": on["batch_size"]["mean"],
+    }
+
+    # Tracing-overhead measurement: the peak batching cell, traced (real
+    # Tracer + TraceStore at the serving default's sampling) vs untraced
+    # (NullTracer no-op branch), repeated and interleaved; each variant
+    # keeps its best run so one scheduler hiccup cannot fake a regression.
+    # Overhead cells run 4x longer than sweep cells — the ~0.1s sweep cells
+    # are fine for a >2x batching speedup but far too short to resolve a
+    # few-percent delta.  The ≤5% guard in benchmarks/check_bench.py reads
+    # ``tracing_overhead_frac``.
+    best_rps = {False: 0.0, True: 0.0}
+    for repeat in range(max(1, overhead_repeats)):
+        for traced in (False, True):
+            if progress is not None:
+                progress(
+                    f"overhead cell: traced={'on' if traced else 'off'} "
+                    f"clients={peak} (repeat {repeat + 1}) ..."
+                )
+            cell = _run_cell(
+                saccs,
+                pool,
+                clients=peak,
+                requests_per_client=requests_per_client * 4,
+                batching=True,
+                max_batch_size=max_batch_size,
+                max_wait_ms=max_wait_ms,
+                workers=workers,
+                seed=seed,
+                traced=traced,
+            )
+            best_rps[traced] = max(best_rps[traced], cell["throughput_rps"])
+    summary["tracing"] = {
+        "throughput_rps_untraced": best_rps[False],
+        "throughput_rps_traced": best_rps[True],
+        "tracing_overhead_frac": 1.0 - best_rps[True] / best_rps[False],
+        "sample_every": TRACE_SAMPLE_EVERY_DEFAULT,
+        "repeats": max(1, overhead_repeats),
+        "clients": peak,
     }
     return {
         "seed": seed,

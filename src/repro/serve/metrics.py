@@ -19,17 +19,20 @@ from typing import Dict, Iterator, Optional, Sequence
 __all__ = ["MetricsRegistry", "percentile"]
 
 
-def percentile(samples: Sequence[float], q: float) -> float:
+def percentile(samples: Sequence[float], q: float, label: Optional[str] = None) -> float:
     """Nearest-rank percentile: smallest sample with ≥ ``q``% at or below.
 
     ``q`` is in [0, 100].  For ``samples == [1..100]`` this yields exactly
     50 / 95 / 99 for q = 50 / 95 / 99 — no interpolation, so reported
-    latencies are always values that actually occurred.
+    latencies are always values that actually occurred.  ``label`` (the
+    metric name at registry call sites) is folded into error messages so a
+    failure names the offending histogram, not just "some samples".
     """
+    subject = f" for {label!r}" if label is not None else ""
     if not samples:
-        raise ValueError("percentile of no samples")
+        raise ValueError(f"percentile of no samples{subject}")
     if not 0.0 <= q <= 100.0:
-        raise ValueError("q must lie in [0, 100]")
+        raise ValueError(f"q must lie in [0, 100], got {q}{subject}")
     ordered = sorted(samples)
     rank = max(1, math.ceil(q / 100.0 * len(ordered)))
     return float(ordered[rank - 1])
@@ -52,16 +55,29 @@ class _Histogram:
         self.maximum = max(self.maximum, value)
         self.window.append(value)
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self, label: Optional[str] = None) -> Dict[str, float]:
+        if self.count == 0:
+            # Explicit empty snapshot: a histogram registered but never
+            # observed (e.g. a stage that has not run yet) must not divide
+            # by zero or raise out of /metrics.
+            return {
+                "count": 0,
+                "mean": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+            }
         samples = list(self.window)
         return {
             "count": self.count,
             "mean": self.total / self.count,
             "min": self.minimum,
             "max": self.maximum,
-            "p50": percentile(samples, 50.0),
-            "p95": percentile(samples, 95.0),
-            "p99": percentile(samples, 99.0),
+            "p50": percentile(samples, 50.0, label=label),
+            "p95": percentile(samples, 95.0, label=label),
+            "p99": percentile(samples, 99.0, label=label),
         }
 
 
@@ -118,7 +134,8 @@ class MetricsRegistry:
         with self._lock:
             counters = dict(self._counters)
             histograms = {
-                name: histogram.snapshot() for name, histogram in self._histograms.items()
+                name: histogram.snapshot(label=name)
+                for name, histogram in self._histograms.items()
             }
         ratios: Dict[str, float] = {}
         for name, hits in counters.items():

@@ -40,6 +40,10 @@ from repro.core.saccs import IndexingRound, Saccs
 from repro.core.session import ConversationSession
 from repro.core.extractor import TagExtractor
 from repro.core.tags import SubjectiveTag
+from repro.obs import tracing as obs
+from repro.obs.log import get_logger
+from repro.obs.render import build_span_tree
+from repro.obs.tracing import NullTracer, Tracer
 from repro.serve.cache import ServingCache
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.protocol import ProtocolError, ReindexResponse, SearchResponse
@@ -48,6 +52,8 @@ from repro.serve.sessions import SessionStore
 __all__ = ["ServeConfig", "SaccsRuntime"]
 
 _STOP = object()
+
+_LOG = get_logger("repro.serve.runtime")
 
 
 @dataclass
@@ -88,7 +94,8 @@ class _Pending:
     micro-batch shares one bucketed encoder forward)."""
 
     __slots__ = ("tags", "top_k", "api_entity_ids", "event", "results", "error",
-                 "generation", "batch_size", "utterance", "tokens")
+                 "generation", "batch_size", "utterance", "tokens", "ctx",
+                 "enqueued_at")
 
     def __init__(
         self,
@@ -103,6 +110,10 @@ class _Pending:
         self.api_entity_ids = api_entity_ids
         self.utterance = utterance
         self.tokens = tokens
+        #: root span of the requesting trace; carried across the batcher
+        #: hand-off so the worker can attribute its stages to this request.
+        self.ctx: Optional[obs.ActiveSpan] = None
+        self.enqueued_at = 0.0
         self.event = threading.Event()
         self.results: Optional[List[Tuple[str, float]]] = None
         self.error: Optional[BaseException] = None
@@ -128,10 +139,16 @@ class SaccsRuntime:
         saccs: Saccs,
         config: Optional[ServeConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.saccs = saccs
         self.config = config or ServeConfig()
         self.metrics = metrics or MetricsRegistry()
+        # Tracing is opt-in: the default NullTracer keeps every obs call on
+        # the hot path a single no-op branch (zero-cost-when-off).
+        self.tracer = tracer if tracer is not None else NullTracer()
+        if self.tracer.enabled and self.tracer.metrics is None:
+            self.tracer.bind_metrics(self.metrics)
         self.cache = ServingCache(self.config.cache_size, self.metrics)
         self.sessions = SessionStore(
             factory=self._new_session,
@@ -212,22 +229,27 @@ class SaccsRuntime:
         tags = tuple(tags)
         tag_texts = tuple(tag.text for tag in tags)
         with self.metrics.time("latency.search_seconds"):
-            cached = self.cache.ranking_for(
-                tag_texts, top_k, self.generation, api_entity_ids=_api_entity_ids
-            )
-            if cached is not None:
-                return SearchResponse(
-                    results=cached,
-                    generation=self.generation,
-                    cached=True,
-                    batch_size=0,
-                    tags=tag_texts,
+            with self.tracer.trace("serve.search", kind="tags", tags=len(tags)):
+                cached = self.cache.ranking_for(
+                    tag_texts, top_k, self.generation, api_entity_ids=_api_entity_ids
                 )
-            pending = _Pending(tags, top_k, _api_entity_ids)
-            return self._enqueue_and_wait(pending)
+                if cached is not None:
+                    return SearchResponse(
+                        results=cached,
+                        generation=self.generation,
+                        cached=True,
+                        batch_size=0,
+                        tags=tag_texts,
+                    )
+                pending = _Pending(tags, top_k, _api_entity_ids)
+                return self._enqueue_and_wait(pending)
 
     def _enqueue_and_wait(self, pending: _Pending) -> SearchResponse:
         """Queue one request for the batcher and block on its resolution."""
+        active = obs.current_span()
+        if active is not None:
+            pending.ctx = active
+            pending.enqueued_at = active.now()
         self._queue.put(pending)
         if not pending.event.wait(self.config.request_timeout_seconds):
             self.metrics.incr("errors.timeout")
@@ -267,16 +289,18 @@ class SaccsRuntime:
             return self.search(tags, top_k=top_k, _api_entity_ids=api_ids)
         if not self._running:
             raise RuntimeError("runtime is not started (use `with SaccsRuntime(...)`)")
-        # Parsing and the objective-slot API probe are read-only over the
-        # dialog shim, so they stay outside the facade lock.
-        parsed = self.saccs.dialog.recognizer.parse(utterance)
-        api_entities = self.saccs.dialog.search(utterance)
-        api_ids = tuple(entity.entity_id for entity in api_entities)
         with self.metrics.time("latency.search_seconds"):
-            pending = _Pending(
-                None, top_k, api_ids, utterance=utterance, tokens=tuple(parsed.tokens)
-            )
-            return self._enqueue_and_wait(pending)
+            with self.tracer.trace("serve.search", kind="utterance"):
+                # Parsing and the objective-slot API probe are read-only over
+                # the dialog shim, so they stay outside the facade lock.
+                with obs.span("serve.parse"):
+                    parsed = self.saccs.dialog.recognizer.parse(utterance)
+                    api_entities = self.saccs.dialog.search(utterance)
+                    api_ids = tuple(entity.entity_id for entity in api_entities)
+                pending = _Pending(
+                    None, top_k, api_ids, utterance=utterance, tokens=tuple(parsed.tokens)
+                )
+                return self._enqueue_and_wait(pending)
 
     # --------------------------------------------------------------- sessions
 
@@ -295,10 +319,11 @@ class SaccsRuntime:
         """One conversational turn against the session's accumulated state."""
         self.metrics.incr("requests.say")
         with self.metrics.time("latency.say_seconds"):
-            with self.sessions.checkout(session_id) as session:
-                with self._facade_lock:
-                    turn = session.say(utterance)
-                summary = session.state_summary()
+            with self.tracer.trace("serve.say", session=session_id):
+                with self.sessions.checkout(session_id) as session:
+                    with self._facade_lock:
+                        turn = session.say(utterance)
+                    summary = session.state_summary()
         return turn, summary
 
     # ------------------------------------------------------------------ admin
@@ -320,6 +345,13 @@ class SaccsRuntime:
                 round_: IndexingRound = self.saccs.run_indexing_round()
         invalidated = self.cache.invalidate_before(round_.generation)
         self.metrics.incr("index.rounds")
+        _LOG.info(
+            "reindex complete",
+            generation=round_.generation,
+            adopted=len(round_.added),
+            invalidated_entries=invalidated,
+            full=full,
+        )
         return ReindexResponse(
             generation=round_.generation,
             adopted=tuple(tag.text for tag in round_.added),
@@ -341,6 +373,37 @@ class SaccsRuntime:
         snapshot["generation"] = self.generation
         snapshot["sessions"] = len(self.sessions)
         return snapshot
+
+    # ------------------------------------------------------------------ debug
+
+    def traces_snapshot(self, limit: int = 20) -> Dict[str, object]:
+        """Recent traces + slow exemplars for ``/debug/traces``."""
+        store = self.tracer.store
+        if store is None:
+            return {"enabled": False, "recent": [], "slow": []}
+        snapshot = store.snapshot(limit)
+        snapshot["enabled"] = True
+        return snapshot
+
+    def trace_payload(self, trace_id: str) -> Dict[str, object]:
+        """Full span tree for ``/debug/trace/<id>``; 404s map to codes."""
+        store = self.tracer.store
+        if store is None:
+            raise ProtocolError(
+                "tracing is disabled on this runtime (start the server "
+                "without --no-trace)",
+                status=404,
+                code="tracing_disabled",
+            )
+        trace = store.get(trace_id)
+        if trace is None:
+            raise ProtocolError(
+                f"no trace {trace_id!r} in the store (it may have been "
+                "evicted; slow traces are retained longest)",
+                status=404,
+                code="trace_not_found",
+            )
+        return {"trace": trace, "tree": build_span_tree(trace)}
 
     # -------------------------------------------------------------- scheduler
 
@@ -402,50 +465,74 @@ class SaccsRuntime:
         fold; duplicates are computed once and every request receives
         results bit-identical to a sequential facade call.  Per-request
         ``top_k`` is a post-slice so it cannot perturb scores.
+
+        Tracing: the worker re-activates every traced member's root span as
+        one group (``obs.scope``), so each stage below fans a child span
+        out to every member trace.  All spans are closed *before* the
+        resolve loop wakes the request threads — a woken requester
+        finalizes its trace immediately, and a span still open at that
+        point would be lost.
         """
         self.metrics.observe("batch.size", len(batch))
-        untagged = [pending for pending in batch if pending.tags is None]
-        if untagged:
-            by_utterance: Dict[str, List[_Pending]] = {}
-            for pending in untagged:
-                by_utterance.setdefault(pending.utterance, []).append(pending)
-            utterances = list(by_utterance)
-            with self.metrics.time("latency.extract_seconds"):
-                with self._facade_lock:
-                    tag_generation = self.saccs.index_generation
-                    tag_lists = self.saccs.extraction_engine.extract_token_lists(
-                        [list(by_utterance[u][0].tokens) for u in utterances]
+        roots = [pending.ctx for pending in batch if pending.ctx is not None]
+        if roots:
+            picked_up = roots[0].now()
+            for pending in batch:
+                if pending.ctx is not None:
+                    pending.ctx.add_child(
+                        "serve.enqueue_wait", pending.enqueued_at, picked_up
                     )
-            for utterance, extracted in zip(utterances, tag_lists):
-                waiting = by_utterance[utterance]
-                for pending in waiting:
-                    pending.tags = tuple(extracted)
-                self.cache.put_tags(
-                    utterance,
-                    tag_generation,
-                    (tuple(extracted), waiting[0].api_entity_ids),
-                )
-        distinct: Dict[Tuple, int] = {}
-        order: List[_Pending] = []
-        for pending in batch:
-            key = (pending.tags, pending.api_entity_ids)
-            if key not in distinct:
-                distinct[key] = len(order)
-                order.append(pending)
-        with self.metrics.time("latency.execute_seconds"):
-            with self._facade_lock:
-                generation = self.saccs.index_generation
-                tag_sets = self.saccs._tag_sets_many([list(p.tags) for p in order])
-                config = self.saccs.config.filter_config()
-                all_ids = [entity.entity_id for entity in self.saccs.entities]
-                computed = []
-                for pending, sets in zip(order, tag_sets):
-                    api_ids = (
-                        list(pending.api_entity_ids)
-                        if pending.api_entity_ids is not None
-                        else all_ids
-                    )
-                    computed.append(filter_and_rank(api_ids, sets, config))
+        with obs.scope(roots):
+            with obs.span("serve.batch", batch_size=len(batch)):
+                untagged = [pending for pending in batch if pending.tags is None]
+                if untagged:
+                    by_utterance: Dict[str, List[_Pending]] = {}
+                    for pending in untagged:
+                        by_utterance.setdefault(pending.utterance, []).append(pending)
+                    utterances = list(by_utterance)
+                    with self.metrics.time("latency.extract_seconds"):
+                        with self._facade_lock:
+                            tag_generation = self.saccs.index_generation
+                            tag_lists = self.saccs.extraction_engine.extract_token_lists(
+                                [list(by_utterance[u][0].tokens) for u in utterances]
+                            )
+                    for utterance, extracted in zip(utterances, tag_lists):
+                        waiting = by_utterance[utterance]
+                        for pending in waiting:
+                            pending.tags = tuple(extracted)
+                        self.cache.put_tags(
+                            utterance,
+                            tag_generation,
+                            (tuple(extracted), waiting[0].api_entity_ids),
+                        )
+                distinct: Dict[Tuple, int] = {}
+                order: List[_Pending] = []
+                for pending in batch:
+                    key = (pending.tags, pending.api_entity_ids)
+                    if key not in distinct:
+                        distinct[key] = len(order)
+                        order.append(pending)
+                with self.metrics.time("latency.execute_seconds"):
+                    with self._facade_lock:
+                        generation = self.saccs.index_generation
+                        tag_sets = self.saccs._tag_sets_many(
+                            [list(p.tags) for p in order]
+                        )
+                        config = self.saccs.config.filter_config()
+                        all_ids = [
+                            entity.entity_id for entity in self.saccs.entities
+                        ]
+                        with obs.span("rank.filter_and_rank", queries=len(order)):
+                            computed = []
+                            for pending, sets in zip(order, tag_sets):
+                                api_ids = (
+                                    list(pending.api_entity_ids)
+                                    if pending.api_entity_ids is not None
+                                    else all_ids
+                                )
+                                computed.append(
+                                    filter_and_rank(api_ids, sets, config)
+                                )
         for pending in batch:
             ranked = computed[distinct[(pending.tags, pending.api_entity_ids)]]
             results = ranked[: pending.top_k] if pending.top_k is not None else ranked

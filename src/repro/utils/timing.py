@@ -7,11 +7,17 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
+from repro.obs import tracing as _tracing
+
 __all__ = ["Timer", "StageTimings"]
 
 
 class Timer:
     """Context-manager stopwatch.
+
+    Re-entry is tolerated — each ``__enter__`` restarts the clock — but an
+    ``__exit__`` without a matching ``__enter__`` raises (a real error, not
+    an ``assert`` that ``python -O`` would strip).
 
     >>> with Timer() as t:
     ...     pass
@@ -29,8 +35,10 @@ class Timer:
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self.start is not None
+        if self.start is None:
+            raise RuntimeError("Timer.__exit__ without a matching __enter__")
         self.elapsed = time.perf_counter() - self.start
+        self.start = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Timer({self.label!r}, elapsed={self.elapsed:.3f}s)"
@@ -44,6 +52,12 @@ class StageTimings:
     so stage shares are readable straight off ``BENCH_*.json``.  Recording
     is lock-protected — pairing workers report from pool threads.
 
+    With ``span_prefix`` set this doubles as a thin compatibility shim over
+    :mod:`repro.obs` spans: every :meth:`add` additionally records a
+    ``<prefix><name>`` child span into whatever trace is active in the
+    calling context (a no-op when untraced), so legacy stage timings show
+    up inside request span trees without touching the instrumented code.
+
     >>> spans = StageTimings()
     >>> with spans.span("encode"):
     ...     pass
@@ -51,7 +65,8 @@ class StageTimings:
     1
     """
 
-    def __init__(self):
+    def __init__(self, span_prefix: Optional[str] = None):
+        self.span_prefix = span_prefix
         self._lock = threading.Lock()
         self._seconds: Dict[str, float] = {}
         self._calls: Dict[str, int] = {}
@@ -61,6 +76,8 @@ class StageTimings:
         with self._lock:
             self._seconds[name] = self._seconds.get(name, 0.0) + float(seconds)
             self._calls[name] = self._calls.get(name, 0) + 1
+        if self.span_prefix is not None:
+            _tracing.record(self.span_prefix + name, float(seconds))
 
     @contextmanager
     def span(self, name: str) -> Iterator[None]:

@@ -1,0 +1,6 @@
+"""Seeded violation: print() in library code (no-print-in-src)."""
+
+
+def report(count):
+    print(f"processed {count} items")
+    return count

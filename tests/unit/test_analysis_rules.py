@@ -97,6 +97,28 @@ def test_api_family_near_misses_are_clean():
     assert fixture_findings("api_ok.py") == []
 
 
+def test_no_print_rule_seeded_violation():
+    assert fixture_findings("print_bad.py") == [("no-print-in-src", 5)]
+
+
+def test_no_print_rule_near_misses_are_clean():
+    assert fixture_findings("print_ok.py") == []
+
+
+def test_no_print_rule_exempts_cli_reporters_and_log_emitter():
+    rule = get_rule("no-print-in-src")
+    assert not rule.applies_to("src/repro/cli.py")
+    assert not rule.applies_to("src/repro/analysis/reporters.py")
+    assert not rule.applies_to("src/repro/obs/log.py")
+    assert rule.applies_to("src/repro/serve/runtime.py")
+    assert rule.applies_to("src/repro/core/saccs.py")
+    # The exemption is honoured end-to-end, not just in applies_to.
+    source = 'print("hi")\n'
+    assert analyze_source(source, "src/repro/cli.py").findings == []
+    report = analyze_source(source, "src/repro/serve/runtime.py")
+    assert [f.rule_id for f in report.findings] == ["no-print-in-src"]
+
+
 def test_every_rule_family_has_a_seeded_true_positive():
     result = run_analysis([FIXTURES], root=FIXTURES)
     found_rules = {f.rule_id for f in result.new} | {f.rule_id for f in result.suppressed}

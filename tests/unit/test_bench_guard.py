@@ -9,7 +9,12 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT))
 
-from benchmarks.check_bench import check_files, check_record, iter_speedups  # noqa: E402
+from benchmarks.check_bench import (  # noqa: E402
+    check_files,
+    check_record,
+    iter_overheads,
+    iter_speedups,
+)
 
 
 class TestGuardLogic:
@@ -45,6 +50,45 @@ class TestGuardLogic:
         bad.write_text("{not json")
         _, failures = check_files([bad])
         assert failures and "unreadable" in failures[0]
+
+
+class TestOverheadGuard:
+    """Opt-in feature costs (tracing) are capped, symmetric to speedup floors."""
+
+    def test_finds_overhead_keys_at_any_depth(self):
+        payload = {
+            "summary": {
+                "tracing": {"tracing_overhead_frac": 0.012, "repeats": 2},
+                "speedup_batching_at_peak": 2.9,
+            }
+        }
+        assert dict(iter_overheads(payload)) == {
+            "summary.tracing.tracing_overhead_frac": 0.012
+        }
+        # The overhead key must not be mistaken for a speedup ratio.
+        assert dict(iter_speedups(payload)) == {
+            "summary.speedup_batching_at_peak": 2.9
+        }
+
+    def test_flags_overhead_above_ceiling(self):
+        _, failures = check_record({"tracing": {"tracing_overhead_frac": 0.08}})
+        assert len(failures) == 1
+        assert "overhead ceiling" in failures[0]
+        assert "tracing_overhead_frac" in failures[0]
+
+    def test_overhead_at_or_below_ceiling_passes(self):
+        found, failures = check_record(
+            {"tracing": {"tracing_overhead_frac": 0.05, "run_overhead": -0.01}}
+        )
+        assert len(found) == 2 and not failures
+
+    def test_mixed_record_reports_both_violation_kinds(self):
+        _, failures = check_record(
+            {"speedup": {"slow": 0.7}, "overhead": {"tracing": 0.2}}
+        )
+        assert len(failures) == 2
+        assert any("speedup floor" in message for message in failures)
+        assert any("overhead ceiling" in message for message in failures)
 
 
 class TestCommittedRecords:

@@ -41,6 +41,15 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([], 50.0)
 
+    def test_hundredth_percentile_is_maximum(self):
+        assert percentile([3.0, 9.0, 1.0], 100.0) == 9.0
+
+    def test_error_messages_carry_the_metric_label(self):
+        with pytest.raises(ValueError, match="stage.serve.batch_seconds"):
+            percentile([], 50.0, label="stage.serve.batch_seconds")
+        with pytest.raises(ValueError, match="stage.serve.batch_seconds"):
+            percentile([1.0], 150.0, label="stage.serve.batch_seconds")
+
     def test_out_of_range_raises(self):
         with pytest.raises(ValueError):
             percentile([1.0], 101.0)
@@ -99,6 +108,20 @@ class TestMetricsRegistry:
         metrics.incr("cache.ranking.hit", 3)
         metrics.incr("cache.ranking.miss", 1)
         assert metrics.snapshot()["ratios"]["cache.ranking"] == pytest.approx(0.75)
+
+    def test_empty_histogram_snapshot_is_all_zeros(self):
+        from repro.serve.metrics import _Histogram
+
+        snap = _Histogram(window_size=16).snapshot()
+        assert snap == {
+            "count": 0,
+            "mean": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }
 
     def test_snapshot_is_json_clean(self):
         import json
@@ -432,3 +455,128 @@ class TestRuntimeLifecycle:
         finally:
             runtime.stop()
         assert runtime.health()["status"] == "stopped"
+
+
+class _Entity:
+    def __init__(self, entity_id):
+        self.entity_id = entity_id
+
+
+class _AnswerableStubSaccs(_StubSaccs):
+    """Stub facade that can answer tag queries through the batched path.
+
+    ``_tag_sets_many`` returns no subjective signal, so ``filter_and_rank``
+    keeps the API order — enough to drive the full queue → batcher → worker
+    → resolve pipeline (and its tracing) without the neural stack.
+    """
+
+    class _Config:
+        @staticmethod
+        def filter_config():
+            return None
+
+    def __init__(self):
+        super().__init__()
+        self.config = self._Config()
+        self.entities = [_Entity("e1"), _Entity("e2")]
+
+    def _tag_sets_many(self, tag_lists):
+        return [[] for _ in tag_lists]
+
+
+class TestRuntimeTracing:
+    """The serve-side tracing surface, driven through a stub facade."""
+
+    @staticmethod
+    def _runtime():
+        from repro.core.tags import SubjectiveTag
+        from repro.obs import TraceStore, Tracer
+        from repro.serve import SaccsRuntime
+
+        tracer = Tracer(store=TraceStore(slow_threshold_seconds=0.0))
+        runtime = SaccsRuntime(
+            _AnswerableStubSaccs(), ServeConfig(workers=1), tracer=tracer
+        )
+        return runtime, SubjectiveTag("food", "delicious")
+
+    def test_search_produces_span_tree_and_stage_histograms(self):
+        runtime, tag = self._runtime()
+        with runtime:
+            response = runtime.search([tag])
+            assert [entity_id for entity_id, _ in response.results] == ["e1", "e2"]
+            assert response.cached is False
+
+            listing = runtime.traces_snapshot()
+            assert listing["enabled"] is True
+            assert listing["recorded"] == 1
+            trace_id = listing["recent"][0]["trace_id"]
+            payload = runtime.trace_payload(trace_id)
+            spans = {
+                item["name"]: item for item in payload["trace"]["spans"]
+            }
+            root = spans["serve.search"]
+            assert root["parent_id"] is None
+            assert root["attributes"] == {
+                "kind": "tags",
+                "tags": 1,
+                "cache.ranking": "miss",
+            }
+            assert spans["serve.enqueue_wait"]["parent_id"] == root["span_id"]
+            batch = spans["serve.batch"]
+            assert batch["parent_id"] == root["span_id"]
+            assert batch["attributes"] == {"batch_size": 1}
+            rank = spans["rank.filter_and_rank"]
+            assert rank["parent_id"] == batch["span_id"]
+            assert rank["attributes"] == {"queries": 1}
+            assert payload["tree"]["name"] == "serve.search"
+
+            snapshot = runtime.metrics_snapshot()
+            histograms = snapshot["histograms"]
+            for name in (
+                "stage.serve.search_seconds",
+                "stage.serve.enqueue_wait_seconds",
+                "stage.serve.batch_seconds",
+                "stage.rank.filter_and_rank_seconds",
+                "latency.search_seconds",
+                "batch.size",
+            ):
+                stage = histograms[name]
+                assert set(stage) == {
+                    "count", "mean", "min", "max", "p50", "p95", "p99"
+                }
+                assert stage["count"] >= 1
+
+    def test_cache_hit_annotates_the_trace_and_rolls_up_ratio(self):
+        runtime, tag = self._runtime()
+        with runtime:
+            assert runtime.search([tag]).cached is False
+            assert runtime.search([tag]).cached is True
+            snapshot = runtime.metrics_snapshot()
+            assert snapshot["ratios"]["cache.ranking"] == pytest.approx(0.5)
+            hit_trace = runtime.tracer.store.recent(1)[0]
+            root = hit_trace["spans"][0]
+            assert root["attributes"]["cache.ranking"] == "hit"
+            # The cached path never reached the batch pipeline.
+            assert [item["name"] for item in hit_trace["spans"]] == ["serve.search"]
+
+    def test_untraced_runtime_exposes_disabled_debug_surface(self):
+        from repro.serve import SaccsRuntime
+
+        runtime = SaccsRuntime(_AnswerableStubSaccs(), ServeConfig(workers=1))
+        assert runtime.tracer.enabled is False
+        assert runtime.traces_snapshot() == {
+            "enabled": False,
+            "recent": [],
+            "slow": [],
+        }
+        with pytest.raises(ProtocolError) as excinfo:
+            runtime.trace_payload("t000001")
+        assert excinfo.value.code == "tracing_disabled"
+        assert excinfo.value.status == 404
+
+    def test_missing_trace_id_is_a_404_with_code(self):
+        runtime, _ = self._runtime()
+        with pytest.raises(ProtocolError) as excinfo:
+            runtime.trace_payload("t999999")
+        assert excinfo.value.code == "trace_not_found"
+        assert excinfo.value.status == 404
