@@ -14,6 +14,11 @@ having it off — e.g. ``summary.tracing.tracing_overhead_frac`` from
 stay at or below ``DEFAULT_OVERHEAD_CEILING`` (5%): tracing and friends are
 only acceptable on the hot path while they are near-free.
 
+Speedup leaves whose path contains ``encode_speedup`` carry a stricter
+floor (``DEFAULT_ENCODE_FLOOR``, 3.0): the tape-free fused inference path
+exists to make the encode stage ≥3× faster than the autograd forward, and
+a record below that means the fused path regressed into pointlessness.
+
 Run directly (``python benchmarks/check_bench.py [paths...]``) or via the
 tier-1 test ``tests/unit/test_bench_guard.py``.
 """
@@ -28,6 +33,7 @@ from typing import Iterable, Iterator, List, Sequence, Tuple
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_FLOOR = 1.0
 DEFAULT_OVERHEAD_CEILING = 0.05
+DEFAULT_ENCODE_FLOOR = 3.0
 
 __all__ = [
     "iter_speedups",
@@ -72,19 +78,25 @@ def check_record(
     payload,
     floor: float = DEFAULT_FLOOR,
     overhead_ceiling: float = DEFAULT_OVERHEAD_CEILING,
+    encode_floor: float = DEFAULT_ENCODE_FLOOR,
 ) -> Tuple[List[Tuple[str, float]], List[str]]:
     """All guarded leaves in a record plus failure messages for violations.
 
     Speedups below ``floor`` and overhead fractions above
-    ``overhead_ceiling`` both fail.  (A key naming both tags is checked
-    against both bounds — don't do that.)
+    ``overhead_ceiling`` both fail; leaves under an ``encode_speedup`` key
+    are held to the stricter ``encode_floor``.  (A key naming both tags is
+    checked against both bounds — don't do that.)
     """
     speedups = list(iter_speedups(payload))
     overheads = list(iter_overheads(payload))
+
+    def floor_for(path: str) -> float:
+        return encode_floor if "encode_speedup" in path.lower() else floor
+
     failures = [
-        f"{path} = {ratio:.4f} (< {floor} speedup floor)"
+        f"{path} = {ratio:.4f} (< {floor_for(path)} speedup floor)"
         for path, ratio in speedups
-        if ratio < floor
+        if ratio < floor_for(path)
     ]
     failures.extend(
         f"{path} = {fraction:.4f} (> {overhead_ceiling} overhead ceiling)"

@@ -1,0 +1,83 @@
+"""Tape-free inference purity rule.
+
+``repro/nn/infer.py`` is the dedicated inference-only forward: its whole
+contract is that nothing in it ever touches the autograd tape.  Wrapping an
+array in ``Tensor``/``Parameter`` (or asking for ``requires_grad=True``
+anywhere) silently reintroduces graph-node allocation, eager local-gradient
+computation and float64 coercion — exactly the costs the module exists to
+shed, and a regression the benchmarks would only catch as a slowdown.  This
+rule catches it as a lint finding instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Sequence
+
+from repro.analysis.astutil import call_name
+from repro.analysis.registry import Finding, Rule, register
+
+__all__ = ["TapeFreeInference"]
+
+#: autograd entry points that must never appear in the inference module.
+_TAPE_CONSTRUCTORS = frozenset({"Tensor", "Parameter"})
+
+
+@register
+class TapeFreeInference(Rule):
+    rule_id = "tape-free-inference"
+    family = "numpy-kernel"
+    summary = "autograd tape construct inside the inference-only module"
+    rationale = (
+        "repro/nn/infer.py promises a forward that never builds the tape; "
+        "constructing Tensor/Parameter or passing requires_grad=True there "
+        "reintroduces graph nodes, eager derivative computation and float64 "
+        "coercion on the hot path the encode-speedup floor guards."
+    )
+    scope = ("nn/infer",)
+
+    def check(self, tree: ast.Module, lines: Sequence[str], relpath: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                callee = call_name(node)
+                if callee is not None and callee.split(".")[-1] in _TAPE_CONSTRUCTORS:
+                    findings.append(
+                        self.finding(
+                            node,
+                            relpath,
+                            f"{callee}(...) constructs an autograd tape node "
+                            "in the tape-free inference module",
+                        )
+                    )
+                    continue
+            # requires_grad=True as a call keyword or a plain attribute
+            # assignment both re-enable the tape.
+            if isinstance(node, ast.keyword) and node.arg == "requires_grad":
+                if isinstance(node.value, ast.Constant) and node.value.value is True:
+                    findings.append(
+                        self.finding(
+                            node.value,
+                            relpath,
+                            "requires_grad=True inside the tape-free inference module",
+                        )
+                    )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                value = node.value
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "requires_grad"
+                        and isinstance(value, ast.Constant)
+                        and value.value is True
+                    ):
+                        findings.append(
+                            self.finding(
+                                node,
+                                relpath,
+                                "requires_grad flipped on inside the tape-free "
+                                "inference module",
+                            )
+                        )
+        return findings

@@ -55,10 +55,13 @@ class BertWordEncoder:
         sentences: Sequence[Sequence[str]],
         input_embeddings: Optional[Tensor] = None,
         batch: Optional[BatchEncoding] = None,
+        capture_attention: bool = False,
     ) -> Tuple[Tensor, np.ndarray, BatchEncoding]:
         """Contextual word vectors ``(B, T, dim)``, word mask, and the batch."""
         batch = batch or self.batch(sentences)
-        hidden = self.model.forward(batch, input_embeddings=input_embeddings)
+        hidden = self.model.forward(
+            batch, input_embeddings=input_embeddings, capture_attention=capture_attention
+        )
         return hidden, batch.word_mask, batch
 
     def word_embeddings(self, batch: BatchEncoding) -> Tensor:
@@ -72,7 +75,7 @@ class BertWordEncoder:
         from repro.nn.tensor import no_grad
 
         with no_grad():
-            self.encode([list(tokens)])
+            self.encode([list(tokens)], capture_attention=True)
         maps = self.model.attention_maps()
         steps = len(tokens)
         return np.stack([m[0, :, :steps, :steps] for m in maps], axis=0)

@@ -47,7 +47,13 @@ class BatchEncoding:
         max_pieces: int,
         max_words: Optional[int] = None,
     ) -> "BatchEncoding":
-        """Pad a batch of per-word piece-id lists into dense arrays."""
+        """Pad a batch of per-word piece-id lists into dense arrays.
+
+        The padding is a single flat scatter: every (sentence, word, piece)
+        triple becomes one destination index into the flattened ``(B, T, P)``
+        arrays, so the cost is one Python pass to flatten the ragged lists
+        plus vectorized writes — no per-word inner loop.
+        """
         if not sentences:
             raise ValueError("empty batch")
         longest = max(len(s) for s in sentences)
@@ -57,12 +63,21 @@ class BatchEncoding:
         piece_ids = np.full((batch, width, max_pieces), pad_id, dtype=np.int64)
         piece_mask = np.zeros((batch, width, max_pieces), dtype=np.float64)
         word_mask = np.zeros((batch, width), dtype=np.float64)
+        flat_values: List[int] = []
+        flat_index: List[int] = []
+        word_index: List[int] = []
         for b, sentence in enumerate(sentences):
+            row = b * width
             for w, pieces in enumerate(sentence[:width]):
-                count = min(len(pieces), max_pieces)
-                piece_ids[b, w, :count] = pieces[:count]
-                piece_mask[b, w, :count] = 1.0
-                word_mask[b, w] = 1.0
+                word_index.append(row + w)
+                base = (row + w) * max_pieces
+                flat_values.extend(pieces[:max_pieces])
+                flat_index.extend(range(base, base + min(len(pieces), max_pieces)))
+        if flat_index:
+            scatter = np.asarray(flat_index, dtype=np.int64)
+            piece_ids.reshape(-1)[scatter] = np.asarray(flat_values, dtype=np.int64)
+            piece_mask.reshape(-1)[scatter] = 1.0
+            word_mask.reshape(-1)[np.asarray(word_index, dtype=np.int64)] = 1.0
         return cls(piece_ids, piece_mask, word_mask)
 
 
@@ -96,7 +111,8 @@ class MiniBert(Module):
         return pooled
 
     def _positions(self, batch: BatchEncoding) -> np.ndarray:
-        steps = min(batch.num_words, self.config.max_positions)
+        # Positions wrap modulo max_positions, so sentences longer than the
+        # position table never index out of range.
         positions = np.arange(batch.num_words) % self.config.max_positions
         return np.broadcast_to(positions, (batch.batch_size, batch.num_words))
 
@@ -106,17 +122,20 @@ class MiniBert(Module):
         self,
         batch: BatchEncoding,
         input_embeddings: Optional[Tensor] = None,
+        capture_attention: bool = False,
     ) -> Tensor:
         """Contextual word representations ``(B, T, dim)``.
 
         ``input_embeddings`` lets callers substitute perturbed word
         embeddings (the FGSM adversarial path) while reusing positions and
-        the encoder stack.
+        the encoder stack.  Attention-map capture is opt-in at this level:
+        only callers that will read :meth:`attention_maps` (the pairing
+        heuristic's per-sentence probe) pay for the ``(B, H, T, T)`` copies.
         """
         words = input_embeddings if input_embeddings is not None else self.embed_words(batch)
         positions = self.position_embedding(self._positions(batch))
         hidden = self.embedding_norm(words + positions)
-        return self.encoder(hidden, mask=batch.word_mask)
+        return self.encoder(hidden, mask=batch.word_mask, capture_attention=capture_attention)
 
     __call__ = forward
 

@@ -31,6 +31,11 @@ class WordPieceTokenizer:
     def __init__(self, vocab: Optional[Dict[str, int]] = None, max_pieces_per_word: int = 4):
         self.vocab: Dict[str, int] = vocab or {}
         self.max_pieces_per_word = max_pieces_per_word
+        # Greedy longest-match is pure in (word, vocab) and the vocab is
+        # frozen after construction, so decompositions memoise safely.
+        # Natural-text vocabulary is small; the bound guards adversarial
+        # streams of unique words.
+        self._encode_cache: Dict[str, List[int]] = {}
 
     # ---------------------------------------------------------------- special
 
@@ -116,8 +121,11 @@ class WordPieceTokenizer:
     # --------------------------------------------------------------- encoding
 
     def encode_word(self, word: str) -> List[int]:
-        """Greedy longest-match piece ids for one word (truncated)."""
+        """Greedy longest-match piece ids for one word (truncated, memoised)."""
         word = word.lower()
+        cached = self._encode_cache.get(word)
+        if cached is not None:
+            return cached
         pieces: List[int] = []
         start = 0
         while start < len(word) and len(pieces) < self.max_pieces_per_word:
@@ -137,6 +145,9 @@ class WordPieceTokenizer:
                 start = end
         if not pieces:
             pieces = [self.unk_id]
+        if len(self._encode_cache) >= 65536:
+            self._encode_cache.clear()
+        self._encode_cache[word] = pieces
         return pieces
 
     def encode_words(self, tokens: Sequence[str]) -> List[List[int]]:

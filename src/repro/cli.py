@@ -139,7 +139,7 @@ def _build_serving_saccs(args: argparse.Namespace):
         world.reviews,
         OracleExtractor(),
         ConceptualSimilarity(restaurant_lexicon()),
-        SaccsConfig(),
+        SaccsConfig(encoder_precision=getattr(args, "encoder_precision", "float64")),
     )
     saccs.build_index([SubjectiveTag.from_text(d.name) for d in world.dimensions])
     return saccs
@@ -299,6 +299,19 @@ def _cmd_bench_extract(args: argparse.Namespace) -> int:
         f"{speedup['warm_cache']:.2f}x at "
         f"{payload['summary']['warm_cache_hit_ratio'] * 100:.1f}% hits"
     )
+    encode = payload["encode"]
+    print(f"{'encode path':<20}{'seconds':>10}{'speedup':>9}{'max err':>12}{'tags':>6}")
+    tape_seconds = encode["seconds"]["tape_float64"]
+    print(f"{'tape_float64':<20}{tape_seconds:>10.3f}{'1.00x':>9}{'oracle':>12}{'=':>6}")
+    for precision in ("float64", "float32", "int8"):
+        cell_seconds = encode["seconds"][precision]
+        report = encode["equivalence"][precision]
+        print(
+            f"{'fused_' + precision:<20}{cell_seconds:>10.3f}"
+            f"{tape_seconds / cell_seconds:>8.2f}x"
+            f"{report['max_abs_error']:>12.2e}"
+            f"{'=' if report['tags_identical'] else '!':>6}"
+        )
     path = write_extract_record(payload, args.output)
     print(f"wrote {path}")
     return 0
@@ -396,6 +409,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-wait-ms", type=float, default=2.0)
     serve.add_argument("--cache-size", type=int, default=4096)
     serve.add_argument("--session-ttl", type=float, default=1800.0)
+    serve.add_argument(
+        "--encoder-precision",
+        choices=("float64", "float32", "int8"),
+        default="float64",
+        help="tape-free fused inference precision for utterance extraction "
+        "(float64 is bitwise-identical to the training forward)",
+    )
     serve.add_argument(
         "--no-trace", action="store_true", help="disable request tracing"
     )

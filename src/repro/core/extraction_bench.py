@@ -11,11 +11,19 @@ neural extractor:
   corpus through the content-hash extraction cache (the incremental
   reingest path; expects ~100% hits).
 
+A separate *encode* section measures just the encode stage (tokenise →
+BERT → BiLSTM → projection) per precision over the same bucketed sentence
+stream: the autograd tape forward (the PR-5 baseline) against the fused
+tape-free path at float64 / float32 / int8, plus the equivalence-tolerance
+report of each precision against the float64 tape oracle.  Full bucketed
+ingests at float32 and int8 round out the tag-identity witness.
+
 Every variant's extracted tags are checked **identical** per entity/review
 before speedups are reported, and the record embeds the engine's stage
 spans (encode / decode / pair / register) so the win is attributable.
 ``benchmarks/check_bench.py`` guards the recorded speedups against
-regressions in the tier-1 flow.
+regressions in the tier-1 flow — including a 3.0 floor on the
+``encode_speedup`` cells.
 """
 
 from __future__ import annotations
@@ -78,6 +86,75 @@ def _extracted_tags(saccs: Saccs) -> Dict[str, List[Tuple[SubjectiveTag, ...]]]:
     return {
         entity_id: [tuple(tags) for tags in per_review]
         for entity_id, per_review in saccs.index._entity_tags.items()
+    }
+
+
+def _encode_benchmark(
+    extractor: TagExtractor,
+    world,
+    batch_sentences: int,
+) -> Dict[str, object]:
+    """Per-precision encode-stage cells over the bucketed sentence stream.
+
+    Times exactly what the engine's ``encode`` span covers — tokenisation,
+    batching, and the BERT→BiLSTM→projection forward — for the autograd
+    tape path (``tape_float64``, the PR-5 baseline) and the fused
+    tape-free path at every precision.  Fused exports happen before the
+    timed loop: the steady state of ingest exports once per weights
+    version, so export cost is not part of the per-bucket encode budget.
+    """
+    from repro.nn.infer import PRECISIONS, equivalence_report
+    from repro.nn.tensor import no_grad
+
+    tagger = extractor.tagger
+    tagger.eval()
+    sentences = [
+        list(sentence.tokens)
+        for reviews in world.reviews.values()
+        for review in reviews
+        for sentence in review.sentences
+    ]
+    order = sorted(range(len(sentences)), key=lambda i: len(sentences[i]))
+    buckets = [
+        [sentences[i] for i in order[start : start + batch_sentences]]
+        for start in range(0, len(order), batch_sentences)
+    ]
+
+    seconds: Dict[str, float] = {}
+    with Timer() as timer:
+        for bucket in buckets:
+            with no_grad():
+                tagger.emissions(bucket)
+    seconds["tape_float64"] = timer.elapsed
+
+    for precision in PRECISIONS:
+        model = tagger.inference_model(precision)
+        with Timer() as timer:
+            for bucket in buckets:
+                model.emissions(tagger.encoder.batch(bucket))
+        seconds[precision] = timer.elapsed
+
+    # Tolerance report on the longest-sentence bucket (buckets are length
+    # sorted): deepest recurrence and most accumulation steps, so it is the
+    # worst case for emission-score error against the tape oracle.
+    probe = buckets[-1]
+    equivalence = {
+        precision: equivalence_report(tagger, probe, precision).as_dict()
+        for precision in PRECISIONS
+    }
+    return {
+        "sentences": len(sentences),
+        "buckets": len(buckets),
+        "seconds": seconds,
+        # the guarded cells: fused reduced-precision encode vs the tape
+        # baseline (check_bench holds these to the 3.0 encode floor).
+        "encode_speedup": {
+            "float32": seconds["tape_float64"] / seconds["float32"],
+            "int8": seconds["tape_float64"] / seconds["int8"],
+        },
+        # bitwise-identical fused float64 vs tape: generic 1.0 floor.
+        "fused_float64_speedup": seconds["tape_float64"] / seconds["float64"],
+        "equivalence": equivalence,
     }
 
 
@@ -158,13 +235,42 @@ def run_extraction_benchmark(
     }
     witnesses["warm_cache"] = _extracted_tags(warm_saccs)
 
+    # Reduced-precision ingests: full bucketed passes whose decoded tags
+    # must match the sequential float64 oracle exactly (the tag-identity
+    # witness of the fused inference path).
+    precision_results: Dict[str, Dict[str, object]] = {}
+    for precision in ("float32", "int8"):
+        say(f"variant: bucketed {precision} (fused inference) ...")
+        saccs = _make_saccs(
+            world,
+            extractor,
+            SaccsConfig(
+                extraction_batch_sentences=batch_sentences,
+                extraction_workers=0,
+                encoder_precision=precision,
+            ),
+        )
+        with Timer() as timer:
+            saccs.ingest_reviews()
+        precision_results[precision] = {
+            "ingest_seconds": timer.elapsed,
+            "stages": saccs.extraction_engine.timings.as_dict(),
+        }
+        witnesses[f"bucketed_{precision}"] = _extracted_tags(saccs)
+
+    say("encode stage: tape vs fused per precision ...")
+    encode = _encode_benchmark(extractor, world, batch_sentences)
+
     oracle = witnesses["sequential"]
     equivalent = all(witnesses[name] == oracle for name in witnesses)
     if not equivalent:
         raise AssertionError(
-            "bucketed/parallel/cached extraction diverged from the sequential "
-            "oracle — refusing to write a benchmark record for broken output"
+            "bucketed/parallel/cached/reduced-precision extraction diverged "
+            "from the sequential oracle — refusing to write a benchmark "
+            "record for broken output"
         )
+    for precision, result in precision_results.items():
+        result["tags_identical"] = witnesses[f"bucketed_{precision}"] == oracle
 
     baseline = variants["sequential"]["ingest_seconds"]
     speedup = {
@@ -185,6 +291,8 @@ def run_extraction_benchmark(
             "pairing_workers": pairing_workers,
         },
         "variants": variants,
+        "precisions": precision_results,
+        "encode": encode,
         "summary": {
             "sequential_seconds": baseline,
             "speedup": speedup,

@@ -68,6 +68,11 @@ class ExtractionEngineConfig:
     cache_enabled: bool = True
     #: retained cache entries (reviews); oldest-used entries are evicted.
     cache_capacity: int = 200_000
+    #: precision for the tagger's tape-free fused encode path:
+    #: ``"float64"`` is bitwise-identical to the autograd forward,
+    #: ``"float32"`` / ``"int8"`` trade tolerance-bounded emission error
+    #: for speed (see :mod:`repro.nn.infer`).
+    encoder_precision: str = "float64"
 
     def __post_init__(self):
         if self.batch_sentences < 1:
@@ -76,6 +81,12 @@ class ExtractionEngineConfig:
             raise ValueError("pairing_workers must be >= 0")
         if self.cache_capacity < 1:
             raise ValueError("cache_capacity must be >= 1")
+        from repro.nn.infer import PRECISIONS
+
+        if self.encoder_precision not in PRECISIONS:
+            raise ValueError(
+                f"encoder_precision must be one of {PRECISIONS}, got {self.encoder_precision!r}"
+            )
 
 
 class ExtractionCache:
@@ -182,13 +193,29 @@ class ExtractionEngine:
         labels: List[Optional[List[str]]] = [None] * len(sentences)
         cap = self.config.batch_sentences
         tagger = self.extractor.tagger
-        for start in range(0, len(order), cap):
-            bucket = order[start : start + cap]
-            predicted = tagger.predict([list(sentences[i]) for i in bucket], timings=self.timings)
-            for slot, seq in zip(bucket, predicted):
-                labels[slot] = seq
-            self._incr("extract.batches")
-            self._incr("extract.sentences", len(bucket))
+        precision = self.config.encoder_precision
+        # Hold eval mode across the whole bucket loop: each predict() on a
+        # train-mode tagger would otherwise restore train mode on exit,
+        # which bumps the weights version and forces a fresh fused-weight
+        # export per bucket instead of one per ingest pass.
+        was_training = tagger.training
+        if was_training:
+            tagger.eval()
+        try:
+            for start in range(0, len(order), cap):
+                bucket = order[start : start + cap]
+                predicted = tagger.predict(
+                    [list(sentences[i]) for i in bucket],
+                    timings=self.timings,
+                    precision=precision,
+                )
+                for slot, seq in zip(bucket, predicted):
+                    labels[slot] = seq
+                self._incr("extract.batches")
+                self._incr("extract.sentences", len(bucket))
+        finally:
+            if was_training:
+                tagger.train()
         return labels  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ pairing

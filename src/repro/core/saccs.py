@@ -84,6 +84,10 @@ class SaccsConfig:
     #: cache extracted tags per review content hash, making
     #: :meth:`Saccs.rebuild_index` after small corpus edits incremental.
     extraction_cache: bool = True
+    #: encoder precision for the tape-free fused inference path used by
+    #: bucketed extraction: ``"float64"`` (bitwise-identical default),
+    #: ``"float32"`` or ``"int8"`` (tolerance-bounded, faster).
+    encoder_precision: str = "float64"
 
     def __post_init__(self):
         if self.extraction_mode not in ("bucketed", "sequential"):
@@ -102,6 +106,7 @@ class SaccsConfig:
             batch_sentences=self.extraction_batch_sentences,
             pairing_workers=self.extraction_workers,
             cache_enabled=self.extraction_cache,
+            encoder_precision=self.encoder_precision,
         )
 
 

@@ -15,7 +15,8 @@ import numpy as np
 from repro.bert.encoder import BertWordEncoder
 from repro.bert.model import BatchEncoding
 from repro.nn import BiLSTM, Dropout, LinearChainCRF, Linear, Module
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.infer import PRECISIONS, InferenceModel
+from repro.nn.tensor import Tensor
 from repro.text.labels import ID_TO_LABEL, LABEL_TO_ID, NUM_LABELS, forbidden_transitions, labels_to_spans
 from repro.utils.timing import StageTimings
 
@@ -33,6 +34,7 @@ class SequenceTagger(Module):
         dropout: float = 0.1,
         decode_beam: Optional[int] = None,
         use_crf: bool = True,
+        encoder_precision: str = "float64",
     ):
         super().__init__()
         self.encoder = encoder
@@ -50,6 +52,45 @@ class SequenceTagger(Module):
             self.crf = LinearChainCRF(NUM_LABELS, rng)
             self.crf.constrain_transitions(forbidden_transitions())
         self.decode_beam = decode_beam
+        #: default precision for :meth:`predict`'s tape-free fused path.
+        #: ``"float64"`` replays the training forward bitwise; ``"float32"``
+        #: and ``"int8"`` trade tolerance-bounded emission error for speed.
+        if encoder_precision not in PRECISIONS:
+            raise ValueError(
+                f"encoder_precision must be one of {PRECISIONS}, got {encoder_precision!r}"
+            )
+        self.encoder_precision = encoder_precision
+        # Exported InferenceModels keyed by precision, invalidated by the
+        # weights version: train() and load_state_dict() are the sanctioned
+        # "weights may have changed" signals and each bumps the counter.
+        self._infer_models: dict = {}
+        self._infer_version = 0
+
+    # ------------------------------------------------------------- inference
+
+    def train(self) -> "SequenceTagger":
+        self._infer_version += 1
+        return super().train()
+
+    def load_state_dict(self, state) -> None:
+        self._infer_version += 1
+        super().load_state_dict(state)
+
+    def inference_model(self, precision: Optional[str] = None) -> InferenceModel:
+        """The tape-free fused export of this tagger at ``precision``.
+
+        Exports lazily and caches per precision; a cached model is reused
+        until the weights version moves (any :meth:`train` or
+        :meth:`load_state_dict` call), so steady-state extraction exports
+        once and then runs allocation-free.
+        """
+        precision = precision or self.encoder_precision
+        cached = self._infer_models.get(precision)
+        if cached is not None and cached[0] == self._infer_version:
+            return cached[1]
+        model = InferenceModel.from_tagger(self, precision)
+        self._infer_models[precision] = (self._infer_version, model)
+        return model
 
     # ---------------------------------------------------------------- forward
 
@@ -91,8 +132,14 @@ class SequenceTagger(Module):
         self,
         sentences: Sequence[Sequence[str]],
         timings: Optional["StageTimings"] = None,
+        precision: Optional[str] = None,
     ) -> List[List[str]]:
         """IOB label sequences for a batch of tokenised sentences.
+
+        Runs the tape-free fused inference path (:mod:`repro.nn.infer`) at
+        ``precision`` (default :attr:`encoder_precision`); the float64
+        export is bitwise identical to the autograd forward, so the default
+        behaviour is unchanged while skipping all tape construction.
 
         ``timings`` (a :class:`~repro.utils.timing.StageTimings`) receives
         ``encode`` (BERT→BiLSTM→projection forward) and ``decode`` (Viterbi
@@ -104,14 +151,19 @@ class SequenceTagger(Module):
         self.eval()
         try:
             encode_span = timings.span("encode") if timings is not None else nullcontext()
-            with encode_span, no_grad():
-                emissions, mask, _ = self.emissions(sentences)
+            with encode_span:
+                model = self.inference_model(precision)
+                batch = self.encoder.batch(sentences)
+                scores = model.emissions(batch)
+                mask = batch.word_mask
             decode_span = timings.span("decode") if timings is not None else nullcontext()
             with decode_span:
                 if self.use_crf:
-                    paths = self.crf.decode(emissions.data, mask=mask, beam=self.decode_beam)
+                    paths = self.crf.decode(
+                        np.asarray(scores, dtype=np.float64), mask=mask, beam=self.decode_beam
+                    )
                 else:
-                    argmax = emissions.data.argmax(axis=-1)
+                    argmax = scores.argmax(axis=-1)
                     paths = [
                         [int(v) for v in row[: int(m.sum())]] for row, m in zip(argmax, mask)
                     ]

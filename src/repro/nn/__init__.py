@@ -8,6 +8,13 @@ in this reproduction (see DESIGN.md §2).
 
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.crf import LinearChainCRF
+from repro.nn.infer import (
+    EquivalenceReport,
+    InferenceModel,
+    PRECISIONS,
+    QuantizedMatrix,
+    equivalence_report,
+)
 from repro.nn.layers import (
     GELU,
     Dropout,
@@ -30,14 +37,18 @@ __all__ = [
     "BiLSTM",
     "Dropout",
     "Embedding",
+    "EquivalenceReport",
     "GELU",
+    "InferenceModel",
     "LSTM",
     "LayerNorm",
     "Linear",
     "LinearChainCRF",
     "Module",
     "MultiHeadSelfAttention",
+    "PRECISIONS",
     "Parameter",
+    "QuantizedMatrix",
     "ReLU",
     "SGD",
     "Sequential",
@@ -46,6 +57,7 @@ __all__ = [
     "TransformerEncoder",
     "TransformerEncoderLayer",
     "clip_grad_norm",
+    "equivalence_report",
     "is_grad_enabled",
     "load_module",
     "no_grad",

@@ -41,7 +41,12 @@ class MultiHeadSelfAttention(Module):
     def _split_heads(self, x: Tensor, batch: int, steps: int) -> Tensor:
         return x.reshape(batch, steps, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
 
-    def __call__(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+    def __call__(
+        self,
+        x: Tensor,
+        mask: Optional[np.ndarray] = None,
+        capture_attention: bool = True,
+    ) -> Tensor:
         """Attend within each sequence.
 
         Parameters
@@ -50,6 +55,12 @@ class MultiHeadSelfAttention(Module):
             ``(B, T, dim)`` token representations.
         mask:
             ``(B, T)`` validity mask; padded key positions receive ~0 weight.
+        capture_attention:
+            copy the post-softmax probabilities into :attr:`last_attention`.
+            Callers that never read the maps (bulk extraction) pass False to
+            skip materialising the ``(B, H, T, T)`` stack; a non-capturing
+            call clears :attr:`last_attention` rather than leave a stale map
+            from an earlier batch readable.
         """
         batch, steps, _ = x.shape
         q = self._split_heads(self.query(x), batch, steps)
@@ -60,7 +71,7 @@ class MultiHeadSelfAttention(Module):
             key_mask = np.asarray(mask, dtype=np.float64)[:, None, None, :]  # (B,1,1,T)
             scores = scores + (1.0 - key_mask) * _NEG_INF
         probs = softmax(scores, axis=-1)
-        self.last_attention = probs.data.copy()
+        self.last_attention = probs.data.copy() if capture_attention else None
         context = probs.matmul(v)  # (B, H, T, dh)
         merged = context.transpose(0, 2, 1, 3).reshape(batch, steps, self.dim)
         return self.output(merged)

@@ -34,8 +34,13 @@ class TransformerEncoderLayer(Module):
         self.drop_attn = Dropout(dropout, np.random.default_rng(int(rng.integers(2**32))))
         self.drop_ffn = Dropout(dropout, np.random.default_rng(int(rng.integers(2**32))))
 
-    def __call__(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
-        attn = self.drop_attn(self.attention(x, mask=mask))
+    def __call__(
+        self,
+        x: Tensor,
+        mask: Optional[np.ndarray] = None,
+        capture_attention: bool = True,
+    ) -> Tensor:
+        attn = self.drop_attn(self.attention(x, mask=mask, capture_attention=capture_attention))
         x = self.norm_attn(x + attn)
         ffn = self.drop_ffn(self.ffn_out(self.ffn_in(x).gelu()))
         return self.norm_ffn(x + ffn)
@@ -59,9 +64,14 @@ class TransformerEncoder(Module):
             for _ in range(num_layers)
         ]
 
-    def __call__(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+    def __call__(
+        self,
+        x: Tensor,
+        mask: Optional[np.ndarray] = None,
+        capture_attention: bool = True,
+    ) -> Tensor:
         for layer in self.layers:
-            x = layer(x, mask=mask)
+            x = layer(x, mask=mask, capture_attention=capture_attention)
         return x
 
     def attention_maps(self) -> List[np.ndarray]:

@@ -366,6 +366,10 @@ class SaccsRuntime:
             "index_tags": len(self.saccs.index),
             "sessions": len(self.sessions),
             "queue_depth": self._queue.qsize(),
+            # which fused inference precision utterance extraction runs at
+            # (serving caches are keyed per generation, never per precision,
+            # so operators need this visible when comparing deployments).
+            "encoder_precision": self.saccs.extraction_engine.config.encoder_precision,
         }
 
     def metrics_snapshot(self) -> Dict[str, object]:

@@ -1,0 +1,20 @@
+"""Seeded tape-leak violations for the ``tape-free-inference`` rule."""
+
+import numpy as np
+
+
+def rebuild_tape_node(Tensor, weight):
+    return Tensor(np.asarray(weight, dtype=np.float64))
+
+
+def rewrap_parameter(nn, weight):
+    return nn.Parameter(weight)
+
+
+def flip_grad_keyword(make, weight):
+    return make(weight, requires_grad=True)
+
+
+def flip_grad_attribute(node):
+    node.requires_grad = True
+    return node

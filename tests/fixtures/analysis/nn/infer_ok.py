@@ -1,0 +1,22 @@
+"""Clean near-misses for the ``tape-free-inference`` rule."""
+
+import numpy as np
+
+
+def tensor_contraction(a, b):
+    # "Tensor" in a comment or string never counts as construction.
+    label = "Tensor(requires_grad=True)"
+    return np.tensordot(a, b, axes=1), label
+
+
+def grad_disabled(make, weight):
+    return make(weight, requires_grad=False)
+
+
+def grad_cleared(node):
+    node.requires_grad = False
+    return node
+
+
+def lowercase_factory(tensor, weight):
+    return tensor(np.asarray(weight, dtype=np.float32))

@@ -277,6 +277,76 @@ def test_batch_viterbi_equals_scalar_decode(case):
         assert len(path) == int(row_mask.sum())
 
 
+# ---------------------------------------------------------------------------
+# tape-free fused inference ≡ float64 tape oracle
+# ---------------------------------------------------------------------------
+
+from repro.bert import BertWordEncoder, MiniBert, MiniBertConfig, WordPieceTokenizer
+from repro.core import SequenceTagger
+from repro.nn.infer import DEFAULT_TOLERANCES, QuantizedMatrix, equivalence_report
+
+_INFER_CORPUS = [
+    "the food is delicious".split(),
+    "the staff is friendly and helpful".split(),
+    "delicious pasta and friendly staff".split(),
+    "the service was quick and lovely".split(),
+] * 8
+_INFER_TOKENIZER = WordPieceTokenizer.train(_INFER_CORPUS, vocab_size=120)
+_INFER_WORDS = sorted({w for s in _INFER_CORPUS for w in s}) + ["zesty", "overcooked"]
+
+
+def _random_tagger(seed):
+    """A tiny tagger with fully random (untrained) weights — worst case for
+    quantization, since no structure softens near-tie decode decisions."""
+    config = MiniBertConfig(
+        vocab_size=_INFER_TOKENIZER.vocab_size, dim=16, num_layers=1,
+        num_heads=2, ffn_dim=32, max_positions=12, dropout=0.0,
+    )
+    rng = np.random.default_rng(seed)
+    encoder = BertWordEncoder(_INFER_TOKENIZER, MiniBert(config, rng))
+    tagger = SequenceTagger(encoder, rng, lstm_hidden=8)
+    tagger.eval()
+    return tagger
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    st.integers(0, 10_000),
+    st.lists(
+        st.lists(st.sampled_from(_INFER_WORDS), min_size=1, max_size=10),
+        min_size=1,
+        max_size=4,
+    ),
+)
+def test_fused_inference_tracks_tape_oracle(seed, sentences):
+    """Random weights + random inputs: float64 bitwise, int8/float32 within
+    the default tolerance policy against the tape oracle."""
+    tagger = _random_tagger(seed)
+    exact = equivalence_report(tagger, sentences, "float64")
+    assert exact.max_abs_error == 0.0
+    assert exact.tags_identical
+    for precision in ("float32", "int8"):
+        report = equivalence_report(tagger, sentences, precision)
+        assert report.within_tolerance, report
+        assert report.tolerance == DEFAULT_TOLERANCES[precision]
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=9),
+    st.integers(0, 10_000),
+    st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+)
+def test_quantized_matrix_error_bounded_by_half_scale(rows, cols, seed, spread):
+    weights = np.random.default_rng(seed).normal(scale=spread, size=(rows, cols))
+    quantized = QuantizedMatrix.quantize(weights)
+    assert np.abs(quantized.q).max() <= 127
+    error = np.abs(quantized.dequantize().astype(np.float64) - weights)
+    bound = quantized.scale.astype(np.float64)[:, None] * 0.5 + 1e-6 * spread
+    assert (error <= bound).all()
+
+
 @settings(deadline=None, max_examples=30)
 @given(viterbi_cases())
 def test_default_decode_is_the_batch_path(case):

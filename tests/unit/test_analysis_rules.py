@@ -85,6 +85,26 @@ def test_numpy_family_near_misses_are_clean():
     assert fixture_findings("nn/kernel_ok.py") == []
 
 
+def test_tape_free_inference_seeded_violations():
+    assert fixture_findings("nn/infer_bad.py") == [
+        ("tape-free-inference", 7),
+        ("tape-free-inference", 11),
+        ("tape-free-inference", 15),
+        ("tape-free-inference", 19),
+    ]
+
+
+def test_tape_free_inference_near_misses_are_clean():
+    assert fixture_findings("nn/infer_ok.py") == []
+
+
+def test_tape_free_inference_scope_targets_the_inference_module():
+    rule = get_rule("tape-free-inference")
+    assert rule.applies_to("src/repro/nn/infer.py")
+    assert not rule.applies_to("src/repro/nn/tensor.py")
+    assert not rule.applies_to("src/repro/core/tagger.py")
+
+
 def test_api_family_seeded_violations():
     assert fixture_findings("api_bad.py") == [
         ("mutable-default", 4),
@@ -210,7 +230,7 @@ def test_registry_has_four_families_and_unique_ids():
     rules = all_rules()
     ids = [rule.rule_id for rule in rules]
     assert len(ids) == len(set(ids))
-    assert len(rules) >= 13
+    assert len(rules) >= 14
     assert set(rules_by_family()) == {
         "api-hygiene",
         "determinism",

@@ -88,6 +88,41 @@ class TestBatchEncoding:
         with pytest.raises(ValueError):
             BatchEncoding.from_piece_lists([], 0, 4)
 
+    def test_flat_scatter_matches_loop_oracle_byte_for_byte(self):
+        """The vectorized padding scatter is byte-identical to a plain loop."""
+
+        def oracle(sentences, pad_id, max_pieces, max_words=None):
+            longest = max(len(s) for s in sentences)
+            width = min(longest, max_words) if max_words else longest
+            width = max(width, 1)
+            piece_ids = np.full((len(sentences), width, max_pieces), pad_id, dtype=np.int64)
+            piece_mask = np.zeros((len(sentences), width, max_pieces), dtype=np.float64)
+            word_mask = np.zeros((len(sentences), width), dtype=np.float64)
+            for b, sentence in enumerate(sentences):
+                for w, pieces in enumerate(sentence[:width]):
+                    word_mask[b, w] = 1.0
+                    for p, piece in enumerate(pieces[:max_pieces]):
+                        piece_ids[b, w, p] = piece
+                        piece_mask[b, w, p] = 1.0
+            return piece_ids, piece_mask, word_mask
+
+        rng = np.random.default_rng(17)
+        for _ in range(30):
+            sentences = [
+                [
+                    [int(v) for v in rng.integers(1, 40, size=int(rng.integers(0, 7)))]
+                    for _ in range(int(rng.integers(1, 9)))
+                ]
+                for _ in range(int(rng.integers(1, 5)))
+            ]
+            max_pieces = int(rng.integers(1, 5))
+            max_words = None if rng.integers(0, 2) else int(rng.integers(1, 6))
+            batch = BatchEncoding.from_piece_lists(sentences, 0, max_pieces, max_words=max_words)
+            ids, mask, words = oracle(sentences, 0, max_pieces, max_words)
+            for got, want in ((batch.piece_ids, ids), (batch.piece_mask, mask), (batch.word_mask, words)):
+                assert got.dtype == want.dtype and got.shape == want.shape
+                assert got.tobytes() == want.tobytes()
+
 
 class TestMiniBert:
     @pytest.fixture(scope="class")
@@ -110,6 +145,26 @@ class TestMiniBert:
     def test_config_head_divisibility(self):
         with pytest.raises(ValueError):
             MiniBertConfig(dim=30, num_heads=4)
+
+    def test_positions_wrap_for_sentences_beyond_max_positions(self, tokenizer):
+        """Sentences longer than the position table wrap instead of crashing."""
+        config = MiniBertConfig(
+            vocab_size=200, dim=32, num_layers=1, num_heads=2, ffn_dim=64,
+            max_positions=4, dropout=0.0,
+        )
+        model = MiniBert(config, np.random.default_rng(3))
+        model.eval()
+        words = "the food is delicious and the service was lovely too".split()
+        encoded = [tokenizer.encode_words(words)]
+        # Built without max_words on purpose: the encoder facade truncates to
+        # max_positions, but direct callers can feed wider batches.
+        batch = BatchEncoding.from_piece_lists(encoded, tokenizer.pad_id, 4)
+        positions = model._positions(batch)
+        assert positions.shape == (1, len(words))
+        assert positions[0].tolist() == [i % 4 for i in range(len(words))]
+        hidden = model.forward(batch)
+        assert hidden.shape == (1, len(words), 32)
+        assert np.isfinite(hidden.data).all()
 
     def test_custom_input_embeddings_change_output(self, model, tokenizer):
         encoder = BertWordEncoder(tokenizer, model)

@@ -27,11 +27,21 @@ OPINIONS = {"delicious", "friendly", "bland", "slow"}
 class FakeTagger:
     """Deterministic per-token lexicon tagger; counts predict batches."""
 
+    training = False
+
     def __init__(self):
         self.batches = []
+        self.precisions = []
 
-    def predict(self, sentences, timings=None):
+    def eval(self):
+        return self
+
+    def train(self):
+        return self
+
+    def predict(self, sentences, timings=None, precision=None):
         self.batches.append([len(s) for s in sentences])
+        self.precisions.append(precision)
         if timings is not None:
             with timings.span("encode"):
                 pass

@@ -368,6 +368,11 @@ class TestServeConfig:
 
 
 class _StubExtractionEngine:
+    def __init__(self):
+        from repro.core.extraction_engine import ExtractionEngineConfig
+
+        self.config = ExtractionEngineConfig()
+
     def bind_metrics(self, metrics):
         self.metrics = metrics
 
