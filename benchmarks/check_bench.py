@@ -19,6 +19,14 @@ floor (``DEFAULT_ENCODE_FLOOR``, 3.0): the tape-free fused inference path
 exists to make the encode stage ≥3× faster than the autograd forward, and
 a record below that means the fused path regressed into pointlessness.
 
+A third invariant guards the conversation stage (``repro bench-conv``):
+any dict carrying both ``routed_fraction`` and ``extractor_call_reduction``
+(the ``bypass`` section of ``BENCH_conv.json``) must satisfy
+``reduction >= routed_fraction`` — every turn routed away from the
+``subjective`` path is supposed to skip the neural extractor entirely, so
+a reduction below the routed fraction means bypassed turns still hit the
+encoder.
+
 Run directly (``python benchmarks/check_bench.py [paths...]``) or via the
 tier-1 test ``tests/unit/test_bench_guard.py``.
 """
@@ -38,6 +46,7 @@ DEFAULT_ENCODE_FLOOR = 3.0
 __all__ = [
     "iter_speedups",
     "iter_overheads",
+    "iter_bypass_sections",
     "check_record",
     "check_files",
     "main",
@@ -74,6 +83,28 @@ def iter_overheads(node, prefix: str = "", inherited: bool = False) -> Iterator[
     yield from _iter_tagged(node, "overhead", prefix, inherited)
 
 
+def iter_bypass_sections(node, prefix: str = "") -> Iterator[Tuple[str, float, float]]:
+    """Yield ``(json_path, routed_fraction, reduction)`` for bypass sections.
+
+    A bypass section is any dict carrying both ``routed_fraction`` and
+    ``extractor_call_reduction`` as numeric leaves (``BENCH_conv.json``'s
+    extractor-bypass block).
+    """
+    if isinstance(node, dict):
+        fraction = node.get("routed_fraction")
+        reduction = node.get("extractor_call_reduction")
+        if isinstance(fraction, (int, float)) and not isinstance(fraction, bool) and isinstance(
+            reduction, (int, float)
+        ) and not isinstance(reduction, bool):
+            yield prefix or ".", float(fraction), float(reduction)
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from iter_bypass_sections(value, path)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from iter_bypass_sections(value, f"{prefix}[{index}]")
+
+
 def check_record(
     payload,
     floor: float = DEFAULT_FLOOR,
@@ -85,10 +116,12 @@ def check_record(
     Speedups below ``floor`` and overhead fractions above
     ``overhead_ceiling`` both fail; leaves under an ``encode_speedup`` key
     are held to the stricter ``encode_floor``.  (A key naming both tags is
-    checked against both bounds — don't do that.)
+    checked against both bounds — don't do that.)  Bypass sections fail
+    when ``extractor_call_reduction`` falls below ``routed_fraction``.
     """
     speedups = list(iter_speedups(payload))
     overheads = list(iter_overheads(payload))
+    bypasses = list(iter_bypass_sections(payload))
 
     def floor_for(path: str) -> float:
         return encode_floor if "encode_speedup" in path.lower() else floor
@@ -103,7 +136,17 @@ def check_record(
         for path, fraction in overheads
         if fraction > overhead_ceiling
     )
-    return speedups + overheads, failures
+    failures.extend(
+        f"{path}: extractor_call_reduction = {reduction:.4f} "
+        f"(< routed_fraction {fraction:.4f} bypass floor)"
+        for path, fraction, reduction in bypasses
+        if reduction + 1e-9 < fraction
+    )
+    bypass_leaves = [
+        (f"{path}.extractor_call_reduction", reduction)
+        for path, _fraction, reduction in bypasses
+    ]
+    return speedups + overheads + bypass_leaves, failures
 
 
 def check_files(

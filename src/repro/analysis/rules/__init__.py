@@ -6,6 +6,20 @@ depends on: lock discipline (shared state under its lock), determinism
 initialised numerics) and API hygiene (exception- and call-safety).
 """
 
-from repro.analysis.rules import api_hygiene, determinism, inference, locks, numpy_kernels
+from repro.analysis.rules import (
+    api_hygiene,
+    conversation,
+    determinism,
+    inference,
+    locks,
+    numpy_kernels,
+)
 
-__all__ = ["api_hygiene", "determinism", "inference", "locks", "numpy_kernels"]
+__all__ = [
+    "api_hygiene",
+    "conversation",
+    "determinism",
+    "inference",
+    "locks",
+    "numpy_kernels",
+]

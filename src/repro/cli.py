@@ -317,6 +317,43 @@ def _cmd_bench_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_conv(args: argparse.Namespace) -> int:
+    from repro.conversation.bench import run_conv_benchmark, write_conv_record
+
+    payload = run_conv_benchmark(
+        seed=args.seed,
+        entities=args.entities,
+        mean_reviews=args.reviews,
+        sessions=args.sessions,
+        turns=args.turns,
+        train_epochs=args.train_epochs,
+        progress=print,
+    )
+    routes = payload["routes"]["counts"]
+    total = payload["config"]["total_turns"]
+    print(f"{'route':<12}{'turns':>7}{'fraction':>10}")
+    print("-" * 29)
+    for route in ("subjective", "objective", "chitchat"):
+        count = routes[route]
+        print(f"{route:<12}{count:>7}{count / total * 100 if total else 0:>9.1f}%")
+    bypass = payload["bypass"]
+    coref = payload["coref"]
+    print(
+        f"extractor calls: {bypass['extractor_calls_stage_off']} -> "
+        f"{bypass['extractor_calls_stage_on']} "
+        f"({bypass['extractor_call_reduction'] * 100:.1f}% reduction, "
+        f"routed fraction {bypass['routed_fraction'] * 100:.1f}%)"
+    )
+    print(
+        f"coref: {coref['hits']} hits / {coref['misses']} misses "
+        f"({coref['resolution_rate'] * 100:.1f}% resolved); "
+        f"topic shifts: {payload['shifts']['detected']}"
+    )
+    path = write_conv_record(payload, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
         render_human,
@@ -487,6 +524,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_extract.add_argument("--output", help="record path (default: ./BENCH_extract.json)")
     bench_extract.set_defaults(func=_cmd_bench_extract)
+
+    bench_conv = subparsers.add_parser(
+        "bench-conv",
+        help="benchmark the conversation stage: routing bypass, coref, equivalence",
+    )
+    bench_conv.add_argument("--seed", type=int, default=7)
+    bench_conv.add_argument("--entities", type=int, default=36)
+    bench_conv.add_argument("--reviews", type=float, default=8.0)
+    bench_conv.add_argument("--sessions", type=int, default=12)
+    bench_conv.add_argument("--turns", type=int, default=6, help="turns per session")
+    bench_conv.add_argument(
+        "--train-epochs", type=int, default=2, help="tagger warm-up epochs before the runs"
+    )
+    bench_conv.add_argument("--output", help="record path (default: ./BENCH_conv.json)")
+    bench_conv.set_defaults(func=_cmd_bench_conv)
 
     lint = subparsers.add_parser(
         "lint",

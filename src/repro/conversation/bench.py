@@ -1,0 +1,302 @@
+"""Conversation-stage benchmark (``repro bench-conv``).
+
+Drives a seeded mixed workload — subjective refinements, pronoun chains,
+elliptical follow-ups, chitchat, objective slot turns and topic shifts —
+through :class:`~repro.core.session.ConversationSession` twice: once with
+the conversation stage disabled (the pre-stage baseline, every turn hits
+the neural extractor) and once with the stage on.  The record reports:
+
+* the **route distribution** and **coref resolution rate** the stage's
+  metrics counters accumulated;
+* the **extractor bypass**: how many extractor calls each pass made, the
+  routed (non-subjective) fraction, and the resulting call reduction —
+  ``benchmarks/check_bench.py`` enforces ``reduction >= routed_fraction``
+  as a tier-1 floor;
+* two **equivalence witnesses**, asserted before anything is written:
+  a subjective-only pronoun-free workload must rank identically with the
+  stage on and off, and a pronoun-chain transcript must resolve to the
+  same entity (same tags, same ranking) as its explicit rewrite.
+
+Everything is seeded; the only RNG is the generator passed around
+explicitly, so two runs on one machine produce identical route counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["build_conv_workload", "run_conv_benchmark", "write_conv_record"]
+
+
+#: transcript archetypes; ``{city}``/``{alt_city}`` are filled per session.
+_ARCHETYPES = (
+    (
+        "i want a restaurant in {city} with delicious food",
+        "it should also have generous portions",
+        "okay thanks",
+        "what about the parking",
+        "find me a restaurant with a romantic ambiance",
+        "somewhere in {alt_city}",
+    ),
+    (
+        "is it good",
+        "find me a place with friendly staff in {city}",
+        "what about the service",
+        "hello",
+        "a table in {alt_city}",
+        "is it friendly",
+    ),
+    (
+        "what do you recommend",
+        "i want a restaurant in {city} with a beautiful view",
+        "it should be quiet",
+        "sounds promising",
+        "how about the music",
+        "thanks",
+    ),
+)
+
+_CITIES = ("montreal", "lyon", "melbourne", "paris", "tokyo", "trento", "sydney")
+
+
+def build_conv_workload(
+    rng: np.random.Generator, sessions: int, turns: int
+) -> List[List[str]]:
+    """Seeded mixed transcripts: archetypes cycled, cities drawn from ``rng``."""
+    workload: List[List[str]] = []
+    for index in range(sessions):
+        template = _ARCHETYPES[index % len(_ARCHETYPES)]
+        city, alt_city = (
+            _CITIES[i] for i in rng.choice(len(_CITIES), size=2, replace=False)
+        )
+        transcript = [
+            line.format(city=city, alt_city=alt_city) for line in template
+        ]
+        workload.append(transcript[:turns])
+    return workload
+
+
+def _count_extract_calls(saccs) -> Dict[str, int]:
+    """Shadow ``extractor.extract`` with a counting wrapper (restorable)."""
+    counter = {"calls": 0}
+    original = saccs.extractor.extract
+
+    def counting(tokens):
+        counter["calls"] += 1
+        return original(tokens)
+
+    saccs.extractor.extract = counting
+    counter["_original"] = original  # type: ignore[assignment]
+    return counter
+
+
+def _restore_extract(saccs, counter: Dict[str, int]) -> None:
+    saccs.extractor.__dict__.pop("extract", None)
+    counter.pop("_original", None)
+
+
+def _run_workload(saccs, workload: List[List[str]], stage_factory) -> Dict[str, int]:
+    """Play every transcript through fresh sessions; return extract-call count."""
+    from repro.core.session import ConversationSession
+
+    counter = _count_extract_calls(saccs)
+    try:
+        for transcript in workload:
+            session = ConversationSession(saccs, stage=stage_factory())
+            for utterance in transcript:
+                session.say(utterance)
+    finally:
+        calls = counter["calls"]
+        _restore_extract(saccs, counter)
+    return {"calls": calls}
+
+
+def _check_subjective_equivalence(saccs) -> Dict[str, object]:
+    """Witness: pronoun-free subjective turns rank identically stage on/off."""
+    from repro.conversation.stage import ConversationStage
+    from repro.core.session import ConversationSession
+
+    transcript = [
+        "i want a restaurant in montreal with delicious food",
+        "the staff should be friendly",
+        "the prices should be fair",
+    ]
+    baseline = ConversationSession(saccs, stage=None)
+    staged = ConversationSession(
+        saccs, stage=ConversationStage(lexicon=saccs.similarity.lexicon)
+    )
+    for utterance in transcript:
+        baseline.say(utterance)
+        staged.say(utterance)
+    identical = all(
+        off.results == on.results
+        and [t.text for t in off.added_tags] == [t.text for t in on.added_tags]
+        for off, on in zip(baseline.turns, staged.turns)
+    )
+    if not identical:
+        raise RuntimeError(
+            "equivalence witness failed: stage-on rankings diverge from the "
+            "stage-off baseline on a subjective-only pronoun-free workload"
+        )
+    return {"turns": len(transcript), "identical": True}
+
+
+def _check_pronoun_chain(saccs) -> Dict[str, object]:
+    """Witness: a pronoun chain matches its explicit rewrite, tag for tag."""
+    from repro.conversation.stage import ConversationStage
+    from repro.core.session import ConversationSession
+
+    # every generated entity lives in montreal: the opener must return
+    # results so the top hit lands in entity salience for "it" to bind.
+    opener = "find me a restaurant in montreal with a romantic ambiance"
+    lexicon = saccs.similarity.lexicon
+    pronoun = ConversationSession(saccs, stage=ConversationStage(lexicon=lexicon))
+    explicit = ConversationSession(saccs, stage=ConversationStage(lexicon=lexicon))
+    first = pronoun.say(opener)
+    explicit.say(opener)
+    pronoun_turn = pronoun.say("is it charming")
+    explicit_turn = explicit.say("is the restaurant charming")
+    bindings = pronoun.stage.last_analysis.bindings
+    if not bindings:
+        raise RuntimeError("equivalence witness failed: pronoun did not resolve")
+    top_entity = first.results[0][0] if first.results else None
+    if bindings[0].value != top_entity:
+        raise RuntimeError(
+            "equivalence witness failed: pronoun bound to "
+            f"{bindings[0].value!r}, expected the turn-1 top result {top_entity!r}"
+        )
+    if [t.text for t in pronoun_turn.added_tags] != [
+        t.text for t in explicit_turn.added_tags
+    ] or pronoun_turn.results != explicit_turn.results:
+        raise RuntimeError(
+            "equivalence witness failed: pronoun-chain turn diverges from its "
+            "explicit rewrite"
+        )
+    return {"entity": top_entity, "matches_explicit": True}
+
+
+def run_conv_benchmark(
+    seed: int = 7,
+    entities: int = 36,
+    mean_reviews: float = 8.0,
+    sessions: int = 12,
+    turns: int = 6,
+    train_epochs: int = 2,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Benchmark the conversation stage; returns the BENCH_conv payload."""
+    from repro.conversation.classify import ROUTES
+    from repro.conversation.stage import ConversationStage
+    from repro.core.extraction_bench import build_bench_extractor
+    from repro.core.saccs import Saccs, SaccsConfig
+    from repro.data import WorldConfig, build_world
+    from repro.serve.metrics import MetricsRegistry
+    from repro.text import ConceptualSimilarity, restaurant_lexicon
+    from repro.utils.env import environment_info
+    from repro.utils.timing import Timer
+
+    say = progress or (lambda _msg: None)
+    say(f"building world: {entities} entities, ~{mean_reviews} reviews each")
+    world = build_world(
+        WorldConfig.small(seed=seed, num_entities=entities, mean_reviews=mean_reviews)
+    )
+    say(f"training bench extractor ({train_epochs} epochs)")
+    extractor = build_bench_extractor(train_epochs=train_epochs)
+    saccs = Saccs(
+        world.entities,
+        world.reviews,
+        extractor,
+        ConceptualSimilarity(restaurant_lexicon()),
+        SaccsConfig(),
+    )
+
+    rng = np.random.default_rng(seed)
+    workload = build_conv_workload(rng, sessions, turns)
+    total_turns = sum(len(transcript) for transcript in workload)
+
+    say(f"stage-off pass: {sessions} sessions x {turns} turns")
+    with Timer() as off_timer:
+        off = _run_workload(saccs, workload, lambda: None)
+
+    say("stage-on pass")
+    metrics = MetricsRegistry()
+    lexicon = saccs.similarity.lexicon
+    with Timer() as on_timer:
+        on = _run_workload(
+            saccs,
+            workload,
+            lambda: ConversationStage(lexicon=lexicon, metrics=metrics),
+        )
+
+    snapshot = metrics.snapshot()
+    counters = snapshot.get("counters", {})
+    route_counts = {
+        route: int(counters.get(f"conv.route.{route}", 0)) for route in ROUTES
+    }
+    routed = route_counts["chitchat"] + route_counts["objective"]
+    routed_fraction = routed / total_turns if total_turns else 0.0
+    hits = int(counters.get("conv.coref.hit", 0))
+    misses = int(counters.get("conv.coref.miss", 0))
+    resolution_rate = hits / (hits + misses) if hits + misses else 0.0
+    reduction = 1.0 - (on["calls"] / off["calls"]) if off["calls"] else 0.0
+
+    say("checking equivalence witnesses")
+    equivalence = {
+        "subjective_only": _check_subjective_equivalence(saccs),
+        "pronoun_chain": _check_pronoun_chain(saccs),
+    }
+
+    return {
+        "config": {
+            "seed": seed,
+            "entities": entities,
+            "mean_reviews": mean_reviews,
+            "sessions": sessions,
+            "turns_per_session": turns,
+            "train_epochs": train_epochs,
+            "total_turns": total_turns,
+        },
+        "routes": {
+            "counts": route_counts,
+            "fractions": {
+                route: (count / total_turns if total_turns else 0.0)
+                for route, count in route_counts.items()
+            },
+        },
+        "coref": {
+            "hits": hits,
+            "misses": misses,
+            "resolution_rate": resolution_rate,
+        },
+        "shifts": {"detected": int(counters.get("conv.shift.detected", 0))},
+        "bypass": {
+            "extractor_calls_stage_off": off["calls"],
+            "extractor_calls_stage_on": on["calls"],
+            "routed_fraction": routed_fraction,
+            "extractor_call_reduction": reduction,
+        },
+        "seconds": {
+            "stage_off": off_timer.elapsed,
+            "stage_on": on_timer.elapsed,
+        },
+        "equivalence": equivalence,
+        "environment": environment_info(),
+    }
+
+
+def write_conv_record(payload: Dict[str, object], output: Optional[str] = None) -> Path:
+    """Persist the payload as ``BENCH_conv.json`` (same contract as the
+    benchmark harness: ``REPRO_BENCH_OUTPUT_DIR`` overrides the directory)."""
+    if output is not None:
+        path = Path(output)
+    else:
+        out_dir = Path(os.environ.get("REPRO_BENCH_OUTPUT_DIR", "."))
+        path = out_dir / "BENCH_conv.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,133 @@
+"""Elliptical-query rewriting: expand fragments into self-contained queries.
+
+Follow-ups like "what about parking?" carry their real meaning in session
+history — the user is still asking the *same kind* of question, about a new
+aspect.  The rewriter detects the elliptical shapes ("what about X", "how
+about X", "and X?") and expands them into a full sentence by carrying
+forward the active subjective dimension: the most recently mentioned
+opinion whose lexicon topics cover the new aspect's concept (walking the
+taxonomy parent chain), e.g. after "friendly staff" the follow-up "what
+about the service?" becomes "the service is friendly".
+
+If no salient opinion applies to the new aspect, the fragment is reduced to
+an aspect-only query (which the classifier then routes ``objective`` — no
+extractor call).  Self-contained input is **never** touched: rewrite is the
+identity on any utterance that doesn't match an ellipsis shape, which is
+what makes the stage-on / stage-off equivalence hold by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.conversation.classify import QueryClassifier
+from repro.conversation.salience import KIND_OPINION, SalienceStack
+from repro.text.tokenize import detokenize, word_tokenize
+
+__all__ = ["ELLIPSIS_PREFIXES", "RewriteResult", "QueryRewriter"]
+
+#: token prefixes that mark an elliptical follow-up; matched longest-first.
+ELLIPSIS_PREFIXES = (
+    ("and", "what", "about"),
+    ("what", "about"),
+    ("how", "about"),
+    ("and", "how", "about"),
+)
+
+_STRIPPED_LEADING = ("the", "a", "an", "its", "their")
+_STRIPPED_TRAILING = ("?", ".", "!", ",")
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """The (possibly expanded) query the downstream stages actually see."""
+
+    tokens: Tuple[str, ...]
+    text: str
+    #: whether an ellipsis expansion happened (identity otherwise).
+    rewritten: bool
+    #: opinion text carried forward from session history, if any.
+    carried_opinion: Optional[str] = None
+
+
+class QueryRewriter:
+    """Deterministic ellipsis expansion over the salience stack."""
+
+    def __init__(self, classifier: QueryClassifier):
+        self.classifier = classifier
+        self.lexicon = classifier.lexicon
+
+    # ------------------------------------------------------------ taxonomy
+
+    def _concept_chain(self, concept: str) -> List[str]:
+        """``concept`` plus its taxonomy ancestors, nearest first."""
+        chain: List[str] = []
+        seen = 0
+        current: Optional[str] = concept
+        while current is not None and current in self.lexicon.aspects and seen < 16:
+            chain.append(current)
+            current = self.lexicon.aspects[current].parent
+            seen += 1
+        return chain
+
+    def _carry_opinion(
+        self, concept: str, salience: SalienceStack
+    ) -> Optional[str]:
+        """Most recent salient opinion applicable to ``concept`` (or ancestors)."""
+        chain = self._concept_chain(concept)
+        opinion_index = self.lexicon.opinion_index()
+        for entry in salience.entries(KIND_OPINION):
+            opinion = opinion_index.get(entry.value)
+            if opinion is None:
+                continue
+            if any(topic in opinion.topics for topic in chain):
+                return entry.value
+        return None
+
+    # -------------------------------------------------------------- rewrite
+
+    def _match_prefix(self, tokens: Sequence[str]) -> int:
+        """Length of the matched ellipsis prefix (0 when self-contained)."""
+        best = 0
+        for prefix in ELLIPSIS_PREFIXES:
+            if len(prefix) > best and tuple(tokens[: len(prefix)]) == prefix:
+                best = len(prefix)
+        return best
+
+    def rewrite(self, tokens: Sequence[str], salience: SalienceStack) -> RewriteResult:
+        """Expand an elliptical fragment; identity on self-contained input."""
+        tokens = list(tokens)
+        prefix_len = self._match_prefix(tokens)
+        if prefix_len == 0:
+            return RewriteResult(tuple(tokens), detokenize(tokens), rewritten=False)
+        remainder = tokens[prefix_len:]
+        while remainder and remainder[0] in _STRIPPED_LEADING:
+            remainder = remainder[1:]
+        while remainder and remainder[-1] in _STRIPPED_TRAILING:
+            remainder = remainder[:-1]
+        if not remainder:
+            return RewriteResult(tuple(tokens), detokenize(tokens), rewritten=False)
+        if self.classifier.opinion_mentions(remainder):
+            # "what about romantic ambiance?" — already a full subjective
+            # query, the prefix was pure politeness.
+            return RewriteResult(
+                tuple(remainder), detokenize(remainder), rewritten=True
+            )
+        aspects = self.classifier.aspect_mentions(remainder)
+        if not aspects:
+            return RewriteResult(tuple(tokens), detokenize(tokens), rewritten=False)
+        _, surface, concept = aspects[0]
+        carried = self._carry_opinion(concept, salience)
+        if carried is None:
+            # No applicable dimension to carry: aspect-only objective query.
+            return RewriteResult(
+                tuple(remainder), detokenize(remainder), rewritten=True
+            )
+        expanded = ["the", *word_tokenize(surface), "is", *word_tokenize(carried)]
+        return RewriteResult(
+            tuple(expanded),
+            detokenize(expanded),
+            rewritten=True,
+            carried_opinion=carried,
+        )

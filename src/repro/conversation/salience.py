@@ -1,0 +1,93 @@
+"""The salience stack: what "it" can refer to, most-recent-first.
+
+Coreference in this system is deliberately not a learned model — session
+state is small, entities and aspects are mentioned explicitly, and the
+resolver only ever needs "the most recently mentioned X".  The stack holds
+:class:`SalienceEntry` records (entities the ranker surfaced, aspect
+concepts and opinion expressions the user mentioned), deduplicated by
+``(kind, value)`` with the most recent mention on top.  Every operation is
+a plain list manipulation: resolution order is a pure function of the turn
+sequence, never of hashing, timing or RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "KIND_ASPECT",
+    "KIND_ENTITY",
+    "KIND_OPINION",
+    "SalienceEntry",
+    "SalienceStack",
+]
+
+KIND_ENTITY = "entity"
+KIND_ASPECT = "aspect"
+KIND_OPINION = "opinion"
+
+
+@dataclass(frozen=True)
+class SalienceEntry:
+    """One referent candidate: what it is, how to say it, when it surfaced."""
+
+    kind: str
+    #: canonical identity — entity id, aspect concept name, or opinion text.
+    value: str
+    #: surface form a rewrite substitutes in ("the ambiance", "friendly").
+    surface: str
+    #: 1-based turn index of the most recent mention (refreshes on re-push).
+    turn: int
+
+
+class SalienceStack:
+    """Bounded most-recent-first stack of referent candidates."""
+
+    def __init__(self, limit: int = 16):
+        if limit <= 0:
+            raise ValueError("salience limit must be positive")
+        self.limit = limit
+        self._entries: List[SalienceEntry] = []
+
+    def push(self, kind: str, value: str, surface: str, turn: int) -> None:
+        """Record a mention; re-mentions move to the top with the new turn."""
+        self._entries = [
+            entry
+            for entry in self._entries
+            if not (entry.kind == kind and entry.value == value)
+        ]
+        self._entries.insert(0, SalienceEntry(kind, value, surface, turn))
+        del self._entries[self.limit :]
+
+    # ------------------------------------------------------------- resolution
+
+    def resolve(self, kinds: Sequence[str]) -> Optional[SalienceEntry]:
+        """The most recent entry whose kind is in ``kinds`` (priority = recency)."""
+        for entry in self._entries:
+            if entry.kind in kinds:
+                return entry
+        return None
+
+    def most_recent(self, kind: str) -> Optional[SalienceEntry]:
+        return self.resolve((kind,))
+
+    def entries(self, kind: Optional[str] = None) -> List[SalienceEntry]:
+        """Entries most-recent-first, optionally filtered to one kind."""
+        if kind is None:
+            return list(self._entries)
+        return [entry for entry in self._entries if entry.kind == kind]
+
+    # --------------------------------------------------------------- clearing
+
+    def drop_kinds(self, kinds: Sequence[str]) -> int:
+        """Remove every entry of the given kinds (topic-shift reset)."""
+        before = len(self._entries)
+        self._entries = [entry for entry in self._entries if entry.kind not in kinds]
+        return before - len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,104 @@
+"""Topic-shift detection: when to stop folding history into ranking.
+
+Sessions accumulate subjective tags across turns — that is the whole point
+of conversational search — but blind accumulation poisons ranking the
+moment the user changes their mind wholesale ("actually, find me a quiet
+spot with fair prices" after a whole dialogue about food).  The detector
+compares the aspect concepts engaged by the incoming turn against the
+concepts accumulated so far, expanding both sides through the taxonomy
+parent chain so *pizza* overlaps *food*.
+
+The trigger is deliberately conservative: a shift is declared only when the
+turn is a full re-anchoring query (it carries a search marker **and** an
+opinion **and** an aspect — i.e. it could open a session on its own) whose
+expanded concepts share nothing with the accumulated context.  Ordinary
+refinements ("it should also have a nice staff") never have the full-query
+shape, so they can never reset state.  The taxonomy root (``entity``) is
+excluded from expansion — every aspect reaches it, so including it would
+make overlap unconditionally non-empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
+
+from repro.conversation.classify import (
+    KNOWN_CITIES,
+    KNOWN_CUISINES,
+    SEARCH_MARKERS,
+    QueryClassifier,
+)
+from repro.text.lexicon import DomainLexicon
+
+__all__ = ["ShiftDecision", "TopicShiftDetector"]
+
+
+@dataclass(frozen=True)
+class ShiftDecision:
+    """Outcome of assessing one turn against accumulated context."""
+
+    shift: bool
+    #: ancestor-expanded concepts the incoming turn engages.
+    turn_concepts: FrozenSet[str]
+    #: expanded concepts shared with the accumulated context.
+    overlap: FrozenSet[str]
+
+
+class TopicShiftDetector:
+    """Subjective-concept overlap detector over the aspect taxonomy."""
+
+    def __init__(self, lexicon: DomainLexicon, root: str = "entity"):
+        self.lexicon = lexicon
+        self.root = root
+        #: concept → frozenset of {concept + ancestors}, root excluded.
+        self._chains: Dict[str, FrozenSet[str]] = {}
+        for name in sorted(lexicon.aspects):
+            chain: Set[str] = set()
+            current: Optional[str] = name
+            while current is not None and current in lexicon.aspects:
+                if current == root or current in chain:
+                    break
+                chain.add(current)
+                current = lexicon.aspects[current].parent
+            self._chains[name] = frozenset(chain)
+
+    def expand(self, concepts: Sequence[str]) -> FrozenSet[str]:
+        """Union of ancestor chains for ``concepts`` (taxonomy root excluded)."""
+        expanded: Set[str] = set()
+        for concept in concepts:
+            expanded |= self._chains.get(concept, frozenset())
+        return frozenset(expanded)
+
+    def _turn_concepts(self, classifier: QueryClassifier, tokens: Sequence[str]) -> Tuple[str, ...]:
+        """Aspect concepts the turn engages: explicit mentions + opinion topics."""
+        concepts: Set[str] = set()
+        for _, _, concept in classifier.aspect_mentions(tokens):
+            concepts.add(concept)
+        opinion_index = self.lexicon.opinion_index()
+        for _, opinion_text in classifier.opinion_mentions(tokens):
+            opinion = opinion_index.get(opinion_text)
+            if opinion is not None:
+                concepts.update(opinion.topics)
+        return tuple(sorted(concepts))
+
+    def assess(
+        self,
+        classifier: QueryClassifier,
+        tokens: Sequence[str],
+        context_concepts: Sequence[str],
+    ) -> ShiftDecision:
+        """Decide whether ``tokens`` re-anchors the session on a new topic."""
+        turn_concepts = self.expand(self._turn_concepts(classifier, tokens))
+        context = self.expand(context_concepts)
+        overlap = turn_concepts & context
+        if not context:
+            return ShiftDecision(False, turn_concepts, overlap)
+        token_set = set(tokens)
+        full_query = (
+            bool(token_set & SEARCH_MARKERS or token_set & KNOWN_CUISINES or token_set & KNOWN_CITIES)
+            and bool(classifier.opinion_mentions(tokens))
+            and bool(classifier.aspect_mentions(tokens))
+        )
+        shift = full_query and not overlap
+        return ShiftDecision(shift, turn_concepts, overlap)

@@ -2,56 +2,31 @@
 
 SACCS assumes "the underlying dialog system is already equipped with intent
 recognition and slot filling" (Section 3); this module provides that
-substrate.  Intent detection and slot filling are pattern/lexicon-based —
-deliberately simple, since the paper treats them as solved inputs — and the
-search API filters the entity catalog by the *objective* slots only,
-returning results ordered by star rating (what Yelp would do), oblivious to
-any subjective phrases in the utterance.
+substrate.  Utterance understanding itself lives in
+:mod:`repro.conversation.classify` — :class:`IntentRecognizer` is the same
+:class:`~repro.conversation.classify.QueryClassifier` under its historical
+name, so intent, slots and the subjectivity route all come from one code
+path.  The search API filters the entity catalog by the *objective* slots
+only, returning results ordered by star rating (what Yelp would do),
+oblivious to any subjective phrases in the utterance.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
+from repro.conversation.classify import ParsedUtterance, QueryClassifier
 from repro.data.schema import Entity
-from repro.text.tokenize import word_tokenize
 
 __all__ = ["ParsedUtterance", "IntentRecognizer", "SearchApi", "DialogSystem"]
 
-_SEARCH_MARKERS = {
-    "restaurant", "restaurants", "eat", "dinner", "lunch", "place", "table",
-    "food", "reservation", "hotel", "stay",
-}
-_KNOWN_CUISINES = {"italian", "french", "japanese", "mexican", "indian", "chinese", "thai"}
-_KNOWN_CITIES = {"montreal", "lyon", "melbourne", "paris", "tokyo", "trento", "sydney"}
 
+class IntentRecognizer(QueryClassifier):
+    """Historical name for :class:`~repro.conversation.classify.QueryClassifier`.
 
-@dataclass
-class ParsedUtterance:
-    """Intent + objective slots extracted from a user utterance."""
-
-    text: str
-    tokens: List[str]
-    intent: str
-    slots: Dict[str, str] = field(default_factory=dict)
-
-
-class IntentRecognizer:
-    """Keyword-based intent recognition + slot filling."""
-
-    def parse(self, utterance: str) -> ParsedUtterance:
-        """Detect the intent and fill cuisine/city slots."""
-        tokens = word_tokenize(utterance)
-        token_set = set(tokens)
-        intent = "searchRestaurant" if token_set & _SEARCH_MARKERS else "unknown"
-        slots: Dict[str, str] = {}
-        for token in tokens:
-            if token in _KNOWN_CUISINES and "cuisine" not in slots:
-                slots["cuisine"] = token
-            if token in _KNOWN_CITIES and "city" not in slots:
-                slots["city"] = token
-        return ParsedUtterance(text=utterance, tokens=tokens, intent=intent, slots=slots)
+    Kept as a distinct class (not a bare alias) so ``isinstance`` checks and
+    reprs in older call sites keep reading naturally.
+    """
 
 
 class SearchApi:

@@ -146,6 +146,9 @@ class SayResponse:
             "removed_tags": [tag.text for tag in self.turn.removed_tags],
             "slots": dict(self.turn.slots),
             "results": [[entity_id, score] for entity_id, score in self.turn.results],
+            "resolved": self.turn.resolved,
+            "route": self.turn.route,
+            "shift": self.turn.shift,
             "state": self.state_summary,
             "generation": self.generation,
         }

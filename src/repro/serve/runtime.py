@@ -35,6 +35,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.conversation.classify import ROUTE_SUBJECTIVE
+from repro.conversation.stage import ConversationStage
 from repro.core.filtering import filter_and_rank
 from repro.core.saccs import IndexingRound, Saccs
 from repro.core.session import ConversationSession
@@ -297,6 +299,24 @@ class SaccsRuntime:
                     parsed = self.saccs.dialog.recognizer.parse(utterance)
                     api_entities = self.saccs.dialog.search(utterance)
                     api_ids = tuple(entity.entity_id for entity in api_entities)
+                with obs.span("conv.classify") as sp:
+                    route = parsed.route
+                    sp.set(route=route)
+                self.metrics.incr(f"conv.route.{route}")
+                if route != ROUTE_SUBJECTIVE:
+                    # No subjective content to extract: chitchat and
+                    # objective turns never reach the encoder — the
+                    # slot-filtered API ranking is the whole answer.
+                    ranked = [(entity_id, 0.0) for entity_id in api_ids]
+                    if top_k is not None:
+                        ranked = ranked[:top_k]
+                    return SearchResponse(
+                        results=tuple(ranked),
+                        generation=self.generation,
+                        cached=False,
+                        batch_size=0,
+                        tags=(),
+                    )
                 pending = _Pending(
                     None, top_k, api_ids, utterance=utterance, tokens=tuple(parsed.tokens)
                 )
@@ -306,7 +326,14 @@ class SaccsRuntime:
 
     def _new_session(self) -> ConversationSession:
         try:
-            return ConversationSession(self.saccs, top_k=self.config.session_top_k)
+            # Sessions share the runtime's metrics registry so per-turn
+            # routing and coref decisions land on /metrics as conv.* series.
+            stage = ConversationStage(
+                lexicon=self.saccs.similarity.lexicon, metrics=self.metrics
+            )
+            return ConversationSession(
+                self.saccs, top_k=self.config.session_top_k, stage=stage
+            )
         except TypeError as exc:
             raise ProtocolError(
                 "sessions need a neural TagExtractor; this runtime was "

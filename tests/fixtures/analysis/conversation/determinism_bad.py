@@ -1,0 +1,12 @@
+"""Seeded violations for the conversation-determinism rule."""
+
+import random
+import time
+
+
+def salience_timestamp():
+    return time.time()
+
+
+def jitter_route():
+    return random.random()

@@ -1,0 +1,12 @@
+"""Clean near-misses: injected clock and explicit generator are allowed."""
+
+import numpy as np
+
+
+def salience_turn(clock):
+    return clock()
+
+
+def seeded_workload(seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 10)

@@ -289,6 +289,54 @@ class TestSessionsOverHttp:
             assert fresh["added_tags"] == []
             assert len(runtime.sessions) == 2
 
+    def test_say_payload_exposes_route_and_resolution(self, neural_saccs):
+        runtime = SaccsRuntime(neural_saccs, ServeConfig(cache_size=64))
+        with SaccsHttpServer(runtime) as server:
+            opener = _post(
+                f"{server.url}/session/carol/say", {"utterance": self.UTTERANCES[0]}
+            )
+            pronoun = _post(
+                f"{server.url}/session/carol/say", {"utterance": "it should be quiet"}
+            )
+            chitchat = _post(
+                f"{server.url}/session/carol/say", {"utterance": "thanks, goodbye"}
+            )
+        assert opener["route"] == "subjective" and opener["shift"] is False
+        assert opener["resolved"] == self.UTTERANCES[0].lower()
+        assert pronoun["route"] == "subjective"
+        assert pronoun["resolved"] == "the restaurant should be quiet"
+        assert chitchat["route"] == "chitchat" and chitchat["added_tags"] == []
+        assert "route=chitchat" in chitchat["state"]
+
+    def test_metrics_expose_conv_route_counters(self, neural_saccs):
+        runtime = SaccsRuntime(neural_saccs, ServeConfig(cache_size=64))
+        with SaccsHttpServer(runtime) as server:
+            _post(f"{server.url}/session/dave/say", {"utterance": self.UTTERANCES[0]})
+            _post(f"{server.url}/session/dave/say", {"utterance": "hello there"})
+            _post(
+                f"{server.url}/session/dave/say",
+                {"utterance": "a table for two in montreal"},
+            )
+            snapshot = _get(f"{server.url}/metrics")
+        counters = snapshot["counters"]
+        assert counters["conv.route.subjective"] >= 1
+        assert counters["conv.route.chitchat"] >= 1
+        assert counters["conv.route.objective"] >= 1
+
+    def test_objective_utterance_search_bypasses_extraction(self, neural_saccs):
+        runtime = SaccsRuntime(neural_saccs, ServeConfig(cache_size=64))
+        with SaccsHttpServer(runtime) as server:
+            response = _post(
+                f"{server.url}/search", {"utterance": "a table in montreal", "top_k": 3}
+            )
+            snapshot = _get(f"{server.url}/metrics")
+        assert response["tags"] == []
+        assert all(score == 0.0 for _, score in response["results"])
+        assert len(response["results"]) == 3
+        assert snapshot["counters"]["conv.route.objective"] == 1
+        # the extractor never ran, so no extraction latency was recorded.
+        assert "latency.extract_seconds" not in snapshot["histograms"]
+
     def test_utterance_search_matches_answer(self, neural_saccs):
         utterance = "find me a restaurant in montreal with delicious food"
         expected = neural_saccs.answer(utterance)

@@ -109,6 +109,98 @@ class TestConversationSession:
         assert len(session.turns) == 2
 
 
+class TestConversationStageIntegration:
+    """The conversation stage in front of the real neural extractor."""
+
+    OPENER = "I want a restaurant in montreal with delicious food"
+
+    def test_pronoun_chain_matches_explicit_rewrite(self, saccs):
+        """"it should ..." ranks identically to naming the referent outright."""
+        pronoun = ConversationSession(saccs, top_k=5)
+        explicit = ConversationSession(saccs, top_k=5)
+        pronoun.say(self.OPENER)
+        explicit.say(self.OPENER)
+        via_pronoun = pronoun.say("it should also have a friendly staff")
+        via_name = explicit.say("the restaurant should also have a friendly staff")
+        assert via_pronoun.resolved == via_name.utterance
+        assert [t.text for t in via_pronoun.added_tags] == [
+            t.text for t in via_name.added_tags
+        ]
+        assert via_pronoun.results == via_name.results
+
+    def test_stage_off_equivalence_on_pronoun_free_subjective_turns(self, saccs):
+        """Stage-on must be a no-op when there is nothing to resolve/route."""
+        transcript = [
+            "a restaurant in montreal with delicious food",
+            "also a friendly staff",
+            "and a quiet ambiance",
+        ]
+        staged = ConversationSession(saccs, top_k=5)
+        baseline = ConversationSession(saccs, top_k=5, stage=None)
+        for utterance in transcript:
+            on = staged.say(utterance)
+            off = baseline.say(utterance)
+            assert [t.text for t in on.added_tags] == [t.text for t in off.added_tags]
+            assert on.results == off.results
+        assert [t.text for t in staged.active_tags] == [
+            t.text for t in baseline.active_tags
+        ]
+
+    def test_non_subjective_turns_bypass_the_extractor(self, saccs):
+        session = ConversationSession(saccs, top_k=5)
+        session.say(self.OPENER)
+        calls = []
+        original = saccs.extractor.extract
+        saccs.extractor.extract = lambda tokens: (calls.append(1) or original(tokens))
+        try:
+            chitchat = session.say("thanks a lot, goodbye")
+            objective = session.say("a table for two in montreal")
+        finally:
+            saccs.extractor.__dict__.pop("extract", None)
+        assert not calls, "chitchat/objective turns must never reach the extractor"
+        assert chitchat.route == "chitchat" and chitchat.added_tags == []
+        assert objective.route == "objective" and objective.added_tags == []
+        assert session.slots.get("city") == "montreal"
+        assert objective.results  # still re-ranks from accumulated state
+
+    def test_topic_shift_clears_subjective_state_keeps_slots(self, saccs):
+        session = ConversationSession(saccs, top_k=5)
+        first = session.say(self.OPENER)
+        if not first.added_tags:
+            pytest.skip("tagger did not extract the opener on this seed")
+        shifted = session.say("find me a place in lyon with a romantic ambiance")
+        assert shifted.shift is True
+        assert all(tag not in session.active_tags for tag in first.added_tags)
+        assert session.slots.get("city") == "lyon"
+
+    def test_turn_records_resolution_and_state_summary_shows_it(self, saccs):
+        session = ConversationSession(saccs, top_k=5)
+        session.say(self.OPENER)
+        turn = session.say("it should be quiet")
+        assert turn.utterance == "it should be quiet"
+        assert turn.resolved == "the restaurant should be quiet"
+        assert turn.route == "subjective"
+        summary = session.state_summary()
+        assert "turn:" in summary
+        assert "raw=it should be quiet" in summary
+        assert "resolved=the restaurant should be quiet" in summary
+        assert "route=subjective" in summary
+
+    def test_retraction_is_token_bounded_with_live_state(self, saccs):
+        session = ConversationSession(saccs, top_k=5)
+        session.say(self.OPENER)
+        price_tag = SubjectiveTag.from_text("fair price")
+        session.active_tags.append(price_tag)
+        # "overpriced" contains "price" as a substring but not as a token:
+        # the retraction marker must not fire on it.
+        kept = session.say("never mind the overpriced options")
+        assert kept.removed_tags == []
+        assert price_tag in session.active_tags
+        dropped = session.say("the price doesn't matter")
+        assert price_tag in dropped.removed_tags
+        assert price_tag not in session.active_tags
+
+
 class TestSessionEdgeCases:
     def test_retract_never_added_tag(self, saccs):
         """Retracting an aspect that was never active is a harmless no-op."""

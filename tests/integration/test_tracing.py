@@ -142,6 +142,40 @@ class TestSpanTree:
             assert item["duration_seconds"] >= 0.0
             assert item["end"] >= item["start"]
 
+    def test_conv_classify_is_a_search_child_after_parse(self, traced_search):
+        """The routing decision traces between parsing and the batch hand-off."""
+        _, _, payload = traced_search
+        spans = payload["trace"]["spans"]
+        first = {}
+        for item in spans:
+            first.setdefault(item["name"], item)
+        classify = first["conv.classify"]
+        assert classify["parent_id"] == first["serve.search"]["span_id"]
+        assert classify["attributes"]["route"] == "subjective"
+        assert first["serve.parse"]["span_id"] < classify["span_id"]
+        assert classify["span_id"] < first["serve.enqueue_wait"]["span_id"]
+
+    def test_bypassed_route_traces_without_batch_stages(self, traced_server):
+        """An objective utterance's trace stops at conv.classify: no encoder."""
+        server, runtime = traced_server
+        _post(f"{server.url}/search", {"utterance": "a table in montreal"})
+        listing = _get(f"{server.url}/debug/traces")
+        bypassed = None
+        for summary in listing["recent"]:
+            if summary["name"] != "serve.search":
+                continue
+            payload = _get(f"{server.url}/debug/trace/{summary['trace_id']}")
+            names = [item["name"] for item in payload["trace"]["spans"]]
+            if "conv.classify" in names and "serve.batch" not in names:
+                bypassed = payload
+                break
+        assert bypassed is not None, "bypassed search did not leave a trace"
+        names = [item["name"] for item in bypassed["trace"]["spans"]]
+        assert "serve.parse" in names
+        for stage in EXPECTED_STAGES:
+            assert stage not in names
+        assert runtime.metrics_snapshot()["counters"]["conv.route.objective"] >= 1
+
     def test_tree_endpoint_nests_children_under_the_root(self, traced_search):
         _, _, payload = traced_search
         tree = payload["tree"]

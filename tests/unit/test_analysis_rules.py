@@ -65,6 +65,28 @@ def test_determinism_family_near_misses_are_clean():
     assert fixture_findings("core/determinism_ok.py") == []
 
 
+def test_conversation_determinism_seeded_violations():
+    # The repo-wide global-rng rule also fires on line 12; the dedicated
+    # conversation rule flags both the clock read and the RNG draw.
+    assert fixture_findings("conversation/determinism_bad.py") == [
+        ("conversation-determinism", 8),
+        ("conversation-determinism", 12),
+        ("global-rng", 12),
+    ]
+
+
+def test_conversation_determinism_near_misses_are_clean():
+    assert fixture_findings("conversation/determinism_ok.py") == []
+
+
+def test_conversation_determinism_scope_is_package_anchored():
+    rule = get_rule("conversation-determinism")
+    assert rule.applies_to("src/repro/conversation/stage.py")
+    assert rule.applies_to("src/repro/conversation/bench.py")
+    assert not rule.applies_to("src/repro/core/session.py")
+    assert not rule.applies_to("src/repro/serve/runtime.py")
+
+
 def test_wallclock_rule_fires_only_inside_ranking_scope():
     assert fixture_findings("ir/ranking_bad.py") == [("wallclock-in-ranking", 7)]
     assert fixture_findings("ir/ranking_ok.py") == []

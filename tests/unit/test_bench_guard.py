@@ -12,6 +12,7 @@ sys.path.insert(0, str(REPO_ROOT))
 from benchmarks.check_bench import (  # noqa: E402
     check_files,
     check_record,
+    iter_bypass_sections,
     iter_overheads,
     iter_speedups,
 )
@@ -91,6 +92,35 @@ class TestOverheadGuard:
         assert any("overhead ceiling" in message for message in failures)
 
 
+class TestBypassGuard:
+    """The conversation-stage extractor-bypass floor from BENCH_conv.json."""
+
+    def test_finds_bypass_sections_at_any_depth(self):
+        payload = {
+            "bypass": {"routed_fraction": 0.4, "extractor_call_reduction": 0.45},
+            "noise": {"routed_fraction": "n/a"},
+        }
+        assert list(iter_bypass_sections(payload)) == [("bypass", 0.4, 0.45)]
+
+    def test_reduction_below_routed_fraction_fails(self):
+        _, failures = check_record(
+            {"bypass": {"routed_fraction": 0.5, "extractor_call_reduction": 0.3}}
+        )
+        assert len(failures) == 1
+        assert "bypass floor" in failures[0]
+
+    def test_reduction_meeting_routed_fraction_passes(self):
+        found, failures = check_record(
+            {"bypass": {"routed_fraction": 0.5, "extractor_call_reduction": 0.5}}
+        )
+        assert not failures
+        assert ("bypass.extractor_call_reduction", 0.5) in found
+
+    def test_partial_section_is_ignored(self):
+        found, failures = check_record({"bypass": {"routed_fraction": 0.5}})
+        assert not found and not failures
+
+
 class TestCommittedRecords:
     """The tier-1 wiring: every BENCH_*.json in the repo root is guarded."""
 
@@ -109,3 +139,18 @@ class TestCommittedRecords:
         assert payload["equivalent"] is True
         assert payload["summary"]["speedup"]["bucketed_parallel"] >= 3.0
         assert payload["summary"]["warm_cache_hit_ratio"] == pytest.approx(1.0)
+
+    def test_conv_record_meets_the_bar(self):
+        path = REPO_ROOT / "BENCH_conv.json"
+        if not path.exists():
+            pytest.skip("BENCH_conv.json not generated yet (run repro bench-conv)")
+        payload = json.loads(path.read_text())
+        bypass = payload["bypass"]
+        assert bypass["extractor_call_reduction"] >= bypass["routed_fraction"] - 1e-9
+        assert bypass["routed_fraction"] > 0.0
+        assert payload["equivalence"]["subjective_only"]["identical"] is True
+        assert payload["equivalence"]["pronoun_chain"]["matches_explicit"] is True
+        assert 0.0 < payload["coref"]["resolution_rate"] <= 1.0
+        counts = payload["routes"]["counts"]
+        assert set(counts) == {"chitchat", "objective", "subjective"}
+        assert sum(counts.values()) == payload["config"]["total_turns"]

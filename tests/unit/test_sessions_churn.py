@@ -1,0 +1,139 @@
+"""Session-store churn under conversation state: eviction must not leak.
+
+The conversation stage gives sessions real cross-turn state (the coref
+salience stack), which raises the stakes for the store's eviction paths:
+an evicted-and-recreated session must come back *empty* (no stale
+referents), and concurrent sessions must never observe each other's
+salience.  These tests drive :class:`repro.serve.sessions.SessionStore`
+with a fake clock and lightweight stage-holding sessions — no neural
+extractor needed.
+"""
+
+import threading
+from types import SimpleNamespace
+
+from repro.conversation import KIND_ENTITY, ConversationStage
+from repro.serve.sessions import SessionStore
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+def _stage_session_factory():
+    """A minimal session object carrying live conversation state."""
+    return SimpleNamespace(stage=ConversationStage(), turns=[])
+
+
+def _play_turn(session, utterance, entity_id):
+    analysis = session.stage.analyze(utterance)
+    session.stage.observe_results([(entity_id, 1.0)])
+    session.turns.append(analysis)
+    return analysis
+
+
+class TestTtlEvictionMidDialog:
+    def test_expired_session_loses_its_salience(self):
+        clock = FakeClock()
+        store = SessionStore(
+            factory=_stage_session_factory, ttl_seconds=60.0, clock=clock
+        )
+        with store.checkout("alice") as session:
+            _play_turn(session, "i want a restaurant with delicious food", "e1")
+            assert len(session.stage.salience) > 0
+        clock.advance(61.0)
+        # mid-dialog expiry: the next access creates a *fresh* session, so
+        # the dangling "it" from the expired dialog cannot resolve.
+        with store.checkout("alice") as session:
+            assert session.turns == []
+            analysis = _play_turn(session, "is it romantic", "e2")
+            assert not analysis.bindings and analysis.coref_misses == 1
+
+    def test_survives_within_ttl(self):
+        clock = FakeClock()
+        store = SessionStore(
+            factory=_stage_session_factory, ttl_seconds=60.0, clock=clock
+        )
+        with store.checkout("alice") as session:
+            _play_turn(session, "i want a restaurant with delicious food", "e1")
+        clock.advance(59.0)
+        with store.checkout("alice") as session:
+            assert len(session.turns) == 1
+            analysis = _play_turn(session, "is it romantic", "e1")
+            assert analysis.bindings and analysis.bindings[0].value == "e1"
+
+
+class TestLruEvictionOfSalienceState:
+    def test_lru_session_with_salience_is_evicted_and_recreated_clean(self):
+        clock = FakeClock()
+        store = SessionStore(
+            factory=_stage_session_factory,
+            ttl_seconds=3600.0,
+            max_sessions=2,
+            clock=clock,
+        )
+        with store.checkout("old") as session:
+            _play_turn(session, "i want a restaurant with delicious food", "e-old")
+        clock.advance(1.0)
+        with store.checkout("fresh") as session:
+            _play_turn(session, "find me a place with friendly staff", "e-new")
+        clock.advance(1.0)
+        with store.checkout("third"):
+            pass  # capacity hit: evicts "old", the least recently used
+        assert "old" not in store
+        assert "fresh" in store and "third" in store
+        # the recreated "old" must not remember e-old.
+        with store.checkout("old") as session:
+            assert session.stage.salience.most_recent(KIND_ENTITY) is None
+
+
+class TestConcurrentCheckoutIsolation:
+    def test_two_sessions_never_share_context(self):
+        store = SessionStore(factory=_stage_session_factory, ttl_seconds=3600.0)
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def converse(session_id, entity_id, utterance):
+            try:
+                barrier.wait(timeout=5.0)
+                for _ in range(25):
+                    with store.checkout(session_id) as session:
+                        _play_turn(session, utterance, entity_id)
+                        analysis = _play_turn(session, "is it romantic", entity_id)
+                        assert analysis.bindings, "pronoun must resolve in-session"
+                        bound = analysis.bindings[0]
+                        if bound.kind == KIND_ENTITY:
+                            assert bound.value == entity_id, (
+                                f"session {session_id} bound foreign entity "
+                                f"{bound.value}"
+                            )
+            except BaseException as exc:  # surfaced on the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=converse,
+                args=("left", "e-left", "i want a restaurant with delicious food"),
+            ),
+            threading.Thread(
+                target=converse,
+                args=("right", "e-right", "find me a place with friendly staff"),
+            ),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors, errors
+        # both sessions kept exactly their own entity in salience.
+        with store.checkout("left") as session:
+            assert session.stage.salience.most_recent(KIND_ENTITY).value == "e-left"
+        with store.checkout("right") as session:
+            assert session.stage.salience.most_recent(KIND_ENTITY).value == "e-right"
