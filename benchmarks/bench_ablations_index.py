@@ -12,17 +12,14 @@ indexing/ranking effects are isolated from tagger quality):
 * **similarity thresholds** — a θ_index sweep (Section 7 flags dynamic
   thresholds as future work).
 
-Plus a **backend microbenchmark**: the vectorized (matrix-backed) index
-vs the scalar reference oracle on index build + ``lookup_similar``
-throughput, recorded to ``BENCH_index.json``.
+Plus the **index benchmark** (shared with ``repro bench-index``): scalar
+oracle vs vectorized backend, sharded lookup cells vs the dense legacy
+combine, snapshot warm-start timing, and search availability during a
+background rebuild — recorded to ``BENCH_index.json``.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List
-
-import numpy as np
 import pytest
 
 from benchmarks.common import (
@@ -31,10 +28,8 @@ from benchmarks.common import (
     bench_queries,
     bench_reviews,
     print_table,
-    write_bench_record,
 )
 from repro.core import OracleExtractor, Saccs, SaccsConfig, SubjectiveTag
-from repro.core.index import SubjectiveTagIndex
 from repro.data import (
     CatalogConfig,
     CrowdSimulator,
@@ -119,117 +114,51 @@ def test_ablation_intersection_mode(benchmark, setup):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
-def _index_bench_workload():
-    """A synthetic corpus sized by ``REPRO_BENCH_INDEX_*`` (see common.py)."""
-    sizes = bench_index_workload()
-    rng = np.random.default_rng(11)
-    lexicon = restaurant_lexicon()
-    aspects = sorted(lexicon.aspect_surface_index())
-    opinions = sorted(op.text for op in lexicon.opinions)
-    pool = [SubjectiveTag(a, o) for a in aspects for o in opinions]
-    index_tags = [
-        pool[i] for i in rng.choice(len(pool), size=sizes["index_tags"], replace=False)
-    ]
-    occurrences = [pool[i] for i in rng.choice(len(pool), size=sizes["review_tags"])]
-    # spread the occurrences over the entities, a few reviews each
-    per_entity = max(1, sizes["review_tags"] // sizes["entities"])
-    reviews_per_entity = max(1, per_entity // 2)
-    corpus = []
-    cursor = 0
-    for e in range(sizes["entities"]):
-        mine = occurrences[cursor : cursor + per_entity]
-        cursor += per_entity
-        reviews = [list(mine[r::reviews_per_entity]) for r in range(reviews_per_entity)]
-        corpus.append((f"entity-{e:04d}", [r for r in reviews if r]))
-    # half known index tags (cached matrix columns), half unseen variants
-    queries = []
-    for i in range(sizes["queries"]):
-        base = index_tags[int(rng.integers(len(index_tags)))]
-        if i % 2 == 0:
-            queries.append(base)
-        else:
-            queries.append(SubjectiveTag(base.aspect, f"really {base.opinion}"))
-    return sizes, corpus, index_tags, queries
-
-
-def _time_index_backend(backend, corpus, index_tags, queries, theta_filter):
-    # fresh similarity per backend so neither inherits the other's caches
-    similarity = ConceptualSimilarity(restaurant_lexicon())
-    index = SubjectiveTagIndex(similarity, backend=backend)
-    start = time.perf_counter()
-    for entity_id, reviews in corpus:
-        index.register_entity(entity_id, reviews)
-    index.build(index_tags)
-    build_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    lookups = [index.lookup_similar(q, theta_filter=theta_filter) for q in queries]
-    lookup_seconds = time.perf_counter() - start
-    return index, lookups, build_seconds, lookup_seconds
-
-
 def test_scalar_vs_vectorized_index(benchmark):
-    """Matrix-backed index vs the scalar oracle: ≥5× faster, ≤1e-9 apart."""
-    sizes, corpus, index_tags, queries = _index_bench_workload()
-    theta_filter = 0.6
-    # vectorized first: any process-level warm-up (memoized identity vectors,
-    # numpy init) then benefits the scalar side, keeping the speedup honest.
-    vec_index, vec_lookups, vec_build, vec_lookup = _time_index_backend(
-        "vectorized", corpus, index_tags, queries, theta_filter
-    )
-    # the scalar oracle re-times the same queries; cap them so the reference
-    # run stays tractable and extrapolate to the full query count.
-    scalar_queries = queries[: max(1, len(queries) // 4)]
-    scale = len(queries) / len(scalar_queries)
-    sca_index, sca_lookups, sca_build, sca_lookup_raw = _time_index_backend(
-        "scalar", corpus, index_tags, scalar_queries, theta_filter
-    )
-    sca_lookup = sca_lookup_raw * scale
+    """The full index bench: backends, shard cells, snapshot, availability.
 
-    max_delta = 0.0
-    for tag in index_tags:
-        vec_map, sca_map = vec_index.lookup(tag), sca_index.lookup(tag)
-        assert set(vec_map) == set(sca_map)
-        for entity_id, degree in sca_map.items():
-            max_delta = max(max_delta, abs(vec_map[entity_id] - degree))
-    for vec_map, sca_map in zip(vec_lookups, sca_lookups):
-        assert set(vec_map) == set(sca_map)
-        for entity_id, value in sca_map.items():
-            max_delta = max(max_delta, abs(vec_map[entity_id] - value))
+    Delegates to :mod:`repro.core.bench_index` (what ``repro bench-index``
+    runs) so the pytest bench and the CLI produce the same
+    ``BENCH_index.json`` record shape, then asserts the committed-record
+    bars: scalar→vectorized ≥5× with ≤1e-9 drift, sharded lookups
+    byte-identical to the single-shard oracle with shard8 ≥1.5× over the
+    dense legacy combine, snapshot round-trip rankings identical, and
+    search p99 during a background rebuild ≤3× idle.
+    """
+    from repro.core.bench_index import run_index_benchmark, write_index_record
 
-    speedup_build = sca_build / vec_build
-    speedup_lookup = sca_lookup / vec_lookup
-    speedup_total = (sca_build + sca_lookup) / (vec_build + vec_lookup)
+    sizes = bench_index_workload()
+    payload = run_index_benchmark(
+        entities=sizes["entities"],
+        review_tags=sizes["review_tags"],
+        index_tags=sizes["index_tags"],
+        queries=sizes["queries"],
+        progress=print,
+    )
+    speedup = payload["speedup"]
     print_table(
         "Backend: scalar oracle vs vectorized kernel",
-        ["Backend", "build (s)", f"{sizes['queries']} lookups (s)", "total (s)"],
+        ["build", "lookup", "total"],
+        [[f"{speedup['build']:.1f}x", f"{speedup['lookup']:.1f}x", f"{speedup['total']:.1f}x"]],
+    )
+    cells = payload["shards"]["cells"]
+    print_table(
+        "Sharded lookups vs dense legacy combine",
+        ["cell", "lookup (s)", "vs dense"],
         [
-            ["scalar", f"{sca_build:.3f}", f"{sca_lookup:.3f}", f"{sca_build + sca_lookup:.3f}"],
-            ["vectorized", f"{vec_build:.3f}", f"{vec_lookup:.3f}", f"{vec_build + vec_lookup:.3f}"],
-            ["speedup", f"{speedup_build:.1f}x", f"{speedup_lookup:.1f}x", f"{speedup_total:.1f}x"],
+            [name, f"{cell['lookup_seconds']:.3f}", f"{cell['lookup_speedup_vs_dense']:.2f}x"]
+            for name, cell in cells.items()
         ],
     )
-    record_path = write_bench_record(
-        "index",
-        {
-            "workload": sizes,
-            "theta_filter": theta_filter,
-            "scalar": {
-                "build_seconds": sca_build,
-                "lookup_seconds": sca_lookup,
-                "lookup_queries_timed": len(scalar_queries),
-            },
-            "vectorized": {"build_seconds": vec_build, "lookup_seconds": vec_lookup},
-            "speedup": {
-                "build": speedup_build,
-                "lookup": speedup_lookup,
-                "total": speedup_total,
-            },
-            "max_abs_delta": max_delta,
-        },
-    )
+    record_path = write_index_record(payload)
     print(f"wrote {record_path}")
-    assert max_delta <= 1e-9
-    assert speedup_total >= 5.0
+    assert payload["max_abs_delta"] <= 1e-9
+    assert speedup["total"] >= 5.0
+    assert payload["shards"]["identical_to_oracle"] is True
+    assert cells["shard8"]["lookup_speedup_vs_dense"] >= 1.5
+    assert payload["snapshot"]["rankings_identical"] is True
+    assert payload["availability"]["availability_ratio"] <= 3.0
+    assert payload["availability"]["generation_monotonic"] is True
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

@@ -19,6 +19,11 @@ floor (``DEFAULT_ENCODE_FLOOR``, 3.0): the tape-free fused inference path
 exists to make the encode stage ≥3× faster than the autograd forward, and
 a record below that means the fused path regressed into pointlessness.
 
+Speedup leaves whose path contains ``shard8`` carry their own floor
+(``DEFAULT_SHARD_FLOOR``, 1.5): the sharded index (``repro bench-index``)
+must beat the dense legacy combine by ≥1.5× at eight shards, or the
+sharding machinery is pure overhead.
+
 A third invariant guards the conversation stage (``repro bench-conv``):
 any dict carrying both ``routed_fraction`` and ``extractor_call_reduction``
 (the ``bypass`` section of ``BENCH_conv.json``) must satisfy
@@ -26,6 +31,12 @@ any dict carrying both ``routed_fraction`` and ``extractor_call_reduction``
 ``subjective`` path is supposed to skip the neural extractor entirely, so
 a reduction below the routed fraction means bypassed turns still hit the
 encoder.
+
+A fourth invariant guards reindex availability: numeric leaves under an
+``availability_ratio`` key (p99 during a background rebuild over idle p99,
+from ``BENCH_index.json``) must stay at or below
+``DEFAULT_AVAILABILITY_CEILING`` (3.0) — the whole point of the
+double-buffered swap is that searches barely notice a rebuild.
 
 Run directly (``python benchmarks/check_bench.py [paths...]``) or via the
 tier-1 test ``tests/unit/test_bench_guard.py``.
@@ -42,10 +53,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_FLOOR = 1.0
 DEFAULT_OVERHEAD_CEILING = 0.05
 DEFAULT_ENCODE_FLOOR = 3.0
+DEFAULT_SHARD_FLOOR = 1.5
+DEFAULT_AVAILABILITY_CEILING = 3.0
 
 __all__ = [
     "iter_speedups",
     "iter_overheads",
+    "iter_availability_ratios",
     "iter_bypass_sections",
     "check_record",
     "check_files",
@@ -83,6 +97,13 @@ def iter_overheads(node, prefix: str = "", inherited: bool = False) -> Iterator[
     yield from _iter_tagged(node, "overhead", prefix, inherited)
 
 
+def iter_availability_ratios(
+    node, prefix: str = "", inherited: bool = False
+) -> Iterator[Tuple[str, float]]:
+    """Yield ``(json_path, ratio)`` for every availability-ratio leaf."""
+    yield from _iter_tagged(node, "availability_ratio", prefix, inherited)
+
+
 def iter_bypass_sections(node, prefix: str = "") -> Iterator[Tuple[str, float, float]]:
     """Yield ``(json_path, routed_fraction, reduction)`` for bypass sections.
 
@@ -110,21 +131,31 @@ def check_record(
     floor: float = DEFAULT_FLOOR,
     overhead_ceiling: float = DEFAULT_OVERHEAD_CEILING,
     encode_floor: float = DEFAULT_ENCODE_FLOOR,
+    shard_floor: float = DEFAULT_SHARD_FLOOR,
+    availability_ceiling: float = DEFAULT_AVAILABILITY_CEILING,
 ) -> Tuple[List[Tuple[str, float]], List[str]]:
     """All guarded leaves in a record plus failure messages for violations.
 
     Speedups below ``floor`` and overhead fractions above
     ``overhead_ceiling`` both fail; leaves under an ``encode_speedup`` key
-    are held to the stricter ``encode_floor``.  (A key naming both tags is
-    checked against both bounds — don't do that.)  Bypass sections fail
-    when ``extractor_call_reduction`` falls below ``routed_fraction``.
+    are held to the stricter ``encode_floor`` and leaves under a ``shard8``
+    key to ``shard_floor``.  (A key naming two tags is checked against the
+    first matching bound — don't do that.)  Bypass sections fail when
+    ``extractor_call_reduction`` falls below ``routed_fraction``;
+    availability ratios fail above ``availability_ceiling``.
     """
     speedups = list(iter_speedups(payload))
     overheads = list(iter_overheads(payload))
+    availability = list(iter_availability_ratios(payload))
     bypasses = list(iter_bypass_sections(payload))
 
     def floor_for(path: str) -> float:
-        return encode_floor if "encode_speedup" in path.lower() else floor
+        lowered = path.lower()
+        if "encode_speedup" in lowered:
+            return encode_floor
+        if "shard8" in lowered:
+            return shard_floor
+        return floor
 
     failures = [
         f"{path} = {ratio:.4f} (< {floor_for(path)} speedup floor)"
@@ -137,6 +168,11 @@ def check_record(
         if fraction > overhead_ceiling
     )
     failures.extend(
+        f"{path} = {ratio:.4f} (> {availability_ceiling} availability ceiling)"
+        for path, ratio in availability
+        if ratio > availability_ceiling
+    )
+    failures.extend(
         f"{path}: extractor_call_reduction = {reduction:.4f} "
         f"(< routed_fraction {fraction:.4f} bypass floor)"
         for path, fraction, reduction in bypasses
@@ -146,7 +182,7 @@ def check_record(
         (f"{path}.extractor_call_reduction", reduction)
         for path, _fraction, reduction in bypasses
     ]
-    return speedups + overheads + bypass_leaves, failures
+    return speedups + overheads + availability + bypass_leaves, failures
 
 
 def check_files(

@@ -106,7 +106,9 @@ def write_bench_record(name: str, payload: Mapping[str, object]) -> Path:
     path = out_dir / f"BENCH_{name}.json"
     record = dict(payload)
     record.setdefault("environment", environment_info())
-    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
     return path
 
 

@@ -49,11 +49,14 @@ def write_baseline(path: str, findings: Iterable[Finding]) -> int:
         for f in sorted(set(findings))
     ]
     payload = {"version": BASELINE_VERSION, "findings": entries}
-    parent = os.path.dirname(os.path.abspath(path))
+    target = os.path.abspath(path)
+    parent = os.path.dirname(target)
     os.makedirs(parent, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
+    tmp = target + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    os.replace(tmp, target)
     return len(entries)
 
 

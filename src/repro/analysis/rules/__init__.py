@@ -1,9 +1,10 @@
 """Rule families — importing this package registers every rule.
 
-Four families, each encoding an invariant the oracle-equivalence story
+Five families, each encoding an invariant the oracle-equivalence story
 depends on: lock discipline (shared state under its lock), determinism
 (no entropy in ranking paths), numpy-kernel hygiene (portable, fully
-initialised numerics) and API hygiene (exception- and call-safety).
+initialised numerics), API hygiene (exception- and call-safety) and
+persistence (durable writes are atomic).
 """
 
 from repro.analysis.rules import (
@@ -13,6 +14,7 @@ from repro.analysis.rules import (
     inference,
     locks,
     numpy_kernels,
+    persistence,
 )
 
 __all__ = [
@@ -22,4 +24,5 @@ __all__ = [
     "inference",
     "locks",
     "numpy_kernels",
+    "persistence",
 ]

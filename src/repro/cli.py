@@ -121,8 +121,24 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _build_serving_saccs(args: argparse.Namespace):
-    """A built oracle-extractor facade from a snapshot or a generated world."""
+    """A built oracle-extractor facade from a snapshot or a generated world.
+
+    Returns ``(saccs, snapshot_note)``: ``snapshot_note`` is
+    ``(snapshot_sha256, load_seconds)`` when the index warm-started from
+    ``--snapshot-dir``, else ``None`` (cold build — which also writes a
+    fresh snapshot to the directory when one was requested).
+    """
+    import json
+    import time
+    from pathlib import Path
+
     from repro.core import OracleExtractor, Saccs, SaccsConfig, SubjectiveTag
+    from repro.core.snapshot import (
+        MANIFEST_NAME,
+        SnapshotError,
+        load_snapshot,
+        save_snapshot,
+    )
     from repro.data import WorldConfig, build_world, load_world
     from repro.text import ConceptualSimilarity, restaurant_lexicon
 
@@ -134,22 +150,52 @@ def _build_serving_saccs(args: argparse.Namespace):
                 seed=args.seed, num_entities=args.entities, mean_reviews=args.reviews
             )
         )
+    similarity = ConceptualSimilarity(restaurant_lexicon())
+    shards = getattr(args, "shards", 1)
+    lookup_workers = getattr(args, "lookup_workers", 0)
     saccs = Saccs(
         world.entities,
         world.reviews,
         OracleExtractor(),
-        ConceptualSimilarity(restaurant_lexicon()),
-        SaccsConfig(encoder_precision=getattr(args, "encoder_precision", "float64")),
+        similarity,
+        SaccsConfig(
+            encoder_precision=getattr(args, "encoder_precision", "float64"),
+            index_shards=shards,
+            index_lookup_workers=lookup_workers,
+        ),
     )
+    snapshot_dir = getattr(args, "snapshot_dir", None)
+    if snapshot_dir:
+        started = time.perf_counter()
+        try:
+            index = load_snapshot(snapshot_dir, similarity, lookup_workers=lookup_workers)
+        except SnapshotError as exc:
+            print(f"snapshot unusable ({exc}); cold-building the index")
+        else:
+            saccs.adopt_index(index)
+            load_seconds = time.perf_counter() - started
+            manifest = json.loads(
+                (Path(snapshot_dir) / MANIFEST_NAME).read_text(encoding="utf-8")
+            )
+            print(
+                f"warm-started {len(index)} index tags from {snapshot_dir} "
+                f"in {load_seconds:.2f}s"
+            )
+            return saccs, (str(manifest.get("snapshot_sha256")), load_seconds)
     saccs.build_index([SubjectiveTag.from_text(d.name) for d in world.dimensions])
-    return saccs
+    if snapshot_dir:
+        manifest = save_snapshot(saccs.index, snapshot_dir)
+        print(
+            f"wrote snapshot {manifest['snapshot_sha256'][:12]}… to {snapshot_dir}"
+        )
+    return saccs, None
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs import TraceStore, Tracer, get_logger
     from repro.serve import SaccsHttpServer, SaccsRuntime, ServeConfig
 
-    saccs = _build_serving_saccs(args)
+    saccs, snapshot_note = _build_serving_saccs(args)
     config = ServeConfig(
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
@@ -168,10 +214,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             sample_every=args.trace_sample,
         )
     runtime = SaccsRuntime(saccs, config, tracer=tracer)
+    if snapshot_note is not None:
+        runtime.note_snapshot_load(*snapshot_note)
     server = SaccsHttpServer(runtime, host=args.host, port=args.port)
     print(
         f"serving {len(saccs.index)} index tags over {len(saccs.entities)} entities "
-        f"at {server.url}"
+        f"({runtime.shards} shard{'s' if runtime.shards != 1 else ''}) at {server.url}"
     )
     print("  POST /search        POST /session/<id>/say   POST /admin/reindex")
     print("  GET  /healthz       GET  /metrics")
@@ -317,6 +365,59 @@ def _cmd_bench_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_index(args: argparse.Namespace) -> int:
+    from repro.core.bench_index import run_index_benchmark, write_index_record
+
+    payload = run_index_benchmark(
+        seed=args.seed,
+        entities=args.entities,
+        review_tags=args.review_tags,
+        index_tags=args.index_tags,
+        queries=args.queries,
+        shard_counts=tuple(args.shards),
+        lookup_workers=args.lookup_workers,
+        availability_samples=args.availability_samples,
+        rebuild_rounds=args.rebuild_rounds,
+        progress=print,
+    )
+    speedup = payload["speedup"]
+    print(
+        f"backend: vectorized over scalar {speedup['total']:.1f}x total "
+        f"(build {speedup['build']:.1f}x, lookup {speedup['lookup']:.1f}x, "
+        f"max |delta| {payload['max_abs_delta']:.2e})"
+    )
+    shards = payload["shards"]
+    header = f"{'cell':<10}{'build s':>9}{'lookup s':>10}{'vs dense':>10}"
+    print(header)
+    print("-" * len(header))
+    dense_seconds = shards["baseline"]["lookup_seconds"]
+    print(f"{'dense':<10}{'-':>9}{dense_seconds:>10.3f}{'1.00x':>10}")
+    for name, cell in shards["cells"].items():
+        print(
+            f"{name:<10}{cell['build_seconds']:>9.3f}{cell['lookup_seconds']:>10.3f}"
+            f"{cell['lookup_speedup_vs_dense']:>9.2f}x"
+        )
+    print(f"sharded lookups byte-identical to oracle: {shards['identical_to_oracle']}")
+    snapshot = payload["snapshot"]
+    print(
+        f"snapshot: save {snapshot['save_seconds']:.2f}s, "
+        f"load {snapshot['load_seconds']:.2f}s vs cold build "
+        f"{snapshot['cold_build_seconds']:.2f}s "
+        f"({snapshot['speedup']['warm_start']:.1f}x warm start; "
+        f"rankings identical: {snapshot['rankings_identical']})"
+    )
+    availability = payload["availability"]
+    print(
+        f"availability: p99 {availability['rebuild_p99_ms']:.1f}ms during rebuild vs "
+        f"{availability['idle_p99_ms']:.1f}ms idle "
+        f"(ratio {availability['availability_ratio']:.2f}, "
+        f"generation monotonic: {availability['generation_monotonic']})"
+    )
+    path = write_index_record(payload, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_bench_conv(args: argparse.Namespace) -> int:
     from repro.conversation.bench import run_conv_benchmark, write_conv_record
 
@@ -447,6 +548,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=4096)
     serve.add_argument("--session-ttl", type=float, default=1800.0)
     serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="entity shards for the tag index (stable sha256 routing; "
+        "lookups stay byte-identical to 1 shard)",
+    )
+    serve.add_argument(
+        "--lookup-workers",
+        type=int,
+        default=0,
+        help="threads fanning a lookup over the shards (0 = in-line)",
+    )
+    serve.add_argument(
+        "--snapshot-dir",
+        help="warm-start the index from this snapshot directory; on a "
+        "missing or corrupt snapshot, cold-build and write a fresh one",
+    )
+    serve.add_argument(
         "--encoder-precision",
         choices=("float64", "float32", "int8"),
         default="float64",
@@ -524,6 +643,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_extract.add_argument("--output", help="record path (default: ./BENCH_extract.json)")
     bench_extract.set_defaults(func=_cmd_bench_extract)
+
+    bench_index = subparsers.add_parser(
+        "bench-index",
+        help="benchmark the tag index: sharding, snapshots, rebuild availability",
+    )
+    bench_index.add_argument("--seed", type=int, default=11)
+    bench_index.add_argument("--entities", type=int, default=200)
+    bench_index.add_argument(
+        "--review-tags", type=int, default=2000, help="review-tag occurrences"
+    )
+    bench_index.add_argument("--index-tags", type=int, default=500)
+    bench_index.add_argument("--queries", type=int, default=1000)
+    bench_index.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 4, 8], help="shard-count cells"
+    )
+    bench_index.add_argument(
+        "--lookup-workers", type=int, default=0, help="shard fan-out threads (0 = in-line)"
+    )
+    bench_index.add_argument(
+        "--availability-samples",
+        type=int,
+        default=300,
+        help="closed-loop searches per availability phase",
+    )
+    bench_index.add_argument(
+        "--rebuild-rounds", type=int, default=3, help="background rebuilds to race"
+    )
+    bench_index.add_argument("--output", help="record path (default: ./BENCH_index.json)")
+    bench_index.set_defaults(func=_cmd_bench_index)
 
     bench_conv = subparsers.add_parser(
         "bench-conv",

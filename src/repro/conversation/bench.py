@@ -298,5 +298,7 @@ def write_conv_record(payload: Dict[str, object], output: Optional[str] = None) 
         out_dir = Path(os.environ.get("REPRO_BENCH_OUTPUT_DIR", "."))
         path = out_dir / "BENCH_conv.json"
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
     return path

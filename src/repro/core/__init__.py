@@ -37,6 +37,15 @@ from repro.core.heuristics import (
     WordDistanceHeuristic,
 )
 from repro.core.index import IndexEntry, SubjectiveTagIndex
+from repro.core.shards import ShardedTagIndex, shard_of
+from repro.core.snapshot import (
+    SnapshotError,
+    SnapshotIntegrityError,
+    SnapshotNotFound,
+    SnapshotVersionError,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.core.pairing import (
     PairingClassifier,
     PairingInstance,
@@ -46,7 +55,7 @@ from repro.core.pairing import (
     instances_from_examples,
     select_attention_heads,
 )
-from repro.core.saccs import IndexingRound, Saccs, SaccsConfig
+from repro.core.saccs import IndexingRound, PreparedIndex, Saccs, SaccsConfig
 from repro.core.session import ConversationSession, Turn
 from repro.core.tagger import SequenceTagger
 from repro.core.tags import SubjectiveTag
@@ -82,6 +91,7 @@ __all__ = [
     "PairingInstance",
     "PairingPipeline",
     "ParsedUtterance",
+    "PreparedIndex",
     "Saccs",
     "SaccsConfig",
     "SearchApi",
@@ -89,6 +99,11 @@ __all__ = [
     "SimBaseline",
     "SpanF1",
     "SubjectiveTag",
+    "ShardedTagIndex",
+    "SnapshotError",
+    "SnapshotIntegrityError",
+    "SnapshotNotFound",
+    "SnapshotVersionError",
     "SubjectiveTagIndex",
     "TagExtractor",
     "TaggerTrainer",
@@ -107,6 +122,9 @@ __all__ = [
     "load_index",
     "personalized_rank",
     "save_index",
+    "save_snapshot",
+    "load_snapshot",
+    "shard_of",
     "select_attention_heads",
     "span_f1",
 ]

@@ -312,5 +312,7 @@ def write_extract_record(payload: Dict[str, object], output: Optional[str] = Non
         out_dir = Path(os.environ.get("REPRO_BENCH_OUTPUT_DIR", "."))
         path = out_dir / "BENCH_extract.json"
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
     return path

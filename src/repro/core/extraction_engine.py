@@ -171,6 +171,11 @@ class ExtractionEngine:
         self.cache: Optional[ExtractionCache] = (
             ExtractionCache(self.config.cache_capacity) if self.config.cache_enabled else None
         )
+        #: serialises tagger access: the neural tagger's eval/train flip and
+        #: fused-weight scratch buffers are shared state, and a background
+        #: index rebuild extracts the corpus concurrently with serving
+        #: micro-batches.  Never held while any other lock is taken.
+        self._tagger_lock = threading.Lock()
 
     def bind_metrics(self, metrics) -> None:
         """Attach a counter sink (e.g. the serving ``MetricsRegistry``)."""
@@ -194,6 +199,10 @@ class ExtractionEngine:
         cap = self.config.batch_sentences
         tagger = self.extractor.tagger
         precision = self.config.encoder_precision
+        with self._tagger_lock:
+            return self._tag_sentences_locked(order, labels, cap, tagger, precision, sentences)
+
+    def _tag_sentences_locked(self, order, labels, cap, tagger, precision, sentences):
         # Hold eval mode across the whole bucket loop: each predict() on a
         # train-mode tagger would otherwise restore train mode on exit,
         # which bumps the weights version and forces a fresh fused-weight

@@ -27,6 +27,7 @@ Two backends compute the same numbers:
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -37,7 +38,29 @@ from repro.obs import tracing as obs
 from repro.text.similarity import ConceptualSimilarity, tag_pair
 from repro.text.vocab import TagVocabulary
 
-__all__ = ["IndexEntry", "SubjectiveTagIndex"]
+__all__ = ["IndexEntry", "SubjectiveTagIndex", "theta_from_peak"]
+
+#: ``similarity_block`` keeps each query row bitwise independent of its
+#: batch only up to ``_ROW_STATIONARY_MAX_ROWS`` (64) rows; lookup score
+#: rows are computed in chunks of this size so the same query tag always
+#: lands on the same bits, whatever rode along in the batch — and whatever
+#: shard layout is answering (see :mod:`repro.core.shards`).
+_QUERY_ROW_CHUNK = 64
+
+#: LRU bound on cached per-query score rows.
+_QUERY_ROW_CACHE_MAX = 4096
+
+
+def theta_from_peak(theta_index: float, dynamic_margin: float, peak: float) -> float:
+    """Dynamic-mode threshold from a tag's peak review-tag similarity.
+
+    Shared between :class:`SubjectiveTagIndex` and the sharded wrapper so a
+    threshold computed from the global peak (max over shard peaks) is the
+    same float the single-shard oracle derives.
+    """
+    if peak <= 0.0:
+        return theta_index
+    return float(min(max(theta_index, peak - dynamic_margin), 0.95))
 
 
 @dataclass
@@ -90,6 +113,11 @@ class SubjectiveTagIndex:
         self.theta_mode = theta_mode
         self.dynamic_margin = dynamic_margin
         self.backend = backend
+        #: When this index is one shard of a :class:`~repro.core.shards.\
+        #: ShardedTagIndex`, degree normalisation must use the *corpus-wide*
+        #: review maximum, not the shard-local one; the wrapper keeps this in
+        #: sync.  ``None`` means "derive from my own entities" (unsharded).
+        self.shared_review_max: Optional[int] = None
         #: every distinct tag seen at registration or indexing time, interned
         #: to an integer id with kernel features resolved once.
         self.vocab = TagVocabulary(similarity)
@@ -107,6 +135,7 @@ class SubjectiveTagIndex:
         self._occ_ids = np.zeros(0, dtype=np.intp)
         self._review_indptr = np.zeros(1, dtype=np.intp)
         self._review_entity = np.zeros(0, dtype=np.intp)
+        self._occ_review = np.zeros(0, dtype=np.intp)
         self._review_counts_vec = np.zeros(0)
         #: similarity rows: one per index tag, each covering the vocabulary
         #: prefix that existed when the row was computed (rectangularised
@@ -117,6 +146,10 @@ class SubjectiveTagIndex:
         self._sim_cache: Optional[np.ndarray] = None
         self._degree_cache: Optional[np.ndarray] = None
         self._matrix_stale = False
+        #: row-stationary (query tag × index tags) score rows, LRU-bounded;
+        #: invalidated whenever the index tag list grows.
+        self._query_row_cache: "OrderedDict[SubjectiveTag, np.ndarray]" = OrderedDict()
+        self._query_rows_warm = False
 
     # ------------------------------------------------------------- population
 
@@ -137,12 +170,17 @@ class SubjectiveTagIndex:
         self._occ_dirty = True
         self._threshold_cache.clear()
 
-    def add_tag(self, tag: SubjectiveTag) -> None:
-        """Add an index tag and compute its entity mappings (Eq. 1)."""
+    def add_tag(self, tag: SubjectiveTag, _theta: Optional[float] = None) -> None:
+        """Add an index tag and compute its entity mappings (Eq. 1).
+
+        ``_theta`` lets the sharded wrapper pin the similarity threshold it
+        derived from the *global* corpus (dynamic mode peaks are corpus-wide
+        statistics a single shard cannot see).
+        """
         if tag in self._entries:
             return
         if self.backend == "scalar":
-            theta = self._threshold_for(tag)
+            theta = self._threshold_for(tag) if _theta is None else _theta
             mapping: Dict[str, float] = {}
             for entity_id in self._entity_tags:
                 degree = self._degree_of_truth(tag, entity_id, theta)
@@ -154,7 +192,7 @@ class SubjectiveTagIndex:
         self._ensure_matrix()
         self.vocab.intern(tag)
         row = self.vocab.similarity_rows([tag])[0]
-        theta = self._threshold_for(tag, _row=row)
+        theta = self._threshold_for(tag, _row=row) if _theta is None else _theta
         degrees = self._degrees_from_row(row, theta)
         self._entries[tag] = {
             entity_id: float(degree)
@@ -165,6 +203,9 @@ class SubjectiveTagIndex:
         self._degree_rows.append(degrees)
         self._sim_cache = None
         self._degree_cache = None
+        # Cached query rows span the old index tag list; drop them.
+        self._query_row_cache.clear()
+        self._query_rows_warm = False
 
     def _threshold_for(self, tag: SubjectiveTag, _row: Optional[np.ndarray] = None) -> float:
         """Per-tag similarity threshold (static, or semantics-adaptive).
@@ -179,32 +220,40 @@ class SubjectiveTagIndex:
         cached = self._threshold_cache.get(tag)
         if cached is not None:
             return cached
+        # Generic tags see many high-similarity neighbours; push the
+        # threshold up toward (max - margin) so only close matches count.
+        theta = theta_from_peak(
+            self.theta_index, self.dynamic_margin, self.peak_similarity(tag, _row=_row)
+        )
+        self._threshold_cache[tag] = theta
+        return theta
+
+    def peak_similarity(self, tag: SubjectiveTag, _row: Optional[np.ndarray] = None) -> float:
+        """Max positive similarity between ``tag`` and any distinct review tag.
+
+        Returns 0.0 when the corpus is empty or nothing scores above zero.
+        The sharded wrapper takes the max of the per-shard peaks — shards
+        partition the occurrences, so that max equals the global peak.
+        """
         self._ensure_occ()
         distinct = np.unique(self._occ_ids)
         if distinct.size == 0:
-            theta = self.theta_index
+            return 0.0
+        if _row is not None:
+            sims = _row[distinct]
+        elif self.backend == "vectorized":
+            sims = self.vocab.similarity_rows([tag])[0][distinct]
         else:
-            if _row is not None:
-                sims = _row[distinct]
-            elif self.backend == "vectorized":
-                sims = self.vocab.similarity_rows([tag])[0][distinct]
-            else:
-                sims = np.array(
-                    [
-                        self.similarity.tag_similarity(tag.pair, tag_pair(self.vocab.tag_of(i)))
-                        for i in distinct
-                    ]
-                )
-            positive = sims[sims > 0.0]
-            if positive.size == 0:
-                theta = self.theta_index
-            else:
-                # Generic tags see many high-similarity neighbours; push the
-                # threshold up toward (max - margin) so only close matches count.
-                peak = float(positive.max())
-                theta = float(min(max(self.theta_index, peak - self.dynamic_margin), 0.95))
-        self._threshold_cache[tag] = theta
-        return theta
+            sims = np.array(
+                [
+                    self.similarity.tag_similarity(tag.pair, tag_pair(self.vocab.tag_of(i)))
+                    for i in distinct
+                ]
+            )
+        positive = sims[sims > 0.0]
+        if positive.size == 0:
+            return 0.0
+        return float(positive.max())
 
     def build(self, tags: Iterable[SubjectiveTag]) -> "SubjectiveTagIndex":
         """Add many tags (one indexing round)."""
@@ -233,9 +282,14 @@ class SubjectiveTagIndex:
             review_count = self._entity_review_counts[entity_id]
         degree = math.log(review_count + 1) / len(matched) * sum(matched)
         if self.normalize_degrees:
-            max_reviews = max(self._entity_review_counts.values(), default=1)
-            degree /= math.log(max_reviews + 1)
+            degree /= math.log(self._max_reviews() + 1)
         return degree
+
+    def _max_reviews(self) -> int:
+        """|R| of the best-reviewed entity (corpus-wide when sharded)."""
+        if self.shared_review_max is not None:
+            return self.shared_review_max
+        return max(self._entity_review_counts.values(), default=1)
 
     # ------------------------------------------------------- matrix plumbing
 
@@ -255,6 +309,11 @@ class SubjectiveTagIndex:
         self._occ_ids = np.asarray(occ, dtype=np.intp)
         self._review_indptr = np.asarray(indptr, dtype=np.intp)
         self._review_entity = np.asarray(review_entity, dtype=np.intp)
+        # Review index of each occurrence: the segment ids bincount needs for
+        # per-review reductions that do not depend on the global layout.
+        self._occ_review = np.repeat(
+            np.arange(len(review_entity), dtype=np.intp), np.diff(self._review_indptr)
+        )
         self._review_counts_vec = np.asarray(
             [float(self._entity_review_counts.get(eid, 0)) for eid in self._entity_order]
         )
@@ -335,14 +394,25 @@ class SubjectiveTagIndex:
         return self._degree_cache
 
     def _degrees_from_row(self, row: np.ndarray, theta: float) -> np.ndarray:
-        """Eq. 1 for every entity at once, given a tag's vocab similarity row."""
+        """Eq. 1 for every entity at once, given a tag's vocab similarity row.
+
+        Per-review reductions go through :func:`np.bincount` over the
+        occurrence→review segment ids rather than differences of global
+        prefix sums: bincount accumulates each bin independently in input
+        order, so every per-review (and hence per-entity) float is bitwise
+        identical no matter which other reviews share the arrays.  That is
+        the property that lets an entity shard reproduce the single-shard
+        oracle exactly.
+        """
         scores = row[self._occ_ids]
         mask = scores > theta
-        hit_cum = np.concatenate(([0], np.cumsum(mask)))
-        sum_cum = np.concatenate(([0.0], np.cumsum(np.where(mask, scores, 0.0))))
-        start, stop = self._review_indptr[:-1], self._review_indptr[1:]
-        per_review_hits = hit_cum[stop] - hit_cum[start]
-        per_review_sums = sum_cum[stop] - sum_cum[start]
+        n_reviews = len(self._review_entity)
+        per_review_hits = np.bincount(
+            self._occ_review, weights=mask.astype(float), minlength=n_reviews
+        )
+        per_review_sums = np.bincount(
+            self._occ_review, weights=np.where(mask, scores, 0.0), minlength=n_reviews
+        )
         n_entities = len(self._entity_order)
         hits = np.bincount(self._review_entity, weights=per_review_hits, minlength=n_entities)
         sums = np.bincount(self._review_entity, weights=per_review_sums, minlength=n_entities)
@@ -356,8 +426,7 @@ class SubjectiveTagIndex:
         nonzero = hits > 0
         degrees[nonzero] = np.log(counts[nonzero] + 1.0) / hits[nonzero] * sums[nonzero]
         if self.normalize_degrees:
-            max_reviews = max(self._entity_review_counts.values(), default=1)
-            denom = math.log(max_reviews + 1)
+            denom = math.log(self._max_reviews() + 1)
             if denom > 0.0:
                 degrees /= denom
         return degrees
@@ -398,11 +467,139 @@ class SubjectiveTagIndex:
         self._sim_cache = None
         self._degree_cache = None
 
+    # ------------------------------------------------------------- persistence
+
+    def snapshot_arrays(self) -> Dict[str, np.ndarray]:
+        """Materialised matrix state for :mod:`repro.core.snapshot`.
+
+        Forces every lazy structure first so a load never has to re-run a
+        similarity kernel.  Tags are stored as parallel aspect/opinion
+        string arrays — round-tripping through ``SubjectiveTag.text`` would
+        mis-split multi-word aspects.
+        """
+        self._ensure_occ()
+        self._ensure_matrix()
+        self._sync_sim_cols()
+        vocab_tags = self.vocab.tags
+        index_tags = list(self._entries)
+        return {
+            "vocab_aspects": np.asarray([t.aspect for t in vocab_tags], dtype=np.str_),
+            "vocab_opinions": np.asarray([t.opinion for t in vocab_tags], dtype=np.str_),
+            "index_aspects": np.asarray([t.aspect for t in index_tags], dtype=np.str_),
+            "index_opinions": np.asarray([t.opinion for t in index_tags], dtype=np.str_),
+            "entity_order": np.asarray(self._entity_order, dtype=np.str_),
+            "entity_review_counts": np.asarray(
+                [self._entity_review_counts.get(eid, 0) for eid in self._entity_order],
+                dtype=np.int64,
+            ),
+            "occ_ids": np.asarray(self._occ_ids, dtype=np.int64),
+            "review_indptr": np.asarray(self._review_indptr, dtype=np.int64),
+            "review_entity": np.asarray(self._review_entity, dtype=np.int64),
+            "sims": self._sim_matrix().astype(np.float64, copy=False),
+            "degrees": self._degree_matrix().astype(np.float64, copy=False),
+        }
+
+    @classmethod
+    def from_snapshot_arrays(
+        cls,
+        similarity: ConceptualSimilarity,
+        arrays: Mapping[str, np.ndarray],
+        *,
+        theta_index: float = 0.70,
+        normalize_degrees: bool = True,
+        review_count_mode: str = "matched",
+        theta_mode: str = "static",
+        dynamic_margin: float = 0.08,
+        shared_review_max: Optional[int] = None,
+    ) -> "SubjectiveTagIndex":
+        """Rebuild a vectorized index from :meth:`snapshot_arrays` output.
+
+        The similarity and degree matrices are installed verbatim (bitwise —
+        no kernel re-runs), and the per-review tag lists are reconstructed
+        from the CSR occurrence arrays so later indexing rounds still work.
+        """
+        index = cls(
+            similarity,
+            theta_index=theta_index,
+            normalize_degrees=normalize_degrees,
+            review_count_mode=review_count_mode,
+            theta_mode=theta_mode,
+            dynamic_margin=dynamic_margin,
+            backend="vectorized",
+        )
+        index.shared_review_max = None if shared_review_max is None else int(shared_review_max)
+        vocab_tags = [
+            SubjectiveTag(aspect=str(aspect), opinion=str(opinion))
+            for aspect, opinion in zip(
+                arrays["vocab_aspects"].tolist(), arrays["vocab_opinions"].tolist()
+            )
+        ]
+        index.vocab.intern_many(vocab_tags)
+        index_tags = [
+            SubjectiveTag(aspect=str(aspect), opinion=str(opinion))
+            for aspect, opinion in zip(
+                arrays["index_aspects"].tolist(), arrays["index_opinions"].tolist()
+            )
+        ]
+        index.vocab.intern_many(index_tags)
+        entity_order = [str(eid) for eid in arrays["entity_order"].tolist()]
+        counts = [int(count) for count in arrays["entity_review_counts"].tolist()]
+        occ_ids = np.asarray(arrays["occ_ids"], dtype=np.intp)
+        review_indptr = np.asarray(arrays["review_indptr"], dtype=np.intp)
+        review_entity = np.asarray(arrays["review_entity"], dtype=np.intp)
+        sims = np.asarray(arrays["sims"], dtype=np.float64)
+        degrees = np.asarray(arrays["degrees"], dtype=np.float64)
+        if sims.shape[0] != len(index_tags) or degrees.shape[0] != len(index_tags):
+            raise ValueError("snapshot arrays disagree on index tag count")
+        if sims.size and sims.shape[1] != len(index.vocab):
+            raise ValueError("snapshot similarity matrix does not cover the vocabulary")
+        if degrees.size and degrees.shape[1] != len(entity_order):
+            raise ValueError("snapshot degree matrix does not cover the entities")
+        if occ_ids.size and (occ_ids.min() < 0 or occ_ids.max() >= len(vocab_tags)):
+            raise ValueError("snapshot occurrence ids fall outside the vocabulary")
+        per_entity: Dict[str, List[List[SubjectiveTag]]] = {eid: [] for eid in entity_order}
+        for review in range(len(review_entity)):
+            start, stop = int(review_indptr[review]), int(review_indptr[review + 1])
+            per_entity[entity_order[int(review_entity[review])]].append(
+                [vocab_tags[int(occ)] for occ in occ_ids[start:stop]]
+            )
+        index._entity_tags = per_entity
+        index._entity_review_counts = dict(zip(entity_order, counts))
+        index._entity_order = list(entity_order)
+        index._entity_col = {eid: col for col, eid in enumerate(entity_order)}
+        index._occ_ids = occ_ids
+        index._review_indptr = review_indptr
+        index._review_entity = review_entity
+        index._occ_review = np.repeat(
+            np.arange(len(review_entity), dtype=np.intp), np.diff(review_indptr)
+        )
+        index._review_counts_vec = np.asarray([float(count) for count in counts])
+        index._occ_dirty = False
+        index._sim_rows = [sims[i] for i in range(sims.shape[0])]
+        index._degree_rows = [degrees[i] for i in range(degrees.shape[0])]
+        index._sim_cols = len(index.vocab)
+        index._entries = {
+            tag: {
+                entity_order[col]: float(degrees[i, col])
+                for col in np.nonzero(degrees[i] > 0.0)[0]
+            }
+            for i, tag in enumerate(index_tags)
+        }
+        index._matrix_stale = False
+        index._sim_cache = None
+        index._degree_cache = None
+        return index
+
     # ---------------------------------------------------------------- queries
 
     @property
     def tags(self) -> List[SubjectiveTag]:
         return list(self._entries)
+
+    @property
+    def entity_order(self) -> List[str]:
+        """Registered entity ids in matrix-column order."""
+        return list(self._entity_order)
 
     def __contains__(self, tag: SubjectiveTag) -> bool:
         return tag in self._entries
@@ -442,33 +639,9 @@ class SubjectiveTagIndex:
                 return [{} for _ in tags]
             self._ensure_occ()
             self._ensure_matrix()
-            self._sync_sim_cols()
-            degree_matrix = self._degree_matrix()
-            index_tags = list(self._entries)
-            score_rows: List[Optional[np.ndarray]] = []
-            fresh_tags: List[SubjectiveTag] = []
-            fresh_positions: List[int] = []
-            sim_matrix: Optional[np.ndarray] = None
-            for position, tag in enumerate(tags):
-                tag_id = self.vocab.id_of(tag)
-                if tag_id is not None and tag_id < self._sim_cols:
-                    if sim_matrix is None:
-                        sim_matrix = self._sim_matrix()
-                    # Similarity is symmetric, so the cached column doubles as
-                    # the query row.
-                    score_rows.append(sim_matrix[:, tag_id])
-                else:
-                    score_rows.append(None)
-                    fresh_tags.append(tag)
-                    fresh_positions.append(position)
-            if fresh_tags:
-                block = self.similarity.tag_similarity_matrix(fresh_tags, index_tags)
-                for block_i, position in enumerate(fresh_positions):
-                    score_rows[position] = block[block_i]
             results: List[Dict[str, float]] = []
-            for scores in score_rows:
-                weights = np.where(scores > theta_filter, scores, 0.0)
-                combined = weights @ degree_matrix
+            for scores in self._query_rows(tags):
+                combined = self.combine_score_rows(scores, theta_filter)
                 results.append(
                     {
                         entity_id: float(value)
@@ -477,6 +650,70 @@ class SubjectiveTagIndex:
                     }
                 )
             return results
+
+    def _query_rows(self, tags: Sequence[SubjectiveTag]) -> List[np.ndarray]:
+        """One score row per query tag against the index tag list.
+
+        Rows come from the LRU cache or a row-stationary kernel call
+        (chunked at :data:`_QUERY_ROW_CHUNK`), never from columns of the
+        cached (index_tags × vocab) matrix: that matrix is built in large
+        batches whose gemm low bits depend on batch shape, while these rows
+        must be bitwise reproducible however they are batched — it is what
+        makes the sharded wrapper (which computes rows the same way and
+        shares them across shards) byte-identical to this index.
+        """
+        index_tags = list(self._entries)
+        if not self._query_rows_warm:
+            # Queries hit the index tags themselves far more often than not;
+            # pre-fill their rows in batched (still row-stationary) chunks,
+            # which is much cheaper than one kernel call per tag later.
+            for start in range(0, len(index_tags), _QUERY_ROW_CHUNK):
+                chunk = index_tags[start : start + _QUERY_ROW_CHUNK]
+                block = self.similarity.tag_similarity_matrix(chunk, index_tags)
+                for offset, tag in enumerate(chunk):
+                    self._query_row_cache[tag] = block[offset]
+            self._query_rows_warm = True
+        rows: List[Optional[np.ndarray]] = []
+        fresh_tags: List[SubjectiveTag] = []
+        fresh_positions: List[int] = []
+        for position, tag in enumerate(tags):
+            row = self._query_row_cache.get(tag)
+            if row is not None:
+                self._query_row_cache.move_to_end(tag)
+                rows.append(row)
+            else:
+                rows.append(None)
+                fresh_tags.append(tag)
+                fresh_positions.append(position)
+        for start in range(0, len(fresh_tags), _QUERY_ROW_CHUNK):
+            chunk = fresh_tags[start : start + _QUERY_ROW_CHUNK]
+            block = self.similarity.tag_similarity_matrix(chunk, index_tags)
+            for offset, tag in enumerate(chunk):
+                row = block[offset]
+                rows[fresh_positions[start + offset]] = row
+                self._query_row_cache[tag] = row
+        while len(self._query_row_cache) > _QUERY_ROW_CACHE_MAX:
+            self._query_row_cache.popitem(last=False)
+        return rows
+
+    def combine_score_rows(self, scores: np.ndarray, theta_filter: float) -> np.ndarray:
+        """θ-filtered similarity-weighted sum of degree rows (Alg. 1 line 10).
+
+        The accumulation visits index tags in tag order, one row at a time,
+        instead of handing a dense matvec to BLAS: each entity's sum is then
+        a fixed left-to-right reduction over the *same* tag sequence whatever
+        the entity layout, so a shard holding a subset of the entity columns
+        produces bitwise-identical degrees to the single-shard oracle.  It is
+        also faster when few tags clear ``theta_filter`` — work is
+        O(active_tags × entities), not O(index_tags × entities).
+        """
+        self._ensure_occ()
+        self._ensure_matrix()
+        degree_matrix = self._degree_matrix()
+        combined = np.zeros(degree_matrix.shape[1])
+        for tag_pos in np.nonzero(scores > theta_filter)[0]:
+            combined += scores[tag_pos] * degree_matrix[tag_pos]
+        return combined
 
     def _scalar_lookup_similar(self, tag: SubjectiveTag, theta_filter: float) -> Dict[str, float]:
         combined: Dict[str, float] = {}

@@ -10,6 +10,7 @@ re-reading reviews).
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Union
 
@@ -38,8 +39,11 @@ def save_index(index: SubjectiveTagIndex, path: Union[str, Path]) -> None:
         },
         "entity_review_counts": dict(index._entity_review_counts),
     }
-    with Path(path).open("w", encoding="utf-8") as handle:
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
         json.dump(payload, handle)
+    os.replace(tmp, path)
 
 
 def load_index(

@@ -17,7 +17,7 @@ SACCS "adapts to new user needs".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.dialog import DialogSystem
 from repro.core.extraction_engine import ExtractionEngine, ExtractionEngineConfig
@@ -25,12 +25,13 @@ from repro.core.extractor import OracleExtractor, TagExtractor
 from repro.core.fraud import FakeReviewFilter
 from repro.core.filtering import FilterConfig, filter_and_rank
 from repro.core.index import SubjectiveTagIndex
+from repro.core.shards import ShardedTagIndex
 from repro.core.tags import SubjectiveTag
 from repro.data.schema import Entity, Review
 from repro.obs import tracing as obs
 from repro.text.similarity import ConceptualSimilarity
 
-__all__ = ["SaccsConfig", "Saccs", "IndexingRound"]
+__all__ = ["SaccsConfig", "Saccs", "IndexingRound", "PreparedIndex"]
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,20 @@ class IndexingRound:
 
     def __len__(self) -> int:
         return len(self.added)
+
+
+@dataclass(frozen=True)
+class PreparedIndex:
+    """A fully built replacement index waiting to be swapped in.
+
+    The double buffer of the zero-downtime reindex protocol: built by
+    :meth:`Saccs.prepare_rebuild` (no observable state change), installed by
+    :meth:`Saccs.commit_rebuild` (a pointer swap plus the history fold —
+    the only part that needs the serving lock).
+    """
+
+    index: Union[SubjectiveTagIndex, ShardedTagIndex]
+    tags: Tuple[SubjectiveTag, ...]
 
 
 @dataclass
@@ -88,10 +103,21 @@ class SaccsConfig:
     #: bucketed extraction: ``"float64"`` (bitwise-identical default),
     #: ``"float32"`` or ``"int8"`` (tolerance-bounded, faster).
     encoder_precision: str = "float64"
+    #: entity shards for the tag index.  1 (default) keeps the plain
+    #: :class:`SubjectiveTagIndex`; >1 routes entities by content hash into
+    #: a :class:`~repro.core.shards.ShardedTagIndex` whose lookups are
+    #: byte-identical to the single-shard oracle.
+    index_shards: int = 1
+    #: threads for the sharded lookup fan-out (<= 1 = in-line).
+    index_lookup_workers: int = 0
 
     def __post_init__(self):
         if self.extraction_mode not in ("bucketed", "sequential"):
             raise ValueError("extraction_mode must be 'bucketed' or 'sequential'")
+        if self.index_shards < 1:
+            raise ValueError("index_shards must be >= 1")
+        if self.index_shards > 1 and self.backend != "vectorized":
+            raise ValueError("index_shards > 1 requires the vectorized backend")
 
     def filter_config(self) -> FilterConfig:
         return FilterConfig(
@@ -128,13 +154,7 @@ class Saccs:
         self.similarity = similarity
         self.config = config or SaccsConfig()
         self.dialog = DialogSystem(self.entities)
-        self.index = SubjectiveTagIndex(
-            similarity,
-            theta_index=self.config.theta_index,
-            review_count_mode=self.config.review_count_mode,
-            theta_mode=self.config.theta_mode,
-            backend=self.config.backend,
-        )
+        self.index = self._make_index()
         #: optional fake-review defence (Section 7 future work); suspicious
         #: reviews are dropped before extraction.
         self.review_filter = review_filter
@@ -154,6 +174,25 @@ class Saccs:
 
     # ------------------------------------------------------------- ingestion
 
+    def _make_index(self) -> Union[SubjectiveTagIndex, ShardedTagIndex]:
+        """A fresh, empty index honouring the configured shard count."""
+        if self.config.index_shards > 1:
+            return ShardedTagIndex(
+                self.similarity,
+                num_shards=self.config.index_shards,
+                theta_index=self.config.theta_index,
+                review_count_mode=self.config.review_count_mode,
+                theta_mode=self.config.theta_mode,
+                lookup_workers=self.config.index_lookup_workers,
+            )
+        return SubjectiveTagIndex(
+            self.similarity,
+            theta_index=self.config.theta_index,
+            review_count_mode=self.config.review_count_mode,
+            theta_mode=self.config.theta_mode,
+            backend=self.config.backend,
+        )
+
     def ingest_reviews(self) -> None:
         """Extract subjective tags from every review (the extractor pass).
 
@@ -162,6 +201,21 @@ class Saccs:
         flattened, length-bucketed, batch-tagged and paired, with per-review
         results cached by content hash.  ``"sequential"`` keeps the original
         one-review-at-a-time loop as the equivalence oracle.
+        """
+        self._register_corpus(self.index)
+        self._ingested = True
+
+    def _register_corpus(
+        self,
+        index: Union[SubjectiveTagIndex, ShardedTagIndex],
+        pace: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Extract the current corpus and register it into ``index``.
+
+        ``pace`` (if given) is called between per-entity work units so a
+        background rebuild can yield the interpreter to serving threads —
+        without it a rebuild holds the GIL for full switch-interval
+        stretches and search tail latency spikes.
         """
         entity_reviews = []
         for entity in self.entities:
@@ -176,10 +230,13 @@ class Saccs:
             ]
         else:
             extracted = self.extraction_engine.extract_corpus(entity_reviews)
+        if pace is not None:
+            pace()
         with self.extraction_engine.timings.span("register"):
             for entity_id, per_review in extracted:
-                self.index.register_entity(entity_id, per_review)
-        self._ingested = True
+                index.register_entity(entity_id, per_review)
+                if pace is not None:
+                    pace()
 
     def build_index(self, tags: Iterable[SubjectiveTag]) -> None:
         """Index an initial tag set (ingesting reviews first if needed)."""
@@ -199,19 +256,74 @@ class Saccs:
         fresh extraction, and the generation bumped so serving caches
         invalidate deterministically.
         """
+        prepared = self.prepare_rebuild(reviews)
+        self.index = prepared.index
+        self._ingested = True
+        self.index_generation += 1
+
+    def prepare_rebuild(
+        self,
+        reviews: Optional[Mapping[str, Sequence[Review]]] = None,
+        indexed_tags: Optional[Sequence[SubjectiveTag]] = None,
+        pace: Optional[Callable[[], None]] = None,
+    ) -> PreparedIndex:
+        """Build a replacement index off to the side (the double buffer).
+
+        Extraction and degree computation run against a *fresh* index object
+        while :attr:`index` keeps serving; nothing a reader can observe
+        changes until the caller swaps the result in (either
+        :meth:`commit_rebuild` or :meth:`rebuild_index`'s inline swap).
+        Concurrent-serving callers snapshot ``indexed_tags`` under their own
+        lock before calling and hold that lock only for the swap.
+
+        ``pace`` is called between rebuild work units (per entity, per
+        indexed tag).  Background rebuilds pass a short sleep here so the
+        build never monopolises the interpreter for a full GIL switch
+        interval — the same idea as rate-limited compactions in LSM stores.
+        """
         if reviews is not None:
             self.reviews = reviews
-        indexed_tags = list(self.index.tags)
-        self.index = SubjectiveTagIndex(
-            self.similarity,
-            theta_index=self.config.theta_index,
-            review_count_mode=self.config.review_count_mode,
-            theta_mode=self.config.theta_mode,
-            backend=self.config.backend,
-        )
-        self._ingested = False
-        self.ingest_reviews()
-        self.index.build(indexed_tags)
+        if indexed_tags is None:
+            indexed_tags = list(self.index.tags)
+        fresh = self._make_index()
+        self._register_corpus(fresh, pace=pace)
+        if pace is None:
+            fresh.build(indexed_tags)
+        else:
+            for tag in indexed_tags:
+                fresh.add_tag(tag)
+                pace()
+        return PreparedIndex(index=fresh, tags=tuple(indexed_tags))
+
+    def commit_rebuild(self, prepared: PreparedIndex) -> IndexingRound:
+        """Swap a prepared index in and fold the accumulated tag history.
+
+        The atomic half of the background-reindex protocol: one pointer
+        swap, then the user tags that arrived *while the buffer was being
+        built* are folded in (the same sorted-set fold as
+        :meth:`run_indexing_round`) and the generation is bumped once.
+        """
+        self.index = prepared.index
+        self._ingested = True
+        added = []
+        for tag in sorted(set(self.user_tag_history)):
+            if tag not in self.index:
+                self.index.add_tag(tag)
+                added.append(tag)
+        self.user_tag_history.clear()
+        self.index_generation += 1
+        return IndexingRound(self.index_generation, tuple(added))
+
+    def adopt_index(
+        self, index: Union[SubjectiveTagIndex, ShardedTagIndex]
+    ) -> None:
+        """Install a warm-started index (snapshot load) without re-extracting.
+
+        Marks the corpus as ingested so a later :meth:`build_index` call
+        with the same tag set no-ops instead of re-running extraction.
+        """
+        self.index = index
+        self._ingested = True
         self.index_generation += 1
 
     def run_indexing_round(self) -> IndexingRound:

@@ -1,0 +1,272 @@
+"""Entity-sharded subjective tag index (ROADMAP open item 1).
+
+:class:`ShardedTagIndex` splits the *entity* dimension of
+:class:`~repro.core.index.SubjectiveTagIndex` into N independent shards — a
+stable content hash of the entity id picks the shard, every index tag is
+added to every shard, and a lookup fans one θ-filtered combine per shard
+(optionally over a thread pool) before a deterministic shard-order merge.
+
+The merge is **byte-identical** to the single-shard oracle because every
+float the shards produce is layout-independent by construction:
+
+* degrees (Eq. 1) reduce per review via ``bincount`` segment sums, so an
+  entity's degree never depends on which other entities share its arrays;
+* score rows come from shard 0's row-stationary query-row cache — the
+  identical code path (and bits) the single-shard oracle uses — and are
+  shared by all shards;
+* the combine kernel accumulates active tag rows in tag order, one row at a
+  time, instead of a shape-dependent BLAS matvec;
+* corpus-wide statistics a shard cannot see — the review-count maximum used
+  for degree normalisation, dynamic-θ peaks — are computed by the wrapper
+  and pinned onto the shards.
+
+Sharding is the unit of parallelism (lookup fan-out here, one shard set per
+process later) and the unit of persistence: :mod:`repro.core.snapshot`
+writes one ``.npz`` per shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.index import SubjectiveTagIndex, theta_from_peak
+from repro.core.tags import SubjectiveTag
+from repro.obs import tracing as obs
+from repro.text.similarity import ConceptualSimilarity
+
+__all__ = ["ShardedTagIndex", "shard_of"]
+
+
+def shard_of(entity_id: str, num_shards: int) -> int:
+    """Stable entity→shard routing: first 8 bytes of sha256, mod N.
+
+    ``hash()`` is seed-randomised per process, which would scatter entities
+    across different shards on every restart and break snapshot reloads;
+    a content hash keeps placement stable forever (same keying idea as the
+    PR-3 ``ExtractionCache``).
+    """
+    digest = hashlib.sha256(entity_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+class ShardedTagIndex:
+    """N independent entity shards behind the ``SubjectiveTagIndex`` query API."""
+
+    def __init__(
+        self,
+        similarity: ConceptualSimilarity,
+        num_shards: int,
+        theta_index: float = 0.70,
+        normalize_degrees: bool = True,
+        review_count_mode: str = "matched",
+        theta_mode: str = "static",
+        dynamic_margin: float = 0.08,
+        lookup_workers: int = 0,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.similarity = similarity
+        self.num_shards = num_shards
+        self.theta_index = theta_index
+        self.normalize_degrees = normalize_degrees
+        self.review_count_mode = review_count_mode
+        self.theta_mode = theta_mode
+        self.dynamic_margin = dynamic_margin
+        #: threads for the per-shard combine fan-out; <= 1 means in-line.
+        self.lookup_workers = lookup_workers
+        self.backend = "sharded"
+        self.shards: List[SubjectiveTagIndex] = [
+            SubjectiveTagIndex(
+                similarity,
+                theta_index=theta_index,
+                normalize_degrees=normalize_degrees,
+                review_count_mode=review_count_mode,
+                theta_mode=theta_mode,
+                dynamic_margin=dynamic_margin,
+                backend="vectorized",
+            )
+            for _ in range(num_shards)
+        ]
+        self._tag_order: Dict[SubjectiveTag, int] = {}
+        self._entity_review_counts: Dict[str, int] = {}
+        self._max_reviews = 0
+        #: fused read view: the shards' degree matrices concatenated along
+        #: the entity axis (shard-0 columns first), rebuilt lazily after any
+        #: registration or tag add.  The in-line lookup path combines over
+        #: this one matrix — one kernel pass instead of a per-shard fan-out,
+        #: and byte-identical to both, since the combine is elementwise.
+        self._fused_degrees: Optional[np.ndarray] = None
+        self._fused_entity_order: List[str] = []
+
+    # ------------------------------------------------------------- population
+
+    def shard_of(self, entity_id: str) -> int:
+        return shard_of(entity_id, self.num_shards)
+
+    def register_entity(
+        self,
+        entity_id: str,
+        review_tags: Sequence[Sequence[SubjectiveTag]],
+    ) -> None:
+        """Route an entity's extracted reviews to its shard."""
+        self.shards[self.shard_of(entity_id)].register_entity(entity_id, review_tags)
+        self._entity_review_counts[entity_id] = len(review_tags)
+        self._max_reviews = max(self._entity_review_counts.values(), default=0)
+        shared = max(self._max_reviews, 1)
+        for shard in self.shards:
+            shard.shared_review_max = shared
+        self._fused_degrees = None
+
+    def add_tag(self, tag: SubjectiveTag) -> None:
+        """Add an index tag to every shard under one global threshold."""
+        if tag in self._tag_order:
+            return
+        theta: Optional[float] = None
+        if self.theta_mode == "dynamic":
+            # θ depends on the corpus-wide peak similarity; shards partition
+            # the occurrences, so the max of shard peaks is the global peak.
+            peak = max(shard.peak_similarity(tag) for shard in self.shards)
+            theta = theta_from_peak(self.theta_index, self.dynamic_margin, peak)
+        for shard in self.shards:
+            shard.add_tag(tag, _theta=theta)
+        self._tag_order[tag] = len(self._tag_order)
+        self._fused_degrees = None
+
+    def build(self, tags: Iterable[SubjectiveTag]) -> "ShardedTagIndex":
+        """Add many tags (one indexing round)."""
+        for tag in tags:
+            self.add_tag(tag)
+        return self
+
+    # ---------------------------------------------------------------- queries
+
+    @property
+    def tags(self) -> List[SubjectiveTag]:
+        return list(self._tag_order)
+
+    @property
+    def entity_order(self) -> List[str]:
+        """All entity ids in shard order (shard 0's columns, then shard 1's…)."""
+        ordered: List[str] = []
+        for shard in self.shards:
+            ordered.extend(shard.entity_order)
+        return ordered
+
+    def __contains__(self, tag: SubjectiveTag) -> bool:
+        return tag in self._tag_order
+
+    def __len__(self) -> int:
+        return len(self._tag_order)
+
+    def lookup(self, tag: SubjectiveTag) -> Dict[str, float]:
+        """Exact-tag entity mapping (empty if the tag is not indexed)."""
+        merged: Dict[str, float] = {}
+        for shard in self.shards:
+            merged.update(shard.lookup(tag))
+        return merged
+
+    def lookup_similar(self, tag: SubjectiveTag, theta_filter: float) -> Dict[str, float]:
+        return self.lookup_similar_batch([tag], theta_filter)[0]
+
+    def lookup_similar_batch(
+        self, tags: Sequence[SubjectiveTag], theta_filter: float
+    ) -> List[Dict[str, float]]:
+        """Algorithm 1 line 10 fanned over the shards.
+
+        Score rows (query tag vs every index tag) are computed once here —
+        not per shard — then each shard runs the layout-independent combine
+        kernel over its own entity columns and the merge walks shards in
+        order.  Values are bitwise equal to the single-shard oracle; only
+        the dict insertion order differs (shard order vs global column
+        order), which no ranking consumer observes.
+        """
+        tags = list(tags)
+        with obs.span(
+            "index.similarity", tags=len(tags), backend=self.backend, shards=self.num_shards
+        ):
+            if not self._tag_order or not tags:
+                return [{} for _ in tags]
+            score_rows = self._score_rows(tags)
+            if self.lookup_workers > 1 and self.num_shards > 1:
+                per_shard = self._fan_out(score_rows, theta_filter)
+                results: List[Dict[str, float]] = []
+                for position in range(len(tags)):
+                    merged: Dict[str, float] = {}
+                    for shard, combined_rows in zip(self.shards, per_shard):
+                        for entity_id, value in zip(
+                            shard.entity_order, combined_rows[position].tolist()
+                        ):
+                            if value > 0.0:
+                                merged[entity_id] = value
+                    results.append(merged)
+                return results
+            # In-line path: one combine over the fused degree matrix.
+            fused, entity_order = self._fused_view()
+            results = []
+            for scores in score_rows:
+                combined = np.zeros(fused.shape[1])
+                for tag_pos in np.nonzero(scores > theta_filter)[0]:
+                    combined += scores[tag_pos] * fused[tag_pos]
+                results.append(
+                    {
+                        entity_id: value
+                        for entity_id, value in zip(entity_order, combined.tolist())
+                        if value > 0.0
+                    }
+                )
+            return results
+
+    def _fused_view(self):
+        """The concatenated (index_tags × all entities) degree matrix."""
+        if self._fused_degrees is None:
+            blocks: List[np.ndarray] = []
+            order: List[str] = []
+            for shard in self.shards:
+                shard._ensure_occ()
+                shard._ensure_matrix()
+                blocks.append(shard._degree_matrix())
+                order.extend(shard.entity_order)
+            self._fused_degrees = (
+                np.concatenate(blocks, axis=1)
+                if blocks
+                else np.zeros((len(self._tag_order), 0))
+            )
+            self._fused_entity_order = order
+        return self._fused_degrees, self._fused_entity_order
+
+    def _score_rows(self, tags: Sequence[SubjectiveTag]) -> List[np.ndarray]:
+        """Per-query-tag similarity rows over the index tags.
+
+        Delegates to shard 0's row-stationary query-row cache: every shard
+        indexes the same tag list in the same order, so shard 0's rows are
+        *the* rows — computed by the identical code path the single-shard
+        oracle uses, which is what keeps the merge byte-identical.
+        """
+        return self.shards[0]._query_rows(tags)
+
+    def _fan_out(
+        self, score_rows: List[np.ndarray], theta_filter: float
+    ) -> List[List[np.ndarray]]:
+        """Run the combine kernel on every shard, threaded when configured."""
+
+        def combine(shard: SubjectiveTagIndex) -> List[np.ndarray]:
+            return [shard.combine_score_rows(row, theta_filter) for row in score_rows]
+
+        if self.lookup_workers > 1 and self.num_shards > 1:
+            workers = min(self.lookup_workers, self.num_shards)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(combine, self.shards))
+        return [combine(shard) for shard in self.shards]
+
+    def snippet(self, max_tags: int = 4, max_entities: int = 3) -> str:
+        """Table-1-style rendering (mirrors the unsharded method)."""
+        lines = []
+        for tag in list(self._tag_order)[:max_tags]:
+            entries = sorted(self.lookup(tag).items(), key=lambda kv: (-kv[1], kv[0]))
+            rendered = ", ".join(f"{e} ({d:.2f})" for e, d in entries[:max_entities])
+            lines.append(f"{tag.text:<22} -> {rendered}")
+        return "\n".join(lines)

@@ -9,6 +9,7 @@ Yelp dataset).  The format is plain JSON, versioned, and round-trips exactly.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, List, Union
 
@@ -96,8 +97,10 @@ def save_world(world: World, path: Union[str, Path]) -> None:
         },
     }
     path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
         json.dump(payload, handle)
+    os.replace(tmp, path)
 
 
 def load_world(path: Union[str, Path]) -> World:

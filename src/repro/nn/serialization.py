@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Dict, Union
 
@@ -24,7 +25,11 @@ def arrays_to_state(arrays: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
 
 def save_module(module: Module, path: Union[str, Path]) -> None:
     """Persist a module's parameters to ``path`` (``.npz``)."""
-    np.savez(path, **state_to_arrays(module.state_dict()))
+    path = Path(path)
+    # the .npz suffix on the temp name keeps np.savez from appending one
+    tmp = path.with_suffix(".tmp.npz")
+    np.savez(tmp, **state_to_arrays(module.state_dict()))
+    os.replace(tmp, path)
 
 
 def load_module(module: Module, path: Union[str, Path]) -> None:

@@ -146,11 +146,24 @@ class ServingCache:
 
     # ------------------------------------------------------------- lifecycle
 
-    def invalidate_before(self, generation: int) -> int:
-        """Eager sweep after a reindex (lazy stamping already protects reads)."""
+    def sweep(self, generation: int) -> int:
+        """Eager sweep of pre-``generation`` entries after a reindex.
+
+        Must run strictly **after** the index swap has bumped the
+        generation: sweeping first would leave a window where a racing
+        worker, still computing against the pre-swap index, re-inserts an
+        old-generation entry *after* the sweep and the memory never gets
+        reclaimed.  Correctness never depends on the sweep — every read
+        checks the stored generation against the caller's current one — so
+        running late is safe where running early is not.
+        """
         return self.tags.purge_older_than(generation) + self.rankings.purge_older_than(
             generation
         )
+
+    def invalidate_before(self, generation: int) -> int:
+        """Back-compat alias for :meth:`sweep`."""
+        return self.sweep(generation)
 
     def _count(self, base: str, hit: bool) -> None:
         if self.metrics is not None:

@@ -131,7 +131,9 @@ def make_handler(runtime: SaccsRuntime):
 
         def _handle_reindex(self) -> Tuple[int, dict]:
             # The body is optional: empty → history fold only;
-            # {"full": true} → re-extract the corpus and rebuild first.
+            # {"full": true} → re-extract the corpus and rebuild first;
+            # {"background": true} → double-buffered rebuild (searches keep
+            # serving; the replacement index swaps in atomically).
             length = int(self.headers.get("Content-Length") or 0)
             body = self._read_json() if length else {}
             if not isinstance(body, dict):
@@ -139,7 +141,10 @@ def make_handler(runtime: SaccsRuntime):
             full = body.get("full", False)
             if not isinstance(full, bool):
                 raise ProtocolError("'full' must be a boolean")
-            return 200, runtime.reindex(full=full).to_payload()
+            background = body.get("background", False)
+            if not isinstance(background, bool):
+                raise ProtocolError("'background' must be a boolean")
+            return 200, runtime.reindex(full=full, background=background).to_payload()
 
         def _handle_search(self) -> Tuple[int, dict]:
             request = SearchRequest.parse(self._read_json())

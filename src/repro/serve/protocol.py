@@ -163,6 +163,9 @@ class ReindexResponse:
     invalidated_entries: int
     #: whether the round also re-extracted the corpus and rebuilt the index.
     full: bool = False
+    #: whether the rebuild ran double-buffered (searches served throughout,
+    #: replacement index swapped in atomically at the end).
+    background: bool = False
 
     def to_payload(self) -> Dict[str, object]:
         return {
@@ -170,4 +173,5 @@ class ReindexResponse:
             "adopted": list(self.adopted),
             "invalidated_entries": self.invalidated_entries,
             "full": self.full,
+            "background": self.background,
         }

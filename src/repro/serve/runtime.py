@@ -77,6 +77,11 @@ class ServeConfig:
     session_top_k: int = 10
     #: how long ``search`` waits for its batch before giving up.
     request_timeout_seconds: float = 30.0
+    #: sleep between background-rebuild work units (entities, index tags).
+    #: Each sleep releases the GIL, so racing searches run between units
+    #: instead of stalling for a full interpreter switch interval; 0
+    #: disables pacing and lets the rebuild run flat out.
+    rebuild_pace_seconds: float = 0.0005
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -85,6 +90,8 @@ class ServeConfig:
             raise ValueError("workers must be >= 1")
         if self.max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
+        if self.rebuild_pace_seconds < 0:
+            raise ValueError("rebuild_pace_seconds must be >= 0")
 
 
 class _Pending:
@@ -163,6 +170,13 @@ class SaccsRuntime:
         #: serialises start/stop: concurrent callers must not double-spawn
         #: or double-drain the scheduler threads.
         self._lifecycle_lock = threading.Lock()
+        #: serialises whole reindex operations.  Background rebuilds hold
+        #: this (never the facade lock) for the build, so two admins can't
+        #: interleave double-buffer builds while searches keep flowing.
+        self._reindex_lock = threading.Lock()
+        #: sha256 of the snapshot this runtime warm-started from (None when
+        #: cold-built), surfaced on /healthz and /metrics.
+        self.snapshot_hash: Optional[str] = None
         # Surface the extraction engine's cache hit/miss counters through
         # this runtime's /metrics (extract.cache.{hit,miss} → ratio rollup).
         saccs.extraction_engine.bind_metrics(self.metrics)
@@ -232,13 +246,17 @@ class SaccsRuntime:
         tag_texts = tuple(tag.text for tag in tags)
         with self.metrics.time("latency.search_seconds"):
             with self.tracer.trace("serve.search", kind="tags", tags=len(tags)):
+                # Snapshot the generation once: the cache probe and the
+                # response stamp must agree, or a reindex landing between
+                # two reads would label old-generation results as new.
+                generation = self.generation
                 cached = self.cache.ranking_for(
-                    tag_texts, top_k, self.generation, api_entity_ids=_api_entity_ids
+                    tag_texts, top_k, generation, api_entity_ids=_api_entity_ids
                 )
                 if cached is not None:
                     return SearchResponse(
                         results=cached,
-                        generation=self.generation,
+                        generation=generation,
                         cached=True,
                         batch_size=0,
                         tags=tag_texts,
@@ -355,7 +373,7 @@ class SaccsRuntime:
 
     # ------------------------------------------------------------------ admin
 
-    def reindex(self, full: bool = False) -> ReindexResponse:
+    def reindex(self, full: bool = False, background: bool = False) -> ReindexResponse:
         """Fold the user tag history into the index; bump the generation.
 
         ``full=True`` additionally re-extracts the corpus and rebuilds the
@@ -363,34 +381,107 @@ class SaccsRuntime:
         corpus edits.  The extraction engine's content-hash cache makes it
         incremental: only new or edited reviews are re-tagged, and the
         hit/miss counters land in this runtime's ``/metrics``.
+
+        ``background=True`` runs the rebuild *double-buffered*: the
+        replacement index is extracted and built while searches keep hitting
+        the live one, and only the pointer swap + history fold take the
+        facade lock — zero downtime instead of blocking the world.  The
+        caller still blocks until the swap lands (the response needs the new
+        generation); "background" refers to what the search path observes.
         """
         self.metrics.incr("requests.reindex")
         with self.metrics.time("latency.reindex_seconds"):
-            with self._facade_lock:
-                if full:
-                    self.saccs.rebuild_index()
-                round_: IndexingRound = self.saccs.run_indexing_round()
-        invalidated = self.cache.invalidate_before(round_.generation)
+            if background:
+                round_ = self._background_rebuild()
+            else:
+                with self._facade_lock:
+                    if full:
+                        self.saccs.rebuild_index()
+                        self.metrics.incr("index.swap")
+                    round_: IndexingRound = self.saccs.run_indexing_round()
+            # Sweep strictly after the swap bumped the generation — see
+            # ServingCache.sweep for why the other order leaks entries.
+            invalidated = self.cache.sweep(round_.generation)
         self.metrics.incr("index.rounds")
         _LOG.info(
             "reindex complete",
             generation=round_.generation,
             adopted=len(round_.added),
             invalidated_entries=invalidated,
-            full=full,
+            full=full or background,
+            background=background,
         )
         return ReindexResponse(
             generation=round_.generation,
             adopted=tuple(tag.text for tag in round_.added),
             invalidated_entries=invalidated,
-            full=full,
+            full=full or background,
+            background=background,
         )
+
+    def _background_rebuild(self) -> IndexingRound:
+        """Zero-downtime full reindex: build off to the side, swap atomically.
+
+        Protocol (lock order is always facade-inside-reindex, never nested
+        the other way):
+
+        1. under the facade lock, snapshot the indexed tag list;
+        2. **without** the facade lock, extract the corpus and build the
+           replacement shards (:meth:`Saccs.prepare_rebuild`) — searches
+           keep draining against the live buffer the whole time;
+        3. under the facade lock, swap the index pointer, fold the user
+           tags that accumulated during the build, bump the generation
+           (:meth:`Saccs.commit_rebuild`) — a pointer assignment plus a
+           few tag adds, so the p99 of racing searches stays bounded.
+
+        Searches can never observe a half-built shard: the replacement is
+        unreachable until the swap, and the swap happens under the same
+        lock every worker reads the index and generation under.
+
+        Step 2 is *paced*: a short sleep between work units hands the GIL
+        to serving threads, trading rebuild wall time for search tail
+        latency (``ServeConfig.rebuild_pace_seconds``).
+        """
+        pace_seconds = self.config.rebuild_pace_seconds
+        pace = (lambda: time.sleep(pace_seconds)) if pace_seconds > 0 else None
+        with self._reindex_lock:
+            with self._facade_lock:
+                indexed_tags = list(self.saccs.index.tags)
+            with obs.span("index.rebuild", background=True):
+                prepared = self.saccs.prepare_rebuild(
+                    indexed_tags=indexed_tags, pace=pace
+                )
+            with self._facade_lock:
+                round_ = self.saccs.commit_rebuild(prepared)
+            self.metrics.incr("index.swap")
+            return round_
+
+    def note_snapshot_load(self, snapshot_sha256: str, load_seconds: float) -> None:
+        """Record a warm start (who blessed the index, and how fast it came up)."""
+        self.snapshot_hash = snapshot_sha256
+        self.metrics.incr("snapshot.loads")
+        self.metrics.observe("snapshot.load_seconds", load_seconds)
+        _LOG.info(
+            "index warm-started from snapshot",
+            snapshot=snapshot_sha256,
+            load_seconds=round(load_seconds, 3),
+        )
+
+    @property
+    def shards(self) -> int:
+        """Entity shard count of the live index (1 for the plain index)."""
+        return getattr(self.saccs.index, "num_shards", 1)
 
     def health(self) -> Dict[str, object]:
         return {
             "status": "ok" if self._running else "stopped",
             "generation": self.generation,
+            "index_generation": self.generation,
             "index_tags": len(self.saccs.index),
+            "shards": self.shards,
+            # sha256 of the snapshot this index warm-started from (null when
+            # cold-built) — lets operators confirm which artifact is live.
+            "snapshot": self.snapshot_hash,
             "sessions": len(self.sessions),
             "queue_depth": self._queue.qsize(),
             # which fused inference precision utterance extraction runs at
@@ -402,6 +493,9 @@ class SaccsRuntime:
     def metrics_snapshot(self) -> Dict[str, object]:
         snapshot = self.metrics.snapshot()
         snapshot["generation"] = self.generation
+        snapshot["index_generation"] = self.generation
+        snapshot["shards"] = self.shards
+        snapshot["snapshot"] = self.snapshot_hash
         snapshot["sessions"] = len(self.sessions)
         return snapshot
 

@@ -1,0 +1,28 @@
+"""Seeded atomic-file-write violations: durable writes with no rename."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+
+def save_record(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload))
+
+
+def save_blob(path: Path, blob: bytes) -> None:
+    path.write_bytes(blob)
+
+
+def save_manifest(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def save_arrays(path: Path, arrays: dict) -> None:
+    np.savez(path, **arrays)
+
+
+def append_log(path: Path, line: str) -> None:
+    with path.open("a") as handle:
+        handle.write(line)

@@ -1,0 +1,41 @@
+"""Clean near-misses for atomic-file-write: reads, temp + rename idioms."""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+
+def load_record(path: Path) -> dict:
+    # reading never tears a file; "r" modes are out of scope
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_record(path: Path, payload: dict) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
+
+
+def save_arrays(path: Path, arrays: dict) -> None:
+    tmp = path.with_suffix(".tmp.npz")
+    np.savez(tmp, **arrays)
+    tmp.replace(path)
+
+
+def _write_atomic(path: Path, data: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+def save_manifest(path: Path, payload: dict) -> None:
+    # delegating to the atomic helper satisfies the idiom
+    _write_atomic(path, json.dumps(payload).encode("utf-8"))
+
+
+def rewrite_name(value: str) -> str:
+    # two-argument str.replace is not a rename
+    return value.replace("__", ".")

@@ -127,6 +127,20 @@ def test_tape_free_inference_scope_targets_the_inference_module():
     assert not rule.applies_to("src/repro/core/tagger.py")
 
 
+def test_persistence_family_seeded_violations():
+    assert fixture_findings("persistence_bad.py") == [
+        ("atomic-file-write", 10),
+        ("atomic-file-write", 14),
+        ("atomic-file-write", 18),
+        ("atomic-file-write", 23),
+        ("atomic-file-write", 27),
+    ]
+
+
+def test_persistence_family_near_misses_are_clean():
+    assert fixture_findings("persistence_ok.py") == []
+
+
 def test_api_family_seeded_violations():
     assert fixture_findings("api_bad.py") == [
         ("mutable-default", 4),
@@ -172,6 +186,7 @@ def test_every_rule_family_has_a_seeded_true_positive():
         "determinism",
         "lock-discipline",
         "numpy-kernel",
+        "persistence",
     }
 
 
@@ -248,16 +263,17 @@ def test_baseline_rejects_unknown_version(tmp_path):
 # ------------------------------------------------------ registry / engine
 
 
-def test_registry_has_four_families_and_unique_ids():
+def test_registry_has_five_families_and_unique_ids():
     rules = all_rules()
     ids = [rule.rule_id for rule in rules]
     assert len(ids) == len(set(ids))
-    assert len(rules) >= 14
+    assert len(rules) >= 15
     assert set(rules_by_family()) == {
         "api-hygiene",
         "determinism",
         "lock-discipline",
         "numpy-kernel",
+        "persistence",
     }
     for rule in rules:
         assert rule.summary and rule.rationale

@@ -12,6 +12,7 @@ sys.path.insert(0, str(REPO_ROOT))
 from benchmarks.check_bench import (  # noqa: E402
     check_files,
     check_record,
+    iter_availability_ratios,
     iter_bypass_sections,
     iter_overheads,
     iter_speedups,
@@ -121,6 +122,41 @@ class TestBypassGuard:
         assert not found and not failures
 
 
+class TestShardGuard:
+    """The sharded-index floor and availability ceiling from BENCH_index.json."""
+
+    def test_shard8_speedup_held_to_stricter_floor(self):
+        # 1.2 clears the generic 1.0 floor but not the 1.5 shard8 floor.
+        _, failures = check_record(
+            {"shards": {"cells": {"shard8": {"lookup_speedup_vs_dense": 1.2}}}}
+        )
+        assert len(failures) == 1
+        assert "shard8" in failures[0] and "1.5" in failures[0]
+
+    def test_other_shard_cells_keep_the_default_floor(self):
+        found, failures = check_record(
+            {"shards": {"cells": {"shard4": {"lookup_speedup_vs_dense": 1.2}}}}
+        )
+        assert not failures
+        assert ("shards.cells.shard4.lookup_speedup_vs_dense", 1.2) in found
+
+    def test_finds_availability_ratio_at_any_depth(self):
+        payload = {"availability": {"availability_ratio": 1.8, "idle_p99_ms": 0.4}}
+        assert dict(iter_availability_ratios(payload)) == {
+            "availability.availability_ratio": 1.8
+        }
+
+    def test_availability_ratio_above_ceiling_fails(self):
+        _, failures = check_record({"availability": {"availability_ratio": 3.2}})
+        assert len(failures) == 1
+        assert "availability ceiling" in failures[0]
+
+    def test_availability_ratio_below_ceiling_passes(self):
+        found, failures = check_record({"availability": {"availability_ratio": 2.1}})
+        assert not failures
+        assert ("availability.availability_ratio", 2.1) in found
+
+
 class TestCommittedRecords:
     """The tier-1 wiring: every BENCH_*.json in the repo root is guarded."""
 
@@ -139,6 +175,23 @@ class TestCommittedRecords:
         assert payload["equivalent"] is True
         assert payload["summary"]["speedup"]["bucketed_parallel"] >= 3.0
         assert payload["summary"]["warm_cache_hit_ratio"] == pytest.approx(1.0)
+
+    def test_index_record_meets_the_bar(self):
+        path = REPO_ROOT / "BENCH_index.json"
+        if not path.exists():
+            pytest.skip("BENCH_index.json not generated yet (run repro bench-index)")
+        payload = json.loads(path.read_text())
+        if "shards" not in payload:
+            pytest.skip("BENCH_index.json predates the sharded record shape")
+        shards = payload["shards"]
+        assert shards["identical_to_oracle"] is True
+        assert shards["cells"]["shard8"]["lookup_speedup_vs_dense"] >= 1.5
+        snapshot = payload["snapshot"]
+        assert snapshot["rankings_identical"] is True
+        assert snapshot["speedup"]["warm_start"] >= 1.0
+        availability = payload["availability"]
+        assert availability["availability_ratio"] <= 3.0
+        assert availability["generation_monotonic"] is True
 
     def test_conv_record_meets_the_bar(self):
         path = REPO_ROOT / "BENCH_conv.json"

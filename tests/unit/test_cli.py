@@ -99,3 +99,53 @@ class TestCommands:
         main(["world", "generate", "--entities", "8", "--reviews", "4", "--out", world_path])
         assert main(["index", "build", "--world", world_path, "--out", index_path,
                      "--theta-mode", "dynamic", "--tags", "delicious food"]) == 0
+
+
+class TestServeSnapshotWarmStart:
+    """`repro serve --snapshot-dir`: cold build writes, warm start loads,
+    corruption falls back to a cold build and re-blesses the directory."""
+
+    def _args(self, snapdir):
+        return build_parser().parse_args(
+            ["serve", "--entities", "12", "--reviews", "4", "--seed", "9",
+             "--shards", "2", "--snapshot-dir", str(snapdir)]
+        )
+
+    def test_cold_build_writes_then_warm_start_is_identical(self, tmp_path, capsys):
+        from repro.cli import _build_serving_saccs
+        from repro.core.snapshot import MANIFEST_NAME
+
+        snapdir = tmp_path / "snap"
+        cold, note = _build_serving_saccs(self._args(snapdir))
+        assert note is None
+        assert "wrote snapshot" in capsys.readouterr().out
+        assert (snapdir / MANIFEST_NAME).exists()
+
+        warm, warm_note = _build_serving_saccs(self._args(snapdir))
+        assert warm_note is not None
+        sha, load_seconds = warm_note
+        assert len(sha) == 64 and load_seconds >= 0.0
+        assert "warm-started" in capsys.readouterr().out
+        queries = list(cold.index.tags)
+        assert warm.index.lookup_similar_batch(
+            queries, theta_filter=0.6
+        ) == cold.index.lookup_similar_batch(queries, theta_filter=0.6)
+
+    def test_corrupt_snapshot_falls_back_to_cold_build(self, tmp_path, capsys):
+        from repro.cli import _build_serving_saccs
+
+        snapdir = tmp_path / "snap"
+        _build_serving_saccs(self._args(snapdir))
+        shard = snapdir / "shard-000.npz"
+        shard.write_bytes(shard.read_bytes()[:50])
+        capsys.readouterr()
+
+        saccs, note = _build_serving_saccs(self._args(snapdir))
+        out = capsys.readouterr().out
+        assert "snapshot unusable" in out
+        assert "wrote snapshot" in out  # the directory was re-blessed
+        assert note is None
+        assert saccs.index.tags  # the cold build actually indexed tags
+
+        _, warm_note = _build_serving_saccs(self._args(snapdir))
+        assert warm_note is not None  # fresh snapshot warm-starts again

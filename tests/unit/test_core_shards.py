@@ -1,0 +1,191 @@
+"""The sharded tag index: byte-identity with the single-shard oracle.
+
+The contract under test is *bitwise* equality, not approximate: every
+degree a :class:`ShardedTagIndex` serves must be the same float the
+unsharded :class:`SubjectiveTagIndex` would have produced, across shard
+counts, θ modes, and the threaded fan-out.  The corpus is deliberately
+bigger than the row-stationary kernel ceiling (64 rows) so the batched
+similarity paths — where layout-dependent low bits would creep in — are
+actually exercised.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import SubjectiveTagIndex
+from repro.core.shards import ShardedTagIndex, shard_of
+from repro.core.tags import SubjectiveTag
+from repro.text import ConceptualSimilarity, restaurant_lexicon
+
+
+def _corpus(num_entities=30, num_index_tags=80, seed=7):
+    """Synthetic entities/reviews plus an index tag list longer than the
+    64-row row-stationary ceiling (the historical bit-drift regression)."""
+    rng = np.random.default_rng(seed)
+    lexicon = restaurant_lexicon()
+    aspects = sorted(lexicon.aspect_surface_index())
+    opinions = sorted(op.text for op in lexicon.opinions)
+    pool = [SubjectiveTag(a, o) for a in aspects for o in opinions]
+    index_tags = [pool[i] for i in rng.choice(len(pool), size=num_index_tags, replace=False)]
+    corpus = []
+    for e in range(num_entities):
+        reviews = []
+        for _ in range(int(rng.integers(1, 5))):
+            picks = rng.choice(len(pool), size=int(rng.integers(1, 6)))
+            reviews.append([pool[i] for i in picks])
+        corpus.append((f"entity-{e:03d}", reviews))
+    queries = list(index_tags[:20])
+    queries += [SubjectiveTag(t.aspect, f"really {t.opinion}") for t in index_tags[20:30]]
+    return corpus, index_tags, queries
+
+
+def _build(index, corpus, tags):
+    for entity_id, reviews in corpus:
+        index.register_entity(entity_id, reviews)
+    index.build(tags)
+    return index
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _corpus()
+
+
+@pytest.fixture(scope="module")
+def oracle(workload):
+    corpus, tags, _ = workload
+    return _build(
+        SubjectiveTagIndex(ConceptualSimilarity(restaurant_lexicon())), corpus, tags
+    )
+
+
+class TestShardRouting:
+    def test_routing_is_stable_and_in_range(self):
+        for entity_id in ("entity-000", "abc", "é-ünïcode"):
+            first = shard_of(entity_id, 8)
+            assert 0 <= first < 8
+            assert shard_of(entity_id, 8) == first
+
+    def test_shards_partition_the_entities(self, workload):
+        corpus, tags, _ = workload
+        sharded = _build(
+            ShardedTagIndex(ConceptualSimilarity(restaurant_lexicon()), num_shards=4),
+            corpus,
+            tags,
+        )
+        per_shard = [shard.entity_order for shard in sharded.shards]
+        flattened = [e for order in per_shard for e in order]
+        assert sorted(flattened) == sorted(e for e, _ in corpus)
+        assert len(flattened) == len(set(flattened))
+        for shard_id, order in enumerate(per_shard):
+            assert all(shard_of(e, 4) == shard_id for e in order)
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedTagIndex(ConceptualSimilarity(restaurant_lexicon()), num_shards=0)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("num_shards", [1, 4, 8])
+    def test_lookup_similar_batch_bitwise_equal(self, workload, oracle, num_shards):
+        corpus, tags, queries = workload
+        sharded = _build(
+            ShardedTagIndex(
+                ConceptualSimilarity(restaurant_lexicon()), num_shards=num_shards
+            ),
+            corpus,
+            tags,
+        )
+        expected = oracle.lookup_similar_batch(queries, theta_filter=0.6)
+        actual = sharded.lookup_similar_batch(queries, theta_filter=0.6)
+        for mine, theirs in zip(actual, expected):
+            assert mine == theirs  # exact floats, not approx
+
+    def test_threaded_fan_out_bitwise_equal(self, workload, oracle):
+        corpus, tags, queries = workload
+        sharded = _build(
+            ShardedTagIndex(
+                ConceptualSimilarity(restaurant_lexicon()),
+                num_shards=4,
+                lookup_workers=4,
+            ),
+            corpus,
+            tags,
+        )
+        expected = oracle.lookup_similar_batch(queries, theta_filter=0.6)
+        assert sharded.lookup_similar_batch(queries, theta_filter=0.6) == expected
+
+    def test_exact_lookup_bitwise_equal(self, workload, oracle):
+        corpus, tags, _ = workload
+        sharded = _build(
+            ShardedTagIndex(ConceptualSimilarity(restaurant_lexicon()), num_shards=4),
+            corpus,
+            tags,
+        )
+        for tag in tags:
+            assert sharded.lookup(tag) == oracle.lookup(tag)
+
+    def test_dynamic_theta_bitwise_equal(self, workload):
+        corpus, tags, queries = workload
+        oracle = _build(
+            SubjectiveTagIndex(
+                ConceptualSimilarity(restaurant_lexicon()), theta_mode="dynamic"
+            ),
+            corpus,
+            tags,
+        )
+        sharded = _build(
+            ShardedTagIndex(
+                ConceptualSimilarity(restaurant_lexicon()),
+                num_shards=4,
+                theta_mode="dynamic",
+            ),
+            corpus,
+            tags,
+        )
+        expected = oracle.lookup_similar_batch(queries, theta_filter=0.6)
+        assert sharded.lookup_similar_batch(queries, theta_filter=0.6) == expected
+
+
+class TestIncrementalUpdates:
+    def test_lookup_reflects_entities_registered_after_a_query(self, workload):
+        corpus, tags, _ = workload
+        sharded = _build(
+            ShardedTagIndex(ConceptualSimilarity(restaurant_lexicon()), num_shards=4),
+            corpus[:-1],
+            tags,
+        )
+        query = tags[0]
+        before = sharded.lookup_similar(query, theta_filter=0.6)
+        late_id, late_reviews = corpus[-1]
+        sharded.register_entity(late_id, late_reviews)
+        after = sharded.lookup_similar(query, theta_filter=0.6)
+        # the fused read view must have been invalidated, not served stale
+        assert set(after) >= set(before) or late_id in set(before) | set(after) or before == after
+        oracle = _build(
+            SubjectiveTagIndex(ConceptualSimilarity(restaurant_lexicon())), corpus, tags
+        )
+        assert after == oracle.lookup_similar(query, theta_filter=0.6)
+
+    def test_adding_a_tag_after_queries_matches_oracle(self, workload):
+        corpus, tags, queries = workload
+        sharded = _build(
+            ShardedTagIndex(ConceptualSimilarity(restaurant_lexicon()), num_shards=4),
+            corpus,
+            tags[:-1],
+        )
+        sharded.lookup_similar(tags[0], theta_filter=0.6)  # warm the fused view
+        sharded.add_tag(tags[-1])
+        oracle = _build(
+            SubjectiveTagIndex(ConceptualSimilarity(restaurant_lexicon())), corpus, tags
+        )
+        expected = oracle.lookup_similar_batch(queries, theta_filter=0.6)
+        assert sharded.lookup_similar_batch(queries, theta_filter=0.6) == expected
+
+    def test_empty_index_returns_empty_results(self):
+        sharded = ShardedTagIndex(
+            ConceptualSimilarity(restaurant_lexicon()), num_shards=4
+        )
+        tag = SubjectiveTag("food", "delicious")
+        assert sharded.lookup_similar_batch([tag], theta_filter=0.6) == [{}]
+        assert sharded.lookup(tag) == {}

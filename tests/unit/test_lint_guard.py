@@ -45,7 +45,7 @@ def test_src_tree_has_no_new_findings():
     assert completed.returncode == 0
     # The committed baseline and suppressions are in active use, not stale.
     assert payload["summary"]["files_scanned"] > 90
-    assert payload["summary"]["rules_run"] >= 13
+    assert payload["summary"]["rules_run"] >= 17
 
 
 def test_seeded_violation_is_caught(tmp_path):

@@ -360,7 +360,12 @@ class TestServeConfig:
 
     @pytest.mark.parametrize(
         "kwargs",
-        [{"max_batch_size": 0}, {"workers": 0}, {"max_wait_ms": -1.0}],
+        [
+            {"max_batch_size": 0},
+            {"workers": 0},
+            {"max_wait_ms": -1.0},
+            {"rebuild_pace_seconds": -0.001},
+        ],
     )
     def test_invalid_config_rejected(self, kwargs):
         with pytest.raises(ValueError):
@@ -585,3 +590,136 @@ class TestRuntimeTracing:
             runtime.trace_payload("t999999")
         assert excinfo.value.code == "trace_not_found"
         assert excinfo.value.status == 404
+
+
+class TestBackgroundReindex:
+    """The zero-downtime rebuild protocol: atomic swap, sweep after, paced."""
+
+    @staticmethod
+    def _real_runtime(shards=4, cache_size=64, pace_seconds=0.0005):
+        from repro.core.extractor import OracleExtractor
+        from repro.core.saccs import Saccs, SaccsConfig
+        from repro.core.tags import SubjectiveTag
+        from repro.data import WorldConfig, build_world
+        from repro.serve import SaccsRuntime
+        from repro.text import ConceptualSimilarity, restaurant_lexicon
+
+        world = build_world(
+            WorldConfig.small(seed=5, num_entities=20, mean_reviews=4.0)
+        )
+        saccs = Saccs(
+            world.entities,
+            world.reviews,
+            OracleExtractor(),
+            ConceptualSimilarity(restaurant_lexicon()),
+            SaccsConfig(index_shards=shards),
+        )
+        dims = [SubjectiveTag.from_text(d.name) for d in world.dimensions]
+        saccs.build_index(dims)
+        config = ServeConfig(
+            workers=2,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            cache_size=cache_size,
+            rebuild_pace_seconds=pace_seconds,
+        )
+        return SaccsRuntime(saccs, config), dims
+
+    def test_background_reindex_bumps_generation_and_flags_response(self):
+        runtime, _ = self._real_runtime(pace_seconds=0.0)
+        with runtime:
+            start = runtime.generation
+            response = runtime.reindex(background=True)
+            assert response.background is True
+            assert response.full is True
+            assert response.generation == start + 1
+            assert runtime.generation == start + 1
+            payload = response.to_payload()
+            assert payload["background"] is True
+            assert runtime.metrics.counter("index.swap") == 1
+
+    def test_sweep_runs_strictly_after_the_swap(self):
+        """Regression: sweeping before the pointer swap leaks cache entries
+        written by searches racing the gap between sweep and swap."""
+        runtime, dims = self._real_runtime(pace_seconds=0.0)
+        events = []
+        original_commit = runtime.saccs.commit_rebuild
+        original_sweep = runtime.cache.sweep
+
+        def commit(prepared):
+            events.append("commit")
+            return original_commit(prepared)
+
+        def sweep(generation):
+            events.append(("sweep", generation))
+            return original_sweep(generation)
+
+        runtime.saccs.commit_rebuild = commit
+        runtime.cache.sweep = sweep
+        with runtime:
+            runtime.search([dims[0]])  # seed the old-generation cache
+            response = runtime.reindex(background=True)
+        assert "commit" in events
+        marker = ("sweep", response.generation)
+        assert marker in events
+        assert events.index("commit") < events.index(marker)
+
+    def test_racing_searches_never_mix_generations(self):
+        """Every response carries either the old index's ranking under the
+        old generation or the new index's under the new — never a blend."""
+        runtime, dims = self._real_runtime()
+        query = [dims[0], dims[1]]
+        with runtime:
+            before = runtime.search(query)
+            assert before.results, "need a non-empty ranking to race against"
+            # Mutate the corpus so the rebuilt index must rank differently:
+            # the top entity loses every review, and with it its degrees.
+            top_entity = before.results[0][0]
+            reviews = {
+                entity_id: list(entity_reviews)
+                for entity_id, entity_reviews in runtime.saccs.reviews.items()
+            }
+            reviews[top_entity] = []
+            runtime.saccs.reviews = reviews
+
+            observed = []
+            done = threading.Event()
+            failures = []
+
+            def rebuild():
+                try:
+                    runtime.reindex(background=True)
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    failures.append(exc)
+                finally:
+                    done.set()
+
+            thread = threading.Thread(target=rebuild, daemon=True)
+            thread.start()
+            while not done.is_set():
+                response = runtime.search(query)
+                observed.append((response.generation, tuple(response.results)))
+            thread.join()
+            assert not failures, failures
+            after = runtime.search(query)
+
+        assert tuple(after.results) != tuple(before.results)
+        assert after.generation == before.generation + 1
+        generations = [generation for generation, _ in observed]
+        assert generations == sorted(generations), "generation went backwards"
+        for generation, ranking in observed:
+            if generation == before.generation:
+                assert ranking == tuple(before.results)
+            else:
+                assert generation == after.generation
+                assert ranking == tuple(after.results)
+
+    def test_rebuild_pacing_yields_are_optional(self):
+        # pace 0 must mean "flat out": same result, no sleeps required
+        runtime, dims = self._real_runtime(pace_seconds=0.0)
+        with runtime:
+            first = runtime.search([dims[0]])
+            runtime.reindex(background=True)
+            second = runtime.search([dims[0]])
+            assert second.generation == first.generation + 1
+            assert tuple(second.results) == tuple(first.results)
