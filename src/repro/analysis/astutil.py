@@ -32,7 +32,21 @@ MUTATOR_METHODS = frozenset(
     }
 )
 
-_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"})
+_LOCK_FACTORIES = frozenset(
+    {
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        # repro.utils.locks factory names — lock-discipline rules must keep
+        # recognising locks created through the witness-aware factories.
+        "make_lock",
+        "make_rlock",
+        "TrackedLock",
+        "TrackedRLock",
+    }
+)
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:

@@ -20,15 +20,29 @@ from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.analysis.registry import Finding
 
-__all__ = ["load_baseline", "write_baseline", "partition_findings", "BASELINE_VERSION"]
+__all__ = [
+    "load_baseline",
+    "load_baseline_entries",
+    "entry_key",
+    "write_baseline",
+    "write_baseline_entries",
+    "partition_findings",
+    "stale_keys",
+    "BASELINE_VERSION",
+]
 
 BASELINE_VERSION = 1
 
 
-def load_baseline(path: str) -> Set[str]:
-    """The set of accepted finding keys; empty when the file is absent."""
+def entry_key(entry: Dict[str, object]) -> str:
+    """The finding key a baseline entry stands for."""
+    return f"{entry['path']}:{entry['rule']}:{entry['line']}"
+
+
+def load_baseline_entries(path: str) -> List[Dict[str, object]]:
+    """The baseline's raw entries (for pruning); empty when absent."""
     if not os.path.exists(path):
-        return set()
+        return []
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     if payload.get("version") != BASELINE_VERSION:
@@ -36,10 +50,12 @@ def load_baseline(path: str) -> Set[str]:
             f"baseline {path!r} has version {payload.get('version')!r}; "
             f"expected {BASELINE_VERSION}"
         )
-    return {
-        f"{entry['path']}:{entry['rule']}:{entry['line']}"
-        for entry in payload.get("findings", [])
-    }
+    return list(payload.get("findings", []))
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The set of accepted finding keys; empty when the file is absent."""
+    return {entry_key(entry) for entry in load_baseline_entries(path)}
 
 
 def write_baseline(path: str, findings: Iterable[Finding]) -> int:
@@ -48,6 +64,12 @@ def write_baseline(path: str, findings: Iterable[Finding]) -> int:
         {"path": f.path, "rule": f.rule_id, "line": f.line, "message": f.message}
         for f in sorted(set(findings))
     ]
+    return write_baseline_entries(path, entries)
+
+
+def write_baseline_entries(path: str, entries: List[Dict[str, object]]) -> int:
+    """Write raw entries (already finding-shaped dicts) as the baseline."""
+    entries = sorted(entries, key=lambda e: (e["path"], e["rule"], e["line"]))
     payload = {"version": BASELINE_VERSION, "findings": entries}
     target = os.path.abspath(path)
     parent = os.path.dirname(target)
@@ -69,3 +91,27 @@ def partition_findings(
     for finding in findings:
         (baselined if finding.key in accepted else new).append(finding)
     return new, baselined
+
+
+def stale_keys(
+    accepted: Set[str],
+    produced: Set[str],
+    scanned_paths: Set[str],
+    active_rules: Set[str],
+) -> List[str]:
+    """Baseline keys whose file was scanned but no finding matched.
+
+    Keys for files *outside* the scanned set are left alone — a scoped run
+    (``repro lint src/repro/nn``) must not declare the rest of the baseline
+    stale — and so are keys for rules *outside* the active set, so a
+    rule-scoped run (``repro locks``, which triages only the concurrency
+    family) cannot declare every other family's entries stale.  Key format
+    is ``path:rule:line`` (paths are posix-relative and never contain
+    ``:``), so ``rsplit`` recovers both parts.
+    """
+    stale: List[str] = []
+    for key in sorted(accepted - produced):
+        path, rule, _ = key.rsplit(":", 2)
+        if path in scanned_paths and rule in active_rules:
+            stale.append(key)
+    return stale

@@ -1,0 +1,44 @@
+"""Whole-program concurrency analysis: lock-order graph + deadlock detection.
+
+The pass builds a project-wide view of every lock (named factory locks and
+raw ``threading`` primitives), every acquisition site, and the call graph
+connecting them; propagates held-lock sets interprocedurally; and reports
+
+* **cycles** in the resulting lock-order graph (potential deadlocks), and
+* **locks held across known-blocking calls** (queue waits, socket sends,
+  ``prepare_rebuild``-class rebuild work).
+
+``repro locks`` renders the graph (human tree / JSON / Graphviz dot); the
+``concurrency`` rule family feeds the same findings through the lint
+engine's suppression/baseline triage so the tier-1 guard enforces a clean
+``src/``.  The dynamic counterpart lives in :mod:`repro.utils.locks`.
+"""
+
+from repro.analysis.concurrency.callgraph import ClassInfo, FunctionInfo, LockDef, Program
+from repro.analysis.concurrency.locksets import (
+    BlockingSite,
+    LockCycle,
+    LockReport,
+    OrderEdge,
+    analyze_program,
+)
+from repro.analysis.concurrency.report import (
+    render_dot,
+    render_locks_human,
+    report_payload,
+)
+
+__all__ = [
+    "BlockingSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "LockCycle",
+    "LockDef",
+    "LockReport",
+    "OrderEdge",
+    "Program",
+    "analyze_program",
+    "render_dot",
+    "render_locks_human",
+    "report_payload",
+]

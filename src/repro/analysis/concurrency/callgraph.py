@@ -1,0 +1,449 @@
+"""Project-wide call graph and lock-object resolution over parsed modules.
+
+This is deliberately a *cheap* whole-program model — stdlib ``ast`` only,
+no symbolic execution — tuned to the idioms this codebase actually uses:
+
+* locks are class attributes assigned in ``__init__`` (``self._lock =
+  make_lock("serve.cache")``) or module-level constants;
+* object types flow through constructor assignments (``self.sessions =
+  SessionStore(...)``), annotated parameters, annotated locals, and
+  return annotations (``def _acquire_entry(...) -> _Entry``);
+* calls are ``self.method()``, ``obj.method()`` on a resolvable ``obj``,
+  same-module functions, or ``from``-imported names.
+
+Anything the model cannot resolve it drops silently — the analysis is
+under-approximate by design (documented in DESIGN.md §16); the runtime
+witness covers the paths static resolution cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.astutil import call_name
+from repro.analysis.registry import ParsedModule
+
+__all__ = ["LockDef", "ClassInfo", "FunctionInfo", "Program"]
+
+#: Factory callables whose call expression *creates a lock object*.  The
+#: repro factories carry the order name as their first string argument;
+#: raw threading primitives get a synthesised ``Owner.attr`` name.
+_NAMED_FACTORIES = {"make_lock", "make_rlock"}
+_RAW_FACTORIES = {"Lock", "RLock", "Condition", "TrackedLock", "TrackedRLock"}
+
+
+@dataclass(frozen=True)
+class LockDef:
+    """One lock object the program creates.
+
+    ``name`` is the order name every acquisition of this object shares —
+    the factory's string argument when present, else a synthesised
+    ``Class.attr`` / ``module.VAR`` label.  ``kind`` distinguishes rlocks
+    (reentrant self-edges are not ordering violations).
+    """
+
+    name: str
+    kind: str  # "lock" | "rlock" | "condition"
+    path: str
+    line: int
+
+
+@dataclass
+class ClassInfo:
+    qualname: str  # module.Class
+    name: str
+    module: str
+    node: ast.ClassDef
+    path: str
+    #: attribute name → qualified class name (best-effort)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    #: attribute name → the lock assigned to it
+    lock_attrs: Dict[str, LockDef] = field(default_factory=dict)
+
+
+@dataclass
+class FunctionInfo:
+    qualname: str  # module.func or module.Class.method
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    module: ParsedModule
+    cls: Optional[ClassInfo] = None
+    is_contextmanager: bool = False
+
+    @property
+    def short(self) -> str:
+        parts = self.qualname.rsplit(".", 2)
+        return ".".join(parts[-2:]) if self.cls is not None else parts[-1]
+
+
+def _constructor_class(call: ast.AST) -> Optional[str]:
+    """The (unresolved) class name when ``call`` looks like ``Name(...)``."""
+    if isinstance(call, ast.IfExp):
+        # ``store if store is not None else TraceStore()`` — either branch.
+        return _constructor_class(call.body) or _constructor_class(call.orelse)
+    if not isinstance(call, ast.Call):
+        return None
+    name = call_name(call)
+    if name is None:
+        return None
+    last = name.split(".")[-1]
+    return name if last[:1].isupper() else None
+
+
+def _annotation_name(annotation: Optional[ast.AST]) -> Optional[str]:
+    """``X`` from ``X`` / ``"X"`` / ``Optional[X]`` annotations."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        parts = []
+        node: ast.AST = annotation
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+    if isinstance(annotation, ast.Subscript):
+        outer = _annotation_name(annotation.value)
+        if outer and outer.split(".")[-1] == "Optional":
+            return _annotation_name(annotation.slice)
+    return None
+
+
+def _lock_from_call(
+    call: ast.AST, owner_label: str, attr: str, path: str
+) -> Optional[LockDef]:
+    """A :class:`LockDef` when ``call`` constructs a lock, else ``None``."""
+    if not isinstance(call, ast.Call):
+        return None
+    callee = call_name(call)
+    if callee is None:
+        return None
+    last = callee.split(".")[-1]
+    if last in _NAMED_FACTORIES:
+        kind = "rlock" if last == "make_rlock" else "lock"
+        if call.args and isinstance(call.args[0], ast.Constant) and isinstance(
+            call.args[0].value, str
+        ):
+            name = call.args[0].value
+        else:
+            name = f"{owner_label}.{attr}"
+        return LockDef(name=name, kind=kind, path=path, line=call.lineno)
+    if last in _RAW_FACTORIES:
+        kind = "rlock" if "RLock" in last else ("condition" if last == "Condition" else "lock")
+        return LockDef(name=f"{owner_label}.{attr}", kind=kind, path=path, line=call.lineno)
+    return None
+
+
+class Program:
+    """The resolved whole-program view the lock pass works over."""
+
+    def __init__(self) -> None:
+        self.modules: List[ParsedModule] = []
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: module name → local alias → fully qualified target
+        self.imports: Dict[str, Dict[str, str]] = {}
+        #: module name → global var → LockDef (module-level locks)
+        self.global_locks: Dict[str, Dict[str, LockDef]] = {}
+        #: short class name → qualnames (for annotation strings like "_Entry")
+        self._by_class_name: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def build(cls, modules: Sequence[ParsedModule]) -> "Program":
+        program = cls()
+        for module in modules:
+            program._index_module(module)
+        for module in modules:
+            program._infer_attr_types(module)
+        return program
+
+    def _index_module(self, module: ParsedModule) -> None:
+        self.modules.append(module)
+        mod_name = module.module_name
+        imports = self.imports.setdefault(mod_name, {})
+        globals_ = self.global_locks.setdefault(mod_name, {})
+        short_mod = mod_name.rsplit(".", 1)[-1] or mod_name
+        for node in module.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imports[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+            elif isinstance(node, ast.Assign):
+                lock = _lock_from_call(
+                    node.value, short_mod, getattr(node.targets[0], "id", "?"), module.path
+                )
+                if lock is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            globals_[target.id] = lock
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(module, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(module, node, None)
+
+    def _index_class(self, module: ParsedModule, node: ast.ClassDef) -> None:
+        qualname = f"{module.module_name}.{node.name}"
+        info = ClassInfo(
+            qualname=qualname,
+            name=node.name,
+            module=module.module_name,
+            node=node,
+            path=module.path,
+        )
+        self.classes[qualname] = info
+        self._by_class_name.setdefault(node.name, []).append(qualname)
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(module, child, info)
+
+    def _index_function(
+        self,
+        module: ParsedModule,
+        node: ast.AST,
+        cls_info: Optional[ClassInfo],
+    ) -> None:
+        prefix = cls_info.qualname if cls_info is not None else module.module_name
+        qualname = f"{prefix}.{node.name}"
+        is_cm = any(
+            (call_name(d) or _annotation_name(d) or "").split(".")[-1] == "contextmanager"
+            for d in node.decorator_list
+        )
+        self.functions[qualname] = FunctionInfo(
+            qualname=qualname,
+            node=node,
+            module=module,
+            cls=cls_info,
+            is_contextmanager=is_cm,
+        )
+
+    # ------------------------------------------------------- attribute typing
+
+    def _infer_attr_types(self, module: ParsedModule) -> None:
+        for info in self.classes.values():
+            if info.module != module.module_name:
+                continue
+            for child in info.node.body:
+                if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                annotated: Dict[str, Optional[str]] = {}
+                args = child.args
+                for arg in list(args.args) + list(args.kwonlyargs):
+                    annotated[arg.arg] = _annotation_name(arg.annotation)
+                for node in ast.walk(child):
+                    attr, value = self._self_attr_assign(node)
+                    if attr is None:
+                        continue
+                    lock = _lock_from_call(value, info.name, attr, info.path)
+                    if lock is not None:
+                        info.lock_attrs.setdefault(attr, lock)
+                        continue
+                    type_name = _constructor_class(value)
+                    if type_name is None and isinstance(value, ast.Name):
+                        type_name = annotated.get(value.id)
+                    if type_name is None and isinstance(value, ast.IfExp):
+                        # ``x if x is not None else Ctor()`` — try the
+                        # annotated name on either branch too.
+                        for branch in (value.body, value.orelse):
+                            if isinstance(branch, ast.Name):
+                                type_name = annotated.get(branch.id)
+                                if type_name:
+                                    break
+                    if type_name is not None:
+                        resolved = self.resolve_class(type_name, info.module)
+                        if resolved is not None:
+                            info.attr_types.setdefault(attr, resolved)
+
+    @staticmethod
+    def _self_attr_assign(node: ast.AST) -> Tuple[Optional[str], Optional[ast.AST]]:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        else:
+            return None, None
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return target.attr, value
+        return None, None
+
+    # ------------------------------------------------------------- resolution
+
+    def resolve_class(self, name: str, from_module: str) -> Optional[str]:
+        """Qualified class name for ``name`` as written inside ``from_module``."""
+        if name in self.classes:
+            return name
+        short = name.split(".")[-1]
+        candidate = f"{from_module}.{short}"
+        if candidate in self.classes:
+            return candidate
+        imported = self.imports.get(from_module, {}).get(name.split(".")[0])
+        if imported is not None:
+            target = imported if "." not in name else f"{imported}.{name.split('.', 1)[1]}"
+            if target in self.classes:
+                return target
+        # Unique short-name match (annotation strings like "_Entry").
+        owners = self._by_class_name.get(short, [])
+        if len(owners) == 1:
+            return owners[0]
+        return None
+
+    def resolve_function(self, name: str, from_module: str) -> Optional[FunctionInfo]:
+        candidate = f"{from_module}.{name}"
+        if candidate in self.functions:
+            return self.functions[candidate]
+        imported = self.imports.get(from_module, {}).get(name)
+        if imported is not None and imported in self.functions:
+            return self.functions[imported]
+        return None
+
+    def method(self, class_qualname: str, method: str) -> Optional[FunctionInfo]:
+        return self.functions.get(f"{class_qualname}.{method}")
+
+    def local_types(self, func: FunctionInfo) -> Dict[str, str]:
+        """Best-effort local variable → qualified class name for ``func``."""
+        types: Dict[str, str] = {}
+        module = func.module.module_name
+        args = func.node.args
+        for arg in list(args.args) + list(args.kwonlyargs):
+            resolved = self._resolve_opt(_annotation_name(arg.annotation), module)
+            if resolved:
+                types[arg.arg] = resolved
+        for node in ast.walk(func.node):
+            target: Optional[str] = None
+            value: Optional[ast.AST] = None
+            annotation: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                if isinstance(node.targets[0], ast.Name):
+                    target, value = node.targets[0].id, node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                target, value, annotation = node.target.id, node.value, node.annotation
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        bound = self._with_binding(item.context_expr, func)
+                        if bound:
+                            types[item.optional_vars.id] = bound
+            if target is None:
+                continue
+            resolved = self._resolve_opt(_annotation_name(annotation), module)
+            if resolved is None and value is not None:
+                ctor = _constructor_class(value)
+                if ctor is not None:
+                    resolved = self.resolve_class(ctor, module)
+            if resolved is None and isinstance(value, ast.Call):
+                callee = self.resolve_callee(value, func, types)
+                if callee is not None:
+                    resolved = self._resolve_opt(
+                        _annotation_name(getattr(callee.node, "returns", None)),
+                        callee.module.module_name,
+                    )
+            if resolved is None and isinstance(value, ast.Attribute):
+                resolved = self._attr_chain_type(value, func, types)
+            if resolved is not None:
+                types[target] = resolved
+        return types
+
+    def _with_binding(self, context_expr: ast.AST, func: FunctionInfo) -> Optional[str]:
+        """``with self.cm() as x`` — the class ``x`` takes from the cm's yield."""
+        if not isinstance(context_expr, ast.Call):
+            return None
+        callee = self.resolve_callee(context_expr, func, {})
+        if callee is None or not callee.is_contextmanager:
+            return None
+        returns = _annotation_name(getattr(callee.node, "returns", None))
+        if returns is None:
+            return None
+        # ``Iterator[X]`` / ``Generator[X, ...]`` annotations reduce to X via
+        # the Optional-style subscript unwrap in _annotation_name only for
+        # Optional; handle Iterator/Generator here.
+        return self._resolve_opt(returns, callee.module.module_name)
+
+    def _resolve_opt(self, name: Optional[str], module: str) -> Optional[str]:
+        if name is None:
+            return None
+        short = name.split(".")[-1]
+        if short in ("Iterator", "Generator", "Iterable", "ContextManager"):
+            return None
+        return self.resolve_class(name, module)
+
+    def _attr_chain_type(
+        self, node: ast.Attribute, func: FunctionInfo, local_types: Dict[str, str]
+    ) -> Optional[str]:
+        """Type of ``self.attr`` / ``obj.attr`` loads (one level deep)."""
+        owner = self.owner_class_of(node.value, func, local_types)
+        if owner is None:
+            return None
+        info = self.classes.get(owner)
+        if info is None:
+            return None
+        return info.attr_types.get(node.attr)
+
+    def owner_class_of(
+        self, node: ast.AST, func: FunctionInfo, local_types: Dict[str, str]
+    ) -> Optional[str]:
+        """The class qualname whose attribute namespace ``node`` denotes."""
+        if isinstance(node, ast.Name):
+            if node.id == "self" and func.cls is not None:
+                return func.cls.qualname
+            return local_types.get(node.id)
+        if isinstance(node, ast.Attribute):
+            inner = self.owner_class_of(node.value, func, local_types)
+            if inner is None:
+                return None
+            info = self.classes.get(inner)
+            if info is None:
+                return None
+            return info.attr_types.get(node.attr)
+        return None
+
+    def resolve_lock(
+        self, node: ast.AST, func: FunctionInfo, local_types: Dict[str, str]
+    ) -> Optional[LockDef]:
+        """The lock ``node`` denotes (``self._lock``, ``entry.lock``, global)."""
+        if isinstance(node, ast.Name):
+            return self.global_locks.get(func.module.module_name, {}).get(node.id)
+        if isinstance(node, ast.Attribute):
+            owner = self.owner_class_of(node.value, func, local_types)
+            if owner is not None:
+                info = self.classes.get(owner)
+                if info is not None and node.attr in info.lock_attrs:
+                    return info.lock_attrs[node.attr]
+            # ``module_alias.GLOBAL_LOCK``
+            if isinstance(node.value, ast.Name):
+                imported = self.imports.get(func.module.module_name, {}).get(node.value.id)
+                if imported is not None:
+                    return self.global_locks.get(imported, {}).get(node.attr)
+        return None
+
+    def resolve_callee(
+        self, call: ast.Call, func: FunctionInfo, local_types: Dict[str, str]
+    ) -> Optional[FunctionInfo]:
+        """The project function a call dispatches to, when resolvable."""
+        target = call.func
+        if isinstance(target, ast.Name):
+            return self.resolve_function(target.id, func.module.module_name)
+        if isinstance(target, ast.Attribute):
+            owner = self.owner_class_of(target.value, func, local_types)
+            if owner is not None:
+                found = self.method(owner, target.attr)
+                if found is not None:
+                    return found
+            if isinstance(target.value, ast.Name):
+                imported = self.imports.get(func.module.module_name, {}).get(target.value.id)
+                if imported is not None:
+                    return self.functions.get(f"{imported}.{target.attr}")
+        return None

@@ -1,0 +1,568 @@
+"""Held-lock-set propagation, the lock-order graph, cycles, blocking calls.
+
+Three phases over the :class:`~repro.analysis.concurrency.callgraph.Program`:
+
+1. **contextmanager yields** — for every ``@contextmanager`` function,
+   the set of locks lexically held at its ``yield`` (those are what a
+   ``with cm():`` caller holds for the body — e.g. ``SessionStore.checkout``
+   holds the per-session entry lock at yield, while ``MetricsRegistry.time``
+   holds nothing because it only takes its lock in the ``finally``).
+2. **summaries** — a fixpoint over the call graph computing, per function,
+   ``may_acquire`` (lock name → first acquisition site anywhere in the
+   function or its callees) and ``may_block`` (the first reachable
+   known-blocking call).  Recursion converges because both sets only grow.
+3. **emission** — a lexical re-walk of every function tracking the held
+   stack: ``with`` nesting yields direct order edges; resolved call sites
+   yield ``held → may_acquire(callee)`` edges; blocking calls (direct or
+   via ``may_block``) under a non-empty held set yield findings.
+
+The result is under-approximate (unresolved dynamic dispatch drops edges)
+and over-approximate (a callee's conditional acquisition counts as always
+taken) in the standard static-analysis ways; DESIGN.md §16 spells out the
+trade and the runtime witness covers the gap.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.astutil import call_name
+from repro.analysis.concurrency.callgraph import FunctionInfo, LockDef, Program
+from repro.analysis.registry import ParsedModule
+
+__all__ = ["OrderEdge", "BlockingSite", "LockCycle", "LockReport", "analyze_program"]
+
+Site = Tuple[str, int]  # (path, line)
+
+#: Module-level callables that block the calling thread.
+_BLOCKING_DOTTED = {
+    "time.sleep",
+    "urllib.request.urlopen",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+}
+
+#: Method names that block regardless of receiver type.  The repo-specific
+#: entries (``prepare_rebuild`` / ``rebuild_index``) are the long
+#: re-extraction passes: holding any serving lock across one stalls the
+#: world, which is exactly what the double-buffered rebuild exists to avoid.
+_BLOCKING_METHODS = {
+    "sendall",
+    "recv",
+    "accept",
+    "serve_forever",
+    "prepare_rebuild",
+    "rebuild_index",
+}
+
+#: Queue constructor names (``queue.Queue()`` etc.) — ``get``/``put`` on one
+#: of these without a timeout blocks indefinitely.
+_QUEUE_CTORS = {"Queue", "LifoQueue", "PriorityQueue", "SimpleQueue"}
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """``src`` was held while ``dst`` was acquired (first observation)."""
+
+    src: str
+    dst: str
+    src_site: Site
+    dst_site: Site
+    via: str  # "" for a lexical with-nesting, else the call that led there
+
+
+@dataclass(frozen=True)
+class BlockingSite:
+    """A known-blocking call made while at least one lock was held."""
+
+    held: Tuple[Tuple[str, Site], ...]
+    desc: str
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class LockCycle:
+    """One strongly connected component of the lock-order graph."""
+
+    names: Tuple[str, ...]
+    edges: Tuple[OrderEdge, ...]
+
+    @property
+    def anchor(self) -> Site:
+        return min(edge.dst_site for edge in self.edges)
+
+
+@dataclass
+class LockReport:
+    """Everything the CLI / rules need from one analysis run."""
+
+    locks: Dict[str, LockDef] = field(default_factory=dict)
+    acquisitions: Dict[str, List[Site]] = field(default_factory=dict)
+    edges: Dict[Tuple[str, str], OrderEdge] = field(default_factory=dict)
+    blocking: List[BlockingSite] = field(default_factory=list)
+    cycles: List[LockCycle] = field(default_factory=list)
+    #: deterministic topological order of the graph when acyclic (cycles
+    #: collapse to their sorted-first member so the order stays total).
+    order: List[str] = field(default_factory=list)
+
+
+@dataclass
+class _Summary:
+    may_acquire: Dict[str, Site] = field(default_factory=dict)
+    may_block: Optional[Tuple[str, Site]] = None  # (description, site)
+    callees: List[str] = field(default_factory=list)
+
+
+class _FunctionPass:
+    """One lexical walk of a function body with a held-lock stack."""
+
+    def __init__(
+        self,
+        program: Program,
+        func: FunctionInfo,
+        held_at_yield: Dict[str, Dict[str, Site]],
+        summaries: Optional[Dict[str, _Summary]],
+        report: Optional[LockReport],
+    ):
+        self.program = program
+        self.func = func
+        self.path = func.module.path
+        self.held_at_yield = held_at_yield
+        self.summaries = summaries  # None during the yield pre-pass
+        self.report = report  # None until the emission pass
+        self.local_types = program.local_types(func)
+        self.local_queues: Set[str] = set()
+        self.summary = _Summary()
+        self.yield_locks: Dict[str, Site] = {}
+        self.held: List[Tuple[str, Site]] = []
+
+    # ------------------------------------------------------------------ entry
+
+    def run(self) -> None:
+        self.walk_block(self.func.node.body)
+
+    # ------------------------------------------------------------- traversal
+
+    def walk_block(self, stmts: Sequence[ast.stmt]) -> None:
+        depth = len(self.held)
+        for stmt in stmts:
+            self.visit_stmt(stmt)
+        del self.held[depth:]
+
+    def visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested defs are separate call-graph nodes (or invisible)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.visit_with(stmt)
+            return
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+            ctor = call_name(stmt.value)
+            if ctor is not None and ctor.split(".")[-1] in _QUEUE_CTORS:
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.local_queues.add(target.id)
+        # Compound statements: scan only the header expression — their
+        # bodies are walked below with the right held stack (ast.walk over
+        # the whole node would visit body calls twice).
+        if isinstance(stmt, (ast.If, ast.While)):
+            self.scan_expressions(stmt.test)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.scan_expressions(stmt.iter)
+        elif isinstance(stmt, ast.Try):
+            pass
+        else:
+            self.scan_expressions(stmt)
+        explicit = self._explicit_acquire_release(stmt)
+        if explicit is not None:
+            lock, action, line = explicit
+            if action == "acquire":
+                self.note_acquire(lock, (self.path, line))
+            else:
+                self.note_release(lock)
+        for block in self._sub_blocks(stmt):
+            self.walk_block(block)
+
+    @staticmethod
+    def _sub_blocks(stmt: ast.stmt) -> List[List[ast.stmt]]:
+        blocks: List[List[ast.stmt]] = []
+        for attr in ("body", "orelse", "finalbody"):
+            body = getattr(stmt, attr, None)
+            if body:
+                blocks.append(body)
+        for handler in getattr(stmt, "handlers", []) or []:
+            blocks.append(handler.body)
+        return blocks
+
+    def visit_with(self, stmt: ast.stmt) -> None:
+        acquired = 0
+        for item in stmt.items:
+            expr = item.context_expr
+            lock = self.program.resolve_lock(expr, self.func, self.local_types)
+            if lock is not None:
+                self.note_acquire(lock, (self.path, expr.lineno))
+                acquired += 1
+                continue
+            if isinstance(expr, ast.Call):
+                self.handle_call(expr)
+                callee = self.program.resolve_callee(expr, self.func, self.local_types)
+                if callee is not None and callee.is_contextmanager:
+                    for name, site in self.held_at_yield.get(callee.qualname, {}).items():
+                        self.note_acquire_name(name, "lock", site, (self.path, expr.lineno))
+                        acquired += 1
+        depth = len(self.held)
+        self.walk_block(stmt.body)
+        # note_acquire pushed `acquired` entries; walk_block restored to
+        # its own entry depth, so trim ours explicitly.
+        del self.held[depth - acquired :]
+
+    def scan_expressions(self, root: ast.AST) -> None:
+        """Visit every call / yield in an expression (or simple-stmt) tree."""
+        for node in ast.walk(root):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                for name, site in self.held:
+                    self.yield_locks.setdefault(name, site)
+            elif isinstance(node, ast.Call):
+                self.handle_call(node)
+
+    # -------------------------------------------------------------- acquires
+
+    def note_acquire(self, lock: LockDef, site: Site) -> None:
+        self.note_acquire_name(lock.name, lock.kind, site, site, definition=lock)
+
+    def note_acquire_name(
+        self,
+        name: str,
+        kind: str,
+        acquire_site: Site,
+        local_site: Site,
+        definition: Optional[LockDef] = None,
+    ) -> None:
+        self.summary.may_acquire.setdefault(name, acquire_site)
+        if self.report is not None:
+            if definition is not None:
+                self.report.locks.setdefault(name, definition)
+            self.report.acquisitions.setdefault(name, []).append(local_site)
+            for held_name, held_site in self.held:
+                if held_name == name:
+                    continue
+                self.report.edges.setdefault(
+                    (held_name, name),
+                    OrderEdge(
+                        src=held_name,
+                        dst=name,
+                        src_site=held_site,
+                        dst_site=local_site,
+                        via="",
+                    ),
+                )
+        self.held.append((name, local_site))
+
+    def note_release(self, lock: LockDef) -> None:
+        for position in range(len(self.held) - 1, -1, -1):
+            if self.held[position][0] == lock.name:
+                del self.held[position]
+                return
+
+    def _explicit_acquire_release(
+        self, stmt: ast.stmt
+    ) -> Optional[Tuple[LockDef, str, int]]:
+        """``self._lock.acquire()`` / ``.release()`` as a bare statement."""
+        if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+            return None
+        call = stmt.value
+        if not isinstance(call.func, ast.Attribute) or call.func.attr not in (
+            "acquire",
+            "release",
+        ):
+            return None
+        lock = self.program.resolve_lock(call.func.value, self.func, self.local_types)
+        if lock is None:
+            return None
+        return lock, call.func.attr, call.lineno
+
+    # ----------------------------------------------------------------- calls
+
+    def handle_call(self, call: ast.Call) -> None:
+        line = call.lineno
+        blocking = self._blocking_desc(call)
+        if blocking is not None:
+            held = self._held_for_blocking(call)
+            if self.summary.may_block is None:
+                self.summary.may_block = (blocking, (self.path, line))
+            if self.report is not None and held:
+                self._report_blocking(held, blocking, line)
+        callee = self.program.resolve_callee(call, self.func, self.local_types)
+        if callee is None or callee.qualname == self.func.qualname:
+            return
+        self.summary.callees.append(callee.qualname)
+        if self.summaries is None or not self.held:
+            return
+        callee_summary = self.summaries.get(callee.qualname)
+        if callee_summary is None:
+            return
+        if self.report is not None:
+            for name, site in sorted(callee_summary.may_acquire.items()):
+                for held_name, held_site in self.held:
+                    if held_name == name:
+                        continue
+                    self.report.edges.setdefault(
+                        (held_name, name),
+                        OrderEdge(
+                            src=held_name,
+                            dst=name,
+                            src_site=held_site,
+                            dst_site=site,
+                            via=f"{callee.short} called at {self.path}:{line}",
+                        ),
+                    )
+            if blocking is None and callee_summary.may_block is not None:
+                desc, site = callee_summary.may_block
+                self._report_blocking(
+                    list(self.held),
+                    f"{desc} (reached via {callee.short}, {site[0]}:{site[1]})",
+                    line,
+                )
+
+    def _report_blocking(
+        self, held: List[Tuple[str, Site]], desc: str, line: int
+    ) -> None:
+        assert self.report is not None
+        self.report.blocking.append(
+            BlockingSite(held=tuple(held), desc=desc, path=self.path, line=line)
+        )
+
+    def _held_for_blocking(self, call: ast.Call) -> List[Tuple[str, Site]]:
+        """Held set minus the receiver's own lock (``cond.wait`` releases it)."""
+        held = list(self.held)
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr == "wait":
+            receiver = self.program.resolve_lock(func.value, self.func, self.local_types)
+            if receiver is not None:
+                held = [entry for entry in held if entry[0] != receiver.name]
+        return held
+
+    def _blocking_desc(self, call: ast.Call) -> Optional[str]:
+        name = call_name(call)
+        if name is None:
+            return None
+        if name in _BLOCKING_DOTTED:
+            return name
+        last = name.split(".")[-1]
+        if last in _BLOCKING_METHODS:
+            return last
+        has_timeout = any(
+            kw.arg == "timeout" and not (
+                isinstance(kw.value, ast.Constant) and kw.value.value is None
+            )
+            for kw in call.keywords
+        )
+        if last == "wait" and not call.args and not has_timeout:
+            return "wait()"
+        if last in ("get", "put") and not has_timeout:
+            if self._is_queue(call.func):
+                return f"queue.{last}"
+        return None
+
+    def _is_queue(self, func: ast.AST) -> bool:
+        if not isinstance(func, ast.Attribute):
+            return False
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            return receiver.id in self.local_queues
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+            and self.func.cls is not None
+        ):
+            return receiver.attr in _queue_attrs(self.func.cls.node)
+        return False
+
+
+def _queue_attrs(class_node: ast.ClassDef) -> Set[str]:
+    attrs: Set[str] = set()
+    for node in ast.walk(class_node):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = getattr(node, "value", None)
+        if not isinstance(value, ast.Call):
+            continue
+        ctor = call_name(value)
+        if ctor is None or ctor.split(".")[-1] not in _QUEUE_CTORS:
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attrs.add(target.attr)
+    return attrs
+
+
+# ---------------------------------------------------------------- top level
+
+
+def analyze_program(modules: Sequence[ParsedModule]) -> LockReport:
+    """Run the whole pass and return the populated :class:`LockReport`."""
+    program = Program.build(modules)
+    ordered = sorted(program.functions.values(), key=lambda f: f.qualname)
+
+    # Phase 1: locks held at yield inside @contextmanager functions.
+    held_at_yield: Dict[str, Dict[str, Site]] = {}
+    for func in ordered:
+        if not func.is_contextmanager:
+            continue
+        walk = _FunctionPass(program, func, {}, None, None)
+        walk.run()
+        held_at_yield[func.qualname] = walk.yield_locks
+
+    # Phase 2: fixpoint may_acquire / may_block summaries.
+    summaries: Dict[str, _Summary] = {}
+    for func in ordered:
+        walk = _FunctionPass(program, func, held_at_yield, None, None)
+        walk.run()
+        summaries[func.qualname] = walk.summary
+    changed = True
+    while changed:
+        changed = False
+        for func in ordered:
+            summary = summaries[func.qualname]
+            for callee in summary.callees:
+                callee_summary = summaries.get(callee)
+                if callee_summary is None:
+                    continue
+                for name, site in callee_summary.may_acquire.items():
+                    if name not in summary.may_acquire:
+                        summary.may_acquire[name] = site
+                        changed = True
+                if summary.may_block is None and callee_summary.may_block is not None:
+                    summary.may_block = callee_summary.may_block
+                    changed = True
+
+    # Phase 3: emission.
+    report = LockReport()
+    for func in ordered:
+        walk = _FunctionPass(program, func, held_at_yield, summaries, report)
+        walk.run()
+
+    # Also register never-acquired locks so the inventory is complete.
+    for info in program.classes.values():
+        for lock in info.lock_attrs.values():
+            report.locks.setdefault(lock.name, lock)
+    for globals_ in program.global_locks.values():
+        for lock in globals_.values():
+            report.locks.setdefault(lock.name, lock)
+
+    report.blocking = sorted(
+        set(report.blocking), key=lambda b: (b.path, b.line, b.desc)
+    )
+    report.cycles = _find_cycles(report.edges)
+    report.order = _topological_order(report)
+    return report
+
+
+def _find_cycles(edges: Dict[Tuple[str, str], OrderEdge]) -> List[LockCycle]:
+    """Strongly connected components with ≥2 members, as cycle findings."""
+    graph: Dict[str, List[str]] = {}
+    for src, dst in edges:
+        if src == dst:
+            continue
+        graph.setdefault(src, []).append(dst)
+        graph.setdefault(dst, [])
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    components: List[List[str]] = []
+
+    def strongconnect(node: str) -> None:
+        # Iterative Tarjan: (node, neighbor-iterator) frames.
+        work = [(node, iter(sorted(graph[node])))]
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        while work:
+            current, neighbors = work[-1]
+            advanced = False
+            for neighbor in neighbors:
+                if neighbor not in index:
+                    index[neighbor] = low[neighbor] = counter[0]
+                    counter[0] += 1
+                    stack.append(neighbor)
+                    on_stack.add(neighbor)
+                    work.append((neighbor, iter(sorted(graph[neighbor]))))
+                    advanced = True
+                    break
+                if neighbor in on_stack:
+                    low[current] = min(low[current], index[neighbor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[current])
+            if low[current] == index[current]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == current:
+                        break
+                if len(component) > 1:
+                    components.append(sorted(component))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+
+    cycles: List[LockCycle] = []
+    for component in sorted(components):
+        members = set(component)
+        involved = tuple(
+            edge
+            for (src, dst), edge in sorted(edges.items())
+            if src in members and dst in members and src != dst
+        )
+        cycles.append(LockCycle(names=tuple(component), edges=involved))
+    return cycles
+
+
+def _topological_order(report: LockReport) -> List[str]:
+    """Kahn's algorithm with sorted tie-breaking; cycle members grouped."""
+    nodes = sorted(report.locks)
+    incoming: Dict[str, Set[str]] = {name: set() for name in nodes}
+    outgoing: Dict[str, Set[str]] = {name: set() for name in nodes}
+    in_cycle = {name for cycle in report.cycles for name in cycle.names}
+    for (src, dst), _ in sorted(report.edges.items()):
+        if src == dst or src not in incoming or dst not in incoming:
+            continue
+        if src in in_cycle and dst in in_cycle:
+            continue  # collapse cycles so the order stays total
+        outgoing[src].add(dst)
+        incoming[dst].add(src)
+    order: List[str] = []
+    ready = sorted(name for name in nodes if not incoming[name])
+    while ready:
+        name = ready.pop(0)
+        order.append(name)
+        for succ in sorted(outgoing[name]):
+            incoming[succ].discard(name)
+            if not incoming[succ] and succ not in order and succ not in ready:
+                ready.append(succ)
+        ready.sort()
+    for name in nodes:  # anything left sits inside a cycle
+        if name not in order:
+            order.append(name)
+    return order

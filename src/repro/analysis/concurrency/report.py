@@ -1,0 +1,148 @@
+"""Renderers for ``repro locks``: human tree, JSON payload, Graphviz dot."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.analysis.concurrency.locksets import LockReport
+
+__all__ = ["render_locks_human", "report_payload", "render_dot"]
+
+
+def _site(site) -> str:
+    return f"{site[0]}:{site[1]}"
+
+
+def render_locks_human(report: LockReport) -> str:
+    """The lock hierarchy as an indented tree plus problem sections."""
+    out: List[str] = []
+    out.append(f"{len(report.locks)} locks, {len(report.edges)} order edges")
+    out.append("")
+    out.append("lock hierarchy (outermost first):")
+    children: Dict[str, List[str]] = {}
+    has_parent = set()
+    for (src, dst) in sorted(report.edges):
+        if src != dst:
+            children.setdefault(src, []).append(dst)
+            has_parent.add(dst)
+    roots = [name for name in report.order if name not in has_parent]
+
+    def emit(name: str, depth: int, seen: tuple) -> None:
+        lock = report.locks.get(name)
+        where = f"  ({lock.path}:{lock.line}, {lock.kind})" if lock else ""
+        count = len(report.acquisitions.get(name, []))
+        out.append(f"{'  ' * depth}- {name}{where}  [{count} acquisition sites]")
+        if name in seen:
+            out.append(f"{'  ' * (depth + 1)}… cycle back to {name}")
+            return
+        for child in sorted(children.get(name, [])):
+            emit(child, depth + 1, seen + (name,))
+
+    for root in roots:
+        emit(root, 1, ())
+
+    if report.cycles:
+        out.append("")
+        out.append("potential deadlock cycles:")
+        for cycle in report.cycles:
+            out.append(f"  {' <-> '.join(cycle.names)}")
+            for edge in cycle.edges:
+                via = f"  [{edge.via}]" if edge.via else ""
+                out.append(
+                    f"    {edge.src} (held {_site(edge.src_site)}) -> "
+                    f"{edge.dst} (acquired {_site(edge.dst_site)}){via}"
+                )
+    if report.blocking:
+        out.append("")
+        out.append("locks held across blocking calls:")
+        for site in report.blocking:
+            held = ", ".join(name for name, _ in site.held)
+            out.append(f"  {site.path}:{site.line}  {site.desc}  holding {held}")
+    out.append("")
+    out.append(
+        f"{len(report.cycles)} cycles, {len(report.blocking)} blocking-under-lock sites"
+    )
+    return "\n".join(out)
+
+
+def report_payload(report: LockReport) -> Dict[str, Any]:
+    """JSON-serialisable view of the raw graph (pre-triage)."""
+    return {
+        "locks": {
+            name: {
+                "kind": lock.kind,
+                "path": lock.path,
+                "line": lock.line,
+                "acquisitions": len(report.acquisitions.get(name, [])),
+            }
+            for name, lock in sorted(report.locks.items())
+        },
+        "order": list(report.order),
+        "edges": [
+            {
+                "src": edge.src,
+                "dst": edge.dst,
+                "src_site": _site(edge.src_site),
+                "dst_site": _site(edge.dst_site),
+                "via": edge.via,
+            }
+            for _, edge in sorted(report.edges.items())
+        ],
+        "cycles": [
+            {
+                "locks": list(cycle.names),
+                "edges": [
+                    {
+                        "src": edge.src,
+                        "dst": edge.dst,
+                        "src_site": _site(edge.src_site),
+                        "dst_site": _site(edge.dst_site),
+                    }
+                    for edge in cycle.edges
+                ],
+            }
+            for cycle in report.cycles
+        ],
+        "blocking": [
+            {
+                "path": site.path,
+                "line": site.line,
+                "call": site.desc,
+                "held": [
+                    {"lock": name, "since": _site(where)} for name, where in site.held
+                ],
+            }
+            for site in report.blocking
+        ],
+        "summary": {
+            "locks": len(report.locks),
+            "edges": len(report.edges),
+            "cycles": len(report.cycles),
+            "blocking": len(report.blocking),
+        },
+    }
+
+
+def render_dot(report: LockReport) -> str:
+    """The lock-order graph in Graphviz dot (cycle edges highlighted)."""
+    in_cycle = {name for cycle in report.cycles for name in cycle.names}
+    out: List[str] = ["digraph lock_order {", "  rankdir=TB;", '  node [shape=box, fontname="monospace"];']
+    for name, lock in sorted(report.locks.items()):
+        attrs = [f'label="{name}\\n{lock.path}:{lock.line}"']
+        if name in in_cycle:
+            attrs.append('color=red style=filled fillcolor="#ffdddd"')
+        out.append(f'  "{name}" [{" ".join(attrs)}];')
+    for (src, dst), edge in sorted(report.edges.items()):
+        attrs = [f'label="{_site(edge.dst_site)}"']
+        if src in in_cycle and dst in in_cycle:
+            attrs.append("color=red penwidth=2")
+        if edge.via:
+            attrs.append("style=dashed")
+        out.append(f'  "{src}" -> "{dst}" [{" ".join(attrs)}];')
+    out.append("}")
+    return "\n".join(out)
+
+
+def render_locks_json(report: LockReport) -> str:
+    return json.dumps(report_payload(report), indent=2, sort_keys=True)

@@ -1,12 +1,19 @@
-"""The analysis engine: file discovery, per-file rule dispatch, triage.
+"""The analysis engine: file discovery, rule dispatch, triage.
 
 One :func:`run_analysis` call walks the requested paths, parses each
-``.py`` file once, lets every in-scope rule visit the tree, then triages
-raw findings three ways:
+``.py`` file once into a :class:`~repro.analysis.registry.ParsedModule`,
+lets every in-scope **per-file** rule visit its tree, then hands the whole
+module list to every **program** rule (whole-program passes like the
+concurrency analyzer).  Raw findings from both stages triage three ways:
 
 * **suppressed** — an inline ``# repro: disable=<rule-id>`` covers the line;
 * **baselined** — the finding's key is in the committed baseline;
 * **new** — everything else; these fail the lint guard.
+
+The run also audits the baseline itself: accepted keys whose file was
+scanned but produced no matching finding are reported as **stale** so the
+baseline cannot quietly rot as code moves (satellite of PR 9; the tier-1
+guard asserts none exist).
 
 Paths inside findings are relative to ``root`` (posix separators) so the
 baseline is stable regardless of where the analyzer is invoked from.
@@ -16,14 +23,22 @@ from __future__ import annotations
 
 import ast
 import os
+import subprocess
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.baseline import load_baseline, partition_findings
-from repro.analysis.registry import Finding, Rule, all_rules
+from repro.analysis.baseline import load_baseline, partition_findings, stale_keys
+from repro.analysis.registry import Finding, ParsedModule, ProgramRule, Rule, all_rules
 from repro.analysis.suppressions import SuppressionIndex
 
-__all__ = ["AnalysisResult", "FileReport", "run_analysis", "iter_python_files", "analyze_source"]
+__all__ = [
+    "AnalysisResult",
+    "FileReport",
+    "run_analysis",
+    "iter_python_files",
+    "analyze_source",
+    "changed_files",
+]
 
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "node_modules"}
 
@@ -46,12 +61,18 @@ class AnalysisResult:
     baselined: List[Finding] = field(default_factory=list)
     suppressed: List[Finding] = field(default_factory=list)
     errors: List[FileReport] = field(default_factory=list)
+    stale_baseline: List[str] = field(default_factory=list)
     files_scanned: int = 0
     rules_run: int = 0
 
     @property
     def ok(self) -> bool:
-        """True when nothing new was found (parse errors still fail)."""
+        """True when nothing new was found (parse errors still fail).
+
+        Stale baseline entries do not flip ``ok`` — they are a warning the
+        guard surfaces separately, so a scoped run can't hard-fail on
+        baseline keys it merely didn't look at.
+        """
         return not self.new and not self.errors
 
     @property
@@ -83,6 +104,41 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
     return iter(sorted(collected))
 
 
+def changed_files(base: str = "HEAD", cwd: Optional[str] = None) -> Optional[List[str]]:
+    """Python files changed vs ``base`` plus untracked ones, or ``None``.
+
+    ``None`` (not an empty list) means "git unavailable / not a repo" —
+    callers fall back to the full sweep.  An empty list is a real answer:
+    nothing changed, nothing to lint.
+    """
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", base, "--"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    names: List[str] = []
+    seen: Set[str] = set()
+    for block in (diff.stdout, untracked.stdout):
+        for name in block.splitlines():
+            name = name.strip()
+            if name.endswith(".py") and name not in seen:
+                seen.add(name)
+                names.append(name)
+    return sorted(names)
+
+
 def _relpath(path: str, root: str) -> str:
     absolute = os.path.abspath(path)
     relative = os.path.relpath(absolute, root)
@@ -93,11 +149,22 @@ def _relpath(path: str, root: str) -> str:
     return relative.replace(os.sep, "/")
 
 
+def _split_rules(rules: Sequence[Rule]) -> Tuple[List[Rule], List[ProgramRule]]:
+    per_file = [rule for rule in rules if not isinstance(rule, ProgramRule)]
+    program = [rule for rule in rules if isinstance(rule, ProgramRule)]
+    return per_file, program
+
+
 def analyze_source(
     source: str, relpath: str, rules: Optional[Sequence[Rule]] = None
 ) -> FileReport:
-    """Run the rule set over one in-memory module (the unit-test entry)."""
+    """Run the rule set over one in-memory module (the unit-test entry).
+
+    Program rules in ``rules`` see a one-module program — exactly what the
+    fixture corpus wants, since each fixture file is self-contained.
+    """
     rules = list(rules) if rules is not None else all_rules()
+    per_file, program = _split_rules(rules)
     report = FileReport(path=relpath)
     try:
         tree = ast.parse(source, filename=relpath)
@@ -105,11 +172,14 @@ def analyze_source(
         report.error = f"syntax error: {exc.msg} (line {exc.lineno})"
         return report
     lines = source.splitlines()
-    suppressions = SuppressionIndex(lines)
+    suppressions = SuppressionIndex(lines, tree=tree)
+    module = ParsedModule(path=relpath, tree=tree, lines=lines)
     raw: List[Finding] = []
-    for rule in rules:
+    for rule in per_file:
         if rule.applies_to(relpath):
             raw.extend(rule.check(tree, lines, relpath))
+    for rule in program:
+        raw.extend(rule.check_program([module]))
     for finding in sorted(raw):
         if suppressions.is_suppressed(finding):
             report.suppressed.append(finding)
@@ -127,19 +197,49 @@ def run_analysis(
     """Analyze ``paths`` and triage findings against the baseline."""
     root = os.path.abspath(root or os.getcwd())
     rules = list(rules) if rules is not None else all_rules()
+    per_file, program = _split_rules(rules)
     accepted = load_baseline(baseline_path) if baseline_path else set()
     result = AnalysisResult(rules_run=len(rules))
     collected: List[Finding] = []
+    modules: List[ParsedModule] = []
+    suppressions: Dict[str, SuppressionIndex] = {}
     for path in iter_python_files(paths):
         relative = _relpath(path, root)
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
-        report = analyze_source(source, relative, rules)
         result.files_scanned += 1
-        if report.error is not None:
-            result.errors.append(report)
+        try:
+            tree = ast.parse(source, filename=relative)
+        except SyntaxError as exc:
+            result.errors.append(
+                FileReport(
+                    path=relative,
+                    error=f"syntax error: {exc.msg} (line {exc.lineno})",
+                )
+            )
             continue
-        collected.extend(report.findings)
-        result.suppressed.extend(report.suppressed)
+        lines = source.splitlines()
+        index = suppressions[relative] = SuppressionIndex(lines, tree=tree)
+        modules.append(ParsedModule(path=relative, tree=tree, lines=lines))
+        for rule in per_file:
+            if not rule.applies_to(relative):
+                continue
+            for finding in rule.check(tree, lines, relative):
+                if index.is_suppressed(finding):
+                    result.suppressed.append(finding)
+                else:
+                    collected.append(finding)
+    for rule in program:
+        for finding in rule.check_program(modules):
+            index = suppressions.get(finding.path)
+            if index is not None and index.is_suppressed(finding):
+                result.suppressed.append(finding)
+            else:
+                collected.append(finding)
     result.new, result.baselined = partition_findings(sorted(collected), accepted)
+    result.suppressed.sort()
+    produced = {f.key for f in collected} | {f.key for f in result.suppressed}
+    scanned = {module.path for module in modules}
+    active = {rule.rule_id for rule in rules}
+    result.stale_baseline = stale_keys(accepted, produced, scanned, active)
     return result

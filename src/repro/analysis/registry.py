@@ -14,10 +14,19 @@ idempotent by rule id so re-imports (pytest, reload) never double-report.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
-__all__ = ["Finding", "Rule", "register", "all_rules", "rules_by_family", "get_rule"]
+__all__ = [
+    "Finding",
+    "ParsedModule",
+    "ProgramRule",
+    "Rule",
+    "register",
+    "all_rules",
+    "rules_by_family",
+    "get_rule",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -39,6 +48,32 @@ class Finding:
     def key(self) -> str:
         """Stable identity used by baselines: path, rule and line."""
         return f"{self.path}:{self.rule_id}:{self.line}"
+
+
+@dataclass
+class ParsedModule:
+    """One parsed source file as whole-program rules see it.
+
+    ``path`` is the same root-relative posix path findings carry, so a
+    program rule's findings triage against suppressions and the baseline
+    exactly like per-file findings do.
+    """
+
+    path: str
+    tree: ast.Module
+    lines: Sequence[str] = field(default_factory=list)
+
+    @property
+    def module_name(self) -> str:
+        """Dotted module name guessed from the path (``src/`` stripped)."""
+        parts = self.path.replace("\\", "/").split("/")
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][: -len(".py")]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
 
 
 class Rule:
@@ -74,6 +109,23 @@ class Rule:
             rule_id=self.rule_id,
             message=message,
         )
+
+
+class ProgramRule(Rule):
+    """A whole-program check: sees every parsed module in one call.
+
+    Program rules run after the per-file sweep with the full module list;
+    their findings carry ordinary (path, line) anchors and flow through the
+    same suppression/baseline triage.  ``applies_to`` still scopes which
+    files *contribute* to the program view for this rule (the engine passes
+    every module; rules filter themselves if they care).
+    """
+
+    def check(self, tree: ast.Module, lines: Sequence[str], relpath: str) -> List["Finding"]:
+        return []  # per-file entry point intentionally inert
+
+    def check_program(self, modules: Sequence[ParsedModule]) -> List["Finding"]:
+        raise NotImplementedError
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}

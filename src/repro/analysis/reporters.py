@@ -29,6 +29,10 @@ def render_human(result: AnalysisResult, verbose: bool = False) -> str:
             )
     for report in result.errors:
         out.append(f"{report.path}: {report.error}")
+    if result.stale_baseline:
+        out.append("stale baseline entries (no longer produced; run --prune-baseline):")
+        for key in result.stale_baseline:
+            out.append(f"  {key}")
     if verbose and result.baselined:
         out.append("baselined findings:")
         for finding in sorted(result.baselined):
@@ -74,7 +78,9 @@ def result_payload(result: AnalysisResult) -> Dict[str, object]:
             "baselined": len(result.baselined),
             "suppressed": len(result.suppressed),
             "errors": len(result.errors),
+            "stale_baseline": len(result.stale_baseline),
         },
+        "stale_baseline": list(result.stale_baseline),
         "new": [_finding_dict(f) for f in result.new],
         "baselined": [_finding_dict(f) for f in result.baselined],
         "suppressed": [_finding_dict(f) for f in result.suppressed],

@@ -1,14 +1,16 @@
 """Rule families — importing this package registers every rule.
 
-Five families, each encoding an invariant the oracle-equivalence story
-depends on: lock discipline (shared state under its lock), determinism
-(no entropy in ranking paths), numpy-kernel hygiene (portable, fully
-initialised numerics), API hygiene (exception- and call-safety) and
+Six families, each encoding an invariant the oracle-equivalence story
+depends on: lock discipline (shared state under its lock), whole-program
+concurrency (deadlock-free lock ordering, no blocking under a lock),
+determinism (no entropy in ranking paths), numpy-kernel hygiene (portable,
+fully initialised numerics), API hygiene (exception- and call-safety) and
 persistence (durable writes are atomic).
 """
 
 from repro.analysis.rules import (
     api_hygiene,
+    concurrency,
     conversation,
     determinism,
     inference,
@@ -19,6 +21,7 @@ from repro.analysis.rules import (
 
 __all__ = [
     "api_hygiene",
+    "concurrency",
     "conversation",
     "determinism",
     "inference",

@@ -6,12 +6,25 @@ inline).  ``disable=all`` silences every rule on that line.  Suppressions
 are deliberately line-scoped — block- or file-level escapes would let a
 whole module drift out from under an invariant, which is exactly what the
 baseline file (reviewed, committed, diffable) is for instead.
+
+When the parsed tree is available the index additionally understands two
+shapes where "the next code line" and "the line the finding anchors to"
+disagree:
+
+* **decorated definitions** — findings on a ``def``/``class`` anchor at the
+  keyword line, but a comment-block suppression above the definition lands
+  on the first *decorator* line.  The span from the first decorator through
+  the end of the signature forwards onto the anchor.
+* **multi-line statements** — a suppression on any physical line of a
+  simple statement (a continuation argument, the closing paren) covers the
+  statement's anchor line.
 """
 
 from __future__ import annotations
 
+import ast
 import re
-from typing import Dict, Sequence, Set
+from typing import Dict, Optional, Sequence, Set
 
 from repro.analysis.registry import Finding
 
@@ -20,11 +33,26 @@ __all__ = ["SuppressionIndex", "SUPPRESSION_PATTERN"]
 SUPPRESSION_PATTERN = re.compile(r"#\s*repro:\s*disable=([A-Za-z0-9_,\s\-]+)")
 _COMMENT_ONLY = re.compile(r"^\s*#")
 
+#: Compound statements whose body lines must NOT forward suppressions onto
+#: the header — only the header span itself (decorators + signature) does.
+_COMPOUND = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+)
+
 
 class SuppressionIndex:
     """Per-file map of line number → rule ids suppressed on that line."""
 
-    def __init__(self, lines: Sequence[str]):
+    def __init__(self, lines: Sequence[str], tree: Optional[ast.Module] = None):
         self._by_line: Dict[int, Set[str]] = {}
         for lineno, text in enumerate(lines, start=1):
             match = SUPPRESSION_PATTERN.search(text)
@@ -40,9 +68,58 @@ class SuppressionIndex:
                 while target <= len(lines) and _COMMENT_ONLY.match(lines[target - 1]):
                     target += 1
                 self._add(target, rule_ids)
+        if tree is not None and self._by_line:
+            self._attach_statement_spans(tree)
 
     def _add(self, lineno: int, rule_ids: Set[str]) -> None:
         self._by_line.setdefault(lineno, set()).update(rule_ids)
+
+    # ---------------------------------------------------------------- spans
+
+    def _attach_statement_spans(self, tree: ast.Module) -> None:
+        """Forward span-covered suppressions onto each statement's anchor."""
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            anchor = node.lineno
+            start = anchor
+            end = anchor
+            decorators = getattr(node, "decorator_list", None)
+            if decorators:
+                start = min(d.lineno for d in decorators)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                # Signature lines only — the body may hold comment-block
+                # suppressions aimed at its own first statement, which must
+                # not leak onto the def line.
+                end = self._signature_end(node)
+            elif not isinstance(node, _COMPOUND):
+                end = getattr(node, "end_lineno", None) or anchor
+            if start == anchor and end == anchor:
+                continue
+            gathered: Set[str] = set()
+            for line in range(start, end + 1):
+                if line == anchor:
+                    continue
+                gathered.update(self._by_line.get(line, ()))
+            if gathered:
+                self._add(anchor, gathered)
+
+    @staticmethod
+    def _signature_end(node: ast.stmt) -> int:
+        end = node.lineno
+        args = getattr(node, "args", None)
+        if args is not None and getattr(args, "end_lineno", None):
+            end = max(end, args.end_lineno)
+        returns = getattr(node, "returns", None)
+        if returns is not None and getattr(returns, "end_lineno", None):
+            end = max(end, returns.end_lineno)
+        if isinstance(node, ast.ClassDef):
+            for base in list(node.bases) + [kw.value for kw in node.keywords]:
+                if getattr(base, "end_lineno", None):
+                    end = max(end, base.end_lineno)
+        return end
+
+    # --------------------------------------------------------------- lookup
 
     def is_suppressed(self, finding: Finding) -> bool:
         rule_ids = self._by_line.get(finding.line)

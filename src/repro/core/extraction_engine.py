@@ -51,6 +51,7 @@ from repro.core.extractor import OracleExtractor, TagExtractor, _pairs_to_tags
 from repro.core.tags import SubjectiveTag
 from repro.data.schema import Review
 from repro.text.labels import labels_to_spans
+from repro.utils.locks import make_lock
 from repro.utils.timing import StageTimings
 
 __all__ = ["ExtractionEngineConfig", "ExtractionCache", "ExtractionEngine"]
@@ -102,7 +103,7 @@ class ExtractionCache:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = make_lock("core.extract.cache")
         self._entries: "OrderedDict[str, Tuple[SubjectiveTag, ...]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -175,7 +176,7 @@ class ExtractionEngine:
         #: fused-weight scratch buffers are shared state, and a background
         #: index rebuild extracts the corpus concurrently with serving
         #: micro-batches.  Never held while any other lock is taken.
-        self._tagger_lock = threading.Lock()
+        self._tagger_lock = make_lock("core.extract.tagger")
 
     def bind_metrics(self, metrics) -> None:
         """Attach a counter sink (e.g. the serving ``MetricsRegistry``)."""

@@ -16,6 +16,7 @@ import time
 from typing import Any, Dict, Optional, TextIO
 
 from repro.obs import tracing
+from repro.utils.locks import make_lock
 
 __all__ = ["StructuredLogger", "get_logger", "set_default_stream"]
 
@@ -23,11 +24,11 @@ _LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
 
 #: Single process-wide emit lock so concurrent workers never interleave
 #: partial lines on the shared stream.
-_EMIT_LOCK = threading.Lock()
+_EMIT_LOCK = make_lock("obs.log.emit")
 
 _DEFAULT_STREAM: Optional[TextIO] = None
 
-_REGISTRY_LOCK = threading.Lock()
+_REGISTRY_LOCK = make_lock("obs.log.registry")
 _LOGGERS: Dict[str, "StructuredLogger"] = {}
 
 

@@ -14,6 +14,8 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional
 
+from repro.utils.locks import make_lock
+
 __all__ = ["TraceStore", "trace_summary"]
 
 
@@ -50,7 +52,7 @@ class TraceStore:
         self.capacity = capacity
         self.slow_capacity = slow_capacity
         self.slow_threshold_seconds = slow_threshold_seconds
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.trace_store")
         self._recent: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._slow: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._recorded = 0

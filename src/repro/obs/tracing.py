@@ -33,6 +33,7 @@ from contextvars import ContextVar
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.store import TraceStore
+from repro.utils.locks import make_lock
 
 __all__ = [
     "ActiveSpan",
@@ -78,7 +79,7 @@ class _TraceBuilder:
     def __init__(self, trace_id: str, clock) -> None:
         self.trace_id = trace_id
         self.clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.trace_builder")
         self._spans: List[Dict[str, Any]] = []
         self._next_span = 0
         self._closed = False
@@ -247,7 +248,7 @@ class Tracer:
         self.metrics = metrics
         self.logger = logger
         self.sample_every = sample_every
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.tracer")
         self._trace_counter = 0
         self._requests = 0
         #: span name → interned "stage.<name>_seconds" metric key (the fold

@@ -19,6 +19,7 @@ from typing import Any, Optional, Sequence, Tuple
 
 from repro.obs import tracing as obs
 from repro.utils.caching import fingerprint
+from repro.utils.locks import make_lock
 
 __all__ = ["GenerationalCache", "ServingCache"]
 
@@ -39,7 +40,7 @@ class GenerationalCache:
         if max_size < 0:
             raise ValueError("max_size must be >= 0")
         self.max_size = max_size
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.cache")
         self._entries: "OrderedDict[str, Tuple[int, Any]]" = OrderedDict()
 
     def get(self, key: str, generation: int) -> Any:

@@ -16,6 +16,8 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Sequence
 
+from repro.utils.locks import make_lock
+
 __all__ = ["MetricsRegistry", "percentile"]
 
 
@@ -92,7 +94,7 @@ class MetricsRegistry:
     def __init__(self, window_size: int = 4096, clock=time.perf_counter):
         if window_size <= 0:
             raise ValueError("window_size must be positive")
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.metrics")
         self._window_size = window_size
         self._clock = clock
         self._counters: Dict[str, int] = {}

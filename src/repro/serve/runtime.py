@@ -50,6 +50,7 @@ from repro.serve.cache import ServingCache
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.protocol import ProtocolError, ReindexResponse, SearchResponse
 from repro.serve.sessions import SessionStore
+from repro.utils.locks import make_lock, make_rlock
 
 __all__ = ["ServeConfig", "SaccsRuntime"]
 
@@ -166,14 +167,14 @@ class SaccsRuntime:
         )
         #: serialises every facade touch (index matrices, tag history,
         #: extractor state are shared and not thread-safe).
-        self._facade_lock = threading.RLock()
+        self._facade_lock = make_rlock("serve.runtime.facade")
         #: serialises start/stop: concurrent callers must not double-spawn
         #: or double-drain the scheduler threads.
-        self._lifecycle_lock = threading.Lock()
+        self._lifecycle_lock = make_lock("serve.runtime.lifecycle")
         #: serialises whole reindex operations.  Background rebuilds hold
         #: this (never the facade lock) for the build, so two admins can't
         #: interleave double-buffer builds while searches keep flowing.
-        self._reindex_lock = threading.Lock()
+        self._reindex_lock = make_lock("serve.runtime.reindex")
         #: sha256 of the snapshot this runtime warm-started from (None when
         #: cold-built), surfaced on /healthz and /metrics.
         self.snapshot_hash: Optional[str] = None
@@ -213,6 +214,10 @@ class SaccsRuntime:
             if not self._running:
                 return
             self._running = False
+            # repro: disable=lock-held-blocking — the request queue is
+            # unbounded, so put() is a non-blocking append; holding the
+            # lifecycle lock over the sentinel is what makes stop()
+            # idempotent against a concurrent start().
             self._queue.put(_STOP)
             threads, self._threads = self._threads, []
         # Join outside the lock: a wedged worker must not block a concurrent
@@ -396,6 +401,10 @@ class SaccsRuntime:
             else:
                 with self._facade_lock:
                     if full:
+                        # repro: disable=lock-held-blocking — foreground
+                        # reindex is the *explicitly requested* stop-the-world
+                        # path (admin asked for synchronous semantics); the
+                        # non-stalling variant is background=True.
                         self.saccs.rebuild_index()
                         self.metrics.incr("index.swap")
                     round_: IndexingRound = self.saccs.run_indexing_round()
@@ -448,6 +457,10 @@ class SaccsRuntime:
             with self._facade_lock:
                 indexed_tags = list(self.saccs.index.tags)
             with obs.span("index.rebuild", background=True):
+                # repro: disable=lock-held-blocking — the reindex lock exists
+                # precisely to serialise whole rebuilds; the search path never
+                # takes it, so the long prepare stalls only other admins while
+                # the facade lock (which searches do take) stays free.
                 prepared = self.saccs.prepare_rebuild(
                     indexed_tags=indexed_tags, pace=pace
                 )

@@ -16,6 +16,7 @@ from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.core.session import ConversationSession
+from repro.utils.locks import make_lock
 
 __all__ = ["SessionStore", "SessionStoreFull"]
 
@@ -29,7 +30,7 @@ class _Entry:
 
     def __init__(self, session: ConversationSession, now: float):
         self.session = session
-        self.lock = threading.Lock()
+        self.lock = make_lock("serve.sessions.entry")
         self.created = now
         self.last_used = now
 
@@ -57,7 +58,7 @@ class SessionStore:
         self.ttl_seconds = ttl_seconds
         self.max_sessions = max_sessions
         self.clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.sessions.store")
         self._entries: Dict[str, _Entry] = {}
 
     # --------------------------------------------------------------- access

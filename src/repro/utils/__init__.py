@@ -6,6 +6,16 @@ every other subpackage can import them without cycles.
 
 from repro.utils.caching import ArtifactCache, default_cache, fingerprint, memoize
 from repro.utils.env import environment_info
+from repro.utils.locks import (
+    LockWitness,
+    TrackedLock,
+    TrackedRLock,
+    make_lock,
+    make_rlock,
+    reset_witness,
+    witness,
+    witness_enabled,
+)
 from repro.utils.numerics import (
     log_softmax,
     logsumexp,
@@ -19,9 +29,12 @@ from repro.utils.timing import StageTimings, Timer
 
 __all__ = [
     "ArtifactCache",
+    "LockWitness",
     "SeedSequence",
     "StageTimings",
     "Timer",
+    "TrackedLock",
+    "TrackedRLock",
     "default_cache",
     "derive_rng",
     "derive_seed",
@@ -29,10 +42,15 @@ __all__ = [
     "fingerprint",
     "log_softmax",
     "logsumexp",
+    "make_lock",
+    "make_rlock",
     "memoize",
     "new_rng",
     "one_hot",
+    "reset_witness",
     "sigmoid",
     "softmax",
     "stable_log",
+    "witness",
+    "witness_enabled",
 ]

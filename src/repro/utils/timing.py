@@ -8,6 +8,7 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
 from repro.obs import tracing as _tracing
+from repro.utils.locks import make_lock
 
 __all__ = ["Timer", "StageTimings"]
 
@@ -67,7 +68,7 @@ class StageTimings:
 
     def __init__(self, span_prefix: Optional[str] = None):
         self.span_prefix = span_prefix
-        self._lock = threading.Lock()
+        self._lock = make_lock("utils.timings")
         self._seconds: Dict[str, float] = {}
         self._calls: Dict[str, int] = {}
 

@@ -1,0 +1,15 @@
+"""Seeded availability bug: the poll lock is held across a sleep."""
+
+import threading
+import time
+
+
+class Poller:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.last = None
+
+    def poll(self):
+        with self._lock:
+            time.sleep(0.5)
+            self.last = time.monotonic()

@@ -1,0 +1,30 @@
+"""Near-miss that must stay clean: three locks, one consistent hierarchy.
+
+Every path respects outer -> middle -> inner, including the helper that is
+called with the outer lock already held (the interprocedural edge
+outer -> middle must not be mistaken for a conflicting order).
+"""
+
+import threading
+
+
+class Pipeline:
+    def __init__(self):
+        self.outer = threading.Lock()
+        self.middle = threading.Lock()
+        self.inner = threading.Lock()
+        self.state = 0
+
+    def _refresh(self):
+        with self.middle:
+            with self.inner:
+                self.state += 1
+
+    def run(self):
+        with self.outer:
+            self._refresh()
+
+    def fast_path(self):
+        with self.outer:
+            with self.inner:
+                return self.state

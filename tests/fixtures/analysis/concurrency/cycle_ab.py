@@ -1,0 +1,20 @@
+"""Seeded ABBA deadlock: transfer() and audit() nest the locks oppositely."""
+
+import threading
+
+
+class Accounts:
+    def __init__(self):
+        self.lock_a = threading.Lock()
+        self.lock_b = threading.Lock()
+        self.balance = 0
+
+    def transfer(self):
+        with self.lock_a:
+            with self.lock_b:
+                self.balance += 1
+
+    def audit(self):
+        with self.lock_b:
+            with self.lock_a:
+                return self.balance

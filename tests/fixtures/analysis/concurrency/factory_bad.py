@@ -1,0 +1,11 @@
+"""Raw primitives that the lock-factory rule must flag when under src/."""
+
+import threading
+
+GLOBAL_LOCK = threading.Lock()
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._ready = threading.Condition()

@@ -183,6 +183,7 @@ def test_every_rule_family_has_a_seeded_true_positive():
     }
     assert families_hit == {
         "api-hygiene",
+        "concurrency",
         "determinism",
         "lock-discipline",
         "numpy-kernel",
@@ -229,6 +230,50 @@ def test_unrelated_suppression_does_not_bind():
     assert [f.rule_id for f in report.findings] == ["mutable-default"]
 
 
+def test_suppression_on_decorator_line_reaches_the_def():
+    # Findings for a decorated function anchor at the ``def`` line, not the
+    # decorator's — the suppression must follow (PR 9 regression).
+    source = (
+        "import functools\n"
+        "\n"
+        "@functools.wraps(print)  # repro: disable=mutable-default — shared\n"
+        "def f(items=[]):\n"
+        "    return items\n"
+    )
+    report = analyze_source(source, "anything.py")
+    assert report.findings == []
+    assert [(f.rule_id, f.line) for f in report.suppressed] == [("mutable-default", 4)]
+
+
+def test_suppression_on_continuation_line_reaches_the_statement_anchor():
+    # The finding anchors at line 1 (the statement); the annotation sits on
+    # a continuation line of the same multi-line statement (PR 9 regression).
+    source = (
+        "handle = open(\n"
+        '    "state.json",\n'
+        '    "w",  # repro: disable=atomic-file-write — scratch file, crash-safe\n'
+        ")\n"
+    )
+    report = analyze_source(source, "anything.py")
+    assert report.findings == []
+    assert [(f.rule_id, f.line) for f in report.suppressed] == [
+        ("atomic-file-write", 1)
+    ]
+
+
+def test_suppression_in_function_body_does_not_leak_to_the_signature():
+    # Only decorator lines and the signature span forward to the ``def``
+    # anchor; a suppression buried in the body stays exactly where it is.
+    source = (
+        "def f(items=[]):\n"
+        "    x = 1  # repro: disable=mutable-default\n"
+        "    return items + [x]\n"
+    )
+    report = analyze_source(source, "anything.py")
+    assert [(f.rule_id, f.line) for f in report.findings] == [("mutable-default", 1)]
+    assert report.suppressed == []
+
+
 # --------------------------------------------------------------- baseline
 
 
@@ -249,6 +294,72 @@ def test_baseline_round_trip(tmp_path):
     assert [(f.rule_id, f.line) for f in third.new] == [("mutable-default", 1)]
 
 
+def test_stale_baseline_entries_are_reported_but_do_not_fail(tmp_path):
+    target = tmp_path / "module.py"
+    target.write_text("def f(items=[]):\n    return items\n")
+    baseline_path = str(tmp_path / "baseline.json")
+    first = run_analysis([str(target)], root=str(tmp_path))
+    write_baseline(baseline_path, first.new)
+    # The code moves on: the finding disappears but the baseline keeps it.
+    target.write_text("def f(items=None):\n    return items or []\n")
+    result = run_analysis(
+        [str(target)], root=str(tmp_path), baseline_path=baseline_path
+    )
+    assert result.ok  # stale entries warn, they do not fail
+    assert result.stale_baseline == ["module.py:mutable-default:1"]
+
+
+def test_stale_detection_is_limited_to_scanned_paths(tmp_path):
+    scanned = tmp_path / "scanned.py"
+    scanned.write_text("x = 1\n")
+    other = tmp_path / "other.py"
+    other.write_text("def f(items=[]):\n    return items\n")
+    baseline_path = str(tmp_path / "baseline.json")
+    accepted = run_analysis([str(other)], root=str(tmp_path))
+    write_baseline(baseline_path, accepted.new)
+    # A scoped run over scanned.py only must not declare other.py's
+    # accepted findings stale — it never looked at that file.
+    result = run_analysis(
+        [str(scanned)], root=str(tmp_path), baseline_path=baseline_path
+    )
+    assert result.stale_baseline == []
+
+
+def test_stale_detection_is_limited_to_active_rules(tmp_path):
+    target = tmp_path / "module.py"
+    target.write_text("def f(items=[]):\n    return items\n")
+    baseline_path = str(tmp_path / "baseline.json")
+    first = run_analysis([str(target)], root=str(tmp_path))
+    write_baseline(baseline_path, first.new)
+    # A rule-scoped run (e.g. `repro locks` triaging only the concurrency
+    # family) never executes mutable-default, so it cannot judge — let
+    # alone prune — that rule's accepted entries.
+    result = run_analysis(
+        [str(target)],
+        root=str(tmp_path),
+        rules=[get_rule("bare-except")],
+        baseline_path=baseline_path,
+    )
+    assert result.stale_baseline == []
+
+
+def test_suppressed_findings_are_not_counted_stale(tmp_path):
+    target = tmp_path / "module.py"
+    target.write_text("def f(items=[]):\n    return items\n")
+    baseline_path = str(tmp_path / "baseline.json")
+    first = run_analysis([str(target)], root=str(tmp_path))
+    write_baseline(baseline_path, first.new)
+    # The finding is later annotated inline: still produced, hence the
+    # baseline entry is redundant but NOT stale-as-in-vanished.
+    target.write_text(
+        "def f(items=[]):  # repro: disable=mutable-default\n    return items\n"
+    )
+    result = run_analysis(
+        [str(target)], root=str(tmp_path), baseline_path=baseline_path
+    )
+    assert result.stale_baseline == []
+
+
 def test_baseline_missing_file_is_empty(tmp_path):
     assert load_baseline(str(tmp_path / "absent.json")) == set()
 
@@ -263,13 +374,14 @@ def test_baseline_rejects_unknown_version(tmp_path):
 # ------------------------------------------------------ registry / engine
 
 
-def test_registry_has_five_families_and_unique_ids():
+def test_registry_has_six_families_and_unique_ids():
     rules = all_rules()
     ids = [rule.rule_id for rule in rules]
     assert len(ids) == len(set(ids))
-    assert len(rules) >= 15
+    assert len(rules) >= 18
     assert set(rules_by_family()) == {
         "api-hygiene",
+        "concurrency",
         "determinism",
         "lock-discipline",
         "numpy-kernel",

@@ -1,0 +1,288 @@
+"""Tests for the whole-program concurrency pass and ``repro locks``.
+
+The fixture corpus under ``tests/fixtures/analysis/concurrency/`` seeds a
+two-lock ABBA cycle, a lock-across-blocking-call and a clean hierarchical
+near-miss (including an interprocedural acquisition); tests assert exact
+(rule-id, line) findings and that the reported diagnostics carry both
+acquisition sites.  The ``repro locks`` CLI is exercised end-to-end through
+``cli.main`` for all three output formats (human, json, dot).
+"""
+
+import ast
+import json
+import os
+
+from repro import cli
+from repro.analysis import analyze_source, get_rule, run_analysis
+from repro.analysis.concurrency import (
+    analyze_program,
+    render_dot,
+    render_locks_human,
+    report_payload,
+)
+from repro.analysis.registry import ParsedModule
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "..", "fixtures", "analysis")
+CONCURRENCY = os.path.join(FIXTURES, "concurrency")
+
+
+def fixture_result(relpath):
+    result = run_analysis([os.path.join(FIXTURES, relpath)], root=FIXTURES)
+    assert not result.errors
+    return result
+
+
+def fixture_findings(relpath):
+    return [(f.rule_id, f.line) for f in fixture_result(relpath).new]
+
+
+def load_modules(*relpaths):
+    modules = []
+    for relpath in relpaths:
+        path = os.path.join(CONCURRENCY, relpath)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        modules.append(
+            ParsedModule(
+                path="concurrency/" + relpath,
+                tree=ast.parse(source),
+                lines=source.splitlines(),
+            )
+        )
+    return modules
+
+
+# ---------------------------------------------------------------- fixtures
+
+
+def test_two_lock_cycle_exact_finding():
+    result = fixture_result("concurrency/cycle_ab.py")
+    assert [(f.rule_id, f.line) for f in result.new] == [("lock-order-cycle", 14)]
+    message = result.new[0].message
+    # The diagnostic names both locks and both conflicting acquisition sites.
+    assert "Accounts.lock_a" in message and "Accounts.lock_b" in message
+    assert "cycle_ab.py:14" in message and "cycle_ab.py:19" in message
+
+
+def test_blocking_call_under_lock_exact_finding():
+    result = fixture_result("concurrency/blocking_hold.py")
+    assert [(f.rule_id, f.line) for f in result.new] == [("lock-held-blocking", 14)]
+    message = result.new[0].message
+    assert "time.sleep" in message
+    assert "Poller._lock" in message
+    assert "blocking_hold.py:13" in message  # where the lock was taken
+
+
+def test_clean_hierarchy_near_miss_stays_clean():
+    assert fixture_findings("concurrency/clean_hierarchy.py") == []
+
+
+# ---------------------------------------------------------- graph structure
+
+
+def test_cycle_report_carries_both_edges():
+    report = analyze_program(load_modules("cycle_ab.py"))
+    assert set(report.locks) == {"Accounts.lock_a", "Accounts.lock_b"}
+    assert len(report.cycles) == 1
+    cycle = report.cycles[0]
+    assert set(cycle.names) == {"Accounts.lock_a", "Accounts.lock_b"}
+    orders = {(edge.src, edge.dst) for edge in cycle.edges}
+    assert orders == {
+        ("Accounts.lock_a", "Accounts.lock_b"),
+        ("Accounts.lock_b", "Accounts.lock_a"),
+    }
+
+
+def test_interprocedural_edge_has_call_chain_attribution():
+    report = analyze_program(load_modules("clean_hierarchy.py"))
+    assert report.cycles == []
+    edges = report.edges
+    # run() holds outer and calls _refresh(), which takes middle: the edge
+    # exists only interprocedurally and records the callee in `via`.
+    edge = edges[("Pipeline.outer", "Pipeline.middle")]
+    assert edge.via and "_refresh" in edge.via
+    # The direct nesting inside _refresh has no call chain.
+    assert edges[("Pipeline.middle", "Pipeline.inner")].via == ""
+    # Kahn order respects the hierarchy.
+    order = list(report.order)
+    assert order.index("Pipeline.outer") < order.index("Pipeline.middle")
+    assert order.index("Pipeline.middle") < order.index("Pipeline.inner")
+
+
+def test_cycle_edges_are_collapsed_out_of_the_order():
+    # Cycle members still appear in the total order (appended, with their
+    # conflicting edges collapsed) so the hierarchy listing stays complete.
+    report = analyze_program(load_modules("cycle_ab.py"))
+    assert sorted(report.order) == ["Accounts.lock_a", "Accounts.lock_b"]
+
+
+# ---------------------------------------------------------------- renderers
+
+
+def test_human_rendering_shows_cycle_and_blocking_sections():
+    cycle_text = render_locks_human(analyze_program(load_modules("cycle_ab.py")))
+    assert "potential deadlock cycles" in cycle_text
+    assert "Accounts.lock_a" in cycle_text
+    blocking_text = render_locks_human(analyze_program(load_modules("blocking_hold.py")))
+    assert "locks held across blocking calls" in blocking_text
+    assert "time.sleep" in blocking_text
+
+
+def test_dot_rendering_highlights_cycle_nodes():
+    dot = render_dot(analyze_program(load_modules("cycle_ab.py")))
+    assert dot.startswith("digraph lock_order {")
+    assert dot.count("color=red") >= 2  # both nodes painted, edges too
+    clean = render_dot(analyze_program(load_modules("clean_hierarchy.py")))
+    assert "color=red" not in clean
+
+
+def test_payload_summary_counts_match_sections():
+    payload = report_payload(analyze_program(load_modules("cycle_ab.py")))
+    assert payload["summary"]["cycles"] == len(payload["cycles"]) == 1
+    assert payload["summary"]["locks"] == len(payload["locks"]) == 2
+    assert payload["cycles"][0]["locks"]
+
+
+# ------------------------------------------------------------- lock-factory
+
+
+def _factory_source():
+    with open(os.path.join(CONCURRENCY, "factory_bad.py"), "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def test_lock_factory_flags_raw_primitives_in_src():
+    rule = get_rule("lock-factory")
+    report = analyze_source(
+        _factory_source(), "src/repro/serve/factory_bad.py", rules=[rule]
+    )
+    assert [(f.rule_id, f.line) for f in report.findings] == [
+        ("lock-factory", 5),
+        ("lock-factory", 10),
+        ("lock-factory", 11),
+    ]
+
+
+def test_lock_factory_exempts_the_factory_module_itself():
+    rule = get_rule("lock-factory")
+    report = analyze_source(
+        _factory_source(), "src/repro/utils/locks.py", rules=[rule]
+    )
+    assert report.findings == []
+
+
+def test_lock_factory_is_scoped_to_src():
+    rule = get_rule("lock-factory")
+    assert rule.applies_to("src/repro/serve/runtime.py")
+    assert not rule.applies_to("src/repro/utils/locks.py")
+    assert not rule.applies_to("tests/unit/test_serve.py")
+    assert not rule.applies_to("concurrency/factory_bad.py")
+
+
+def test_named_factories_do_not_trip_the_rule():
+    source = (
+        "from repro.utils.locks import make_lock\n"
+        "import multiprocessing\n"
+        "LOCK = make_lock('x')\n"
+        "MP = multiprocessing.Lock()\n"
+    )
+    report = analyze_source(source, "src/repro/x.py", rules=[get_rule("lock-factory")])
+    assert report.findings == []
+
+
+# ------------------------------------------------------------------- CLI
+
+
+def test_locks_cli_fails_on_cycle_and_names_it(capsys):
+    rc = cli.main(
+        [
+            "locks",
+            os.path.join(CONCURRENCY, "cycle_ab.py"),
+            "--no-baseline",
+            "--root",
+            FIXTURES,
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "UNSUPPRESSED" in out
+    assert "lock-order-cycle" in out
+
+
+def test_locks_cli_passes_on_clean_hierarchy(capsys):
+    rc = cli.main(
+        [
+            "locks",
+            os.path.join(CONCURRENCY, "clean_hierarchy.py"),
+            "--no-baseline",
+            "--root",
+            FIXTURES,
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "lock hierarchy" in out
+    assert "Pipeline.outer" in out
+
+
+def test_locks_cli_json_payload_includes_triage(capsys):
+    rc = cli.main(
+        [
+            "locks",
+            os.path.join(CONCURRENCY, "blocking_hold.py"),
+            "--format",
+            "json",
+            "--no-baseline",
+            "--root",
+            FIXTURES,
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["summary"]["blocking"] == 1
+    assert payload["triage"]["summary"]["new"] == 1
+    assert payload["triage"]["new"][0]["rule"] == "lock-held-blocking"
+
+
+def test_locks_cli_writes_dot_file(tmp_path, capsys):
+    dot_path = tmp_path / "locks.dot"
+    rc = cli.main(
+        [
+            "locks",
+            os.path.join(CONCURRENCY, "clean_hierarchy.py"),
+            "--dot",
+            str(dot_path),
+            "--no-baseline",
+            "--root",
+            FIXTURES,
+        ]
+    )
+    capsys.readouterr()
+    assert rc == 0
+    content = dot_path.read_text()
+    assert content.startswith("digraph lock_order {")
+    assert "Pipeline.inner" in content
+
+
+def test_locks_cli_inline_suppression_downgrades_to_intentional(tmp_path, capsys):
+    source = (
+        "import threading\n"
+        "import time\n"
+        "\n"
+        "LOCK = threading.Lock()\n"
+        "\n"
+        "def slow():\n"
+        "    with LOCK:\n"
+        "        # repro: disable=lock-held-blocking — startup-only path,\n"
+        "        # nothing else can contend for LOCK yet.\n"
+        "        time.sleep(0.1)\n"
+    )
+    target = tmp_path / "suppressed_blocking.py"
+    target.write_text(source)
+    rc = cli.main(
+        ["locks", str(target), "--no-baseline", "--root", str(tmp_path)]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "1 suppressed inline" in out
+    assert "UNSUPPRESSED" not in out
