@@ -9,10 +9,12 @@ key itself, or any ancestor key — ``{"speedup": {"build": 27.2}}`` counts
 both layers), and fails if any ratio is below the floor.
 
 Symmetrically, *overhead fractions* (cost of an opt-in feature relative to
-having it off — e.g. ``summary.tracing.tracing_overhead_frac`` from
-``repro bench-serve``) live under keys containing ``overhead`` and must
-stay at or below ``DEFAULT_OVERHEAD_CEILING`` (5%): tracing and friends are
-only acceptable on the hot path while they are near-free.
+having it off — e.g. ``summary.tracing.tracing_overhead_frac`` and
+``summary.collector.collector_overhead_frac`` from ``repro bench-serve``)
+live under keys containing ``overhead`` and must stay at or below
+``DEFAULT_OVERHEAD_CEILING`` (5%): tracing, the background metrics
+collector and friends are only acceptable on the hot path while they are
+near-free.
 
 Speedup leaves whose path contains ``encode_speedup`` carry a stricter
 floor (``DEFAULT_ENCODE_FLOOR``, 3.0): the tape-free fused inference path

@@ -1,11 +1,12 @@
 """Rule families — importing this package registers every rule.
 
-Six families, each encoding an invariant the oracle-equivalence story
+Seven families, each encoding an invariant the oracle-equivalence story
 depends on: lock discipline (shared state under its lock), whole-program
 concurrency (deadlock-free lock ordering, no blocking under a lock),
 determinism (no entropy in ranking paths), numpy-kernel hygiene (portable,
-fully initialised numerics), API hygiene (exception- and call-safety) and
-persistence (durable writes are atomic).
+fully initialised numerics), API hygiene (exception- and call-safety),
+persistence (durable writes are atomic) and observability (enumerable,
+bounded metric vocabulary).
 """
 
 from repro.analysis.rules import (
@@ -16,6 +17,7 @@ from repro.analysis.rules import (
     inference,
     locks,
     numpy_kernels,
+    observability,
     persistence,
 )
 
@@ -27,5 +29,6 @@ __all__ = [
     "inference",
     "locks",
     "numpy_kernels",
+    "observability",
     "persistence",
 ]

@@ -194,7 +194,9 @@ def _build_serving_saccs(args: argparse.Namespace):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.obs import TraceStore, Tracer, get_logger
+    import dataclasses
+
+    from repro.obs import TraceStore, Tracer, default_slos, get_logger
     from repro.serve import SaccsHttpServer, SaccsRuntime, ServeConfig
 
     saccs, snapshot_note = _build_serving_saccs(args)
@@ -204,6 +206,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_size=args.cache_size,
         session_ttl_seconds=args.session_ttl,
+        collector_enabled=not args.no_collector,
+        collector_interval_seconds=args.collector_interval,
+        collector_retention=args.collector_retention,
     )
     tracer = None
     if not args.no_trace:
@@ -215,7 +220,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             logger=get_logger("repro.serve"),
             sample_every=args.trace_sample,
         )
-    runtime = SaccsRuntime(saccs, config, tracer=tracer)
+    slos = tuple(
+        dataclasses.replace(spec, threshold_ms=args.slo_latency_ms)
+        if spec.objective == "latency"
+        else spec
+        for spec in default_slos()
+    )
+    runtime = SaccsRuntime(saccs, config, tracer=tracer, slos=slos)
     if snapshot_note is not None:
         runtime.note_snapshot_load(*snapshot_note)
     server = SaccsHttpServer(runtime, host=args.host, port=args.port)
@@ -227,6 +238,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print("  GET  /healthz       GET  /metrics")
     if tracer is not None:
         print("  GET  /debug/traces  GET  /debug/trace/<id>   (repro trace <id>)")
+    if not args.no_collector:
+        print("  GET  /debug/timeseries  GET  /debug/slo      (repro top)")
+    if tracer is not None:
+        print("  GET  /debug/profile                          (repro profile)")
     print("  (Ctrl-C to stop)")
     server.serve_forever()
     return 0
@@ -277,6 +292,90 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+    from urllib.error import HTTPError, URLError
+    from urllib.parse import urlencode
+    from urllib.request import urlopen
+
+    from repro.obs import merge_traces, render_profile, render_profile_diff
+
+    def render(payload) -> int:
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        elif "diff" in payload:
+            print(render_profile_diff(payload["diff"], top=args.top))
+        else:
+            print(render_profile(payload, top=args.top))
+        return 0
+
+    if args.input:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        # Accept a saved /debug/profile payload, a /debug/profile?diff=
+        # payload, or a plain list of trace payloads (merged locally).
+        if isinstance(payload, list):
+            payload = merge_traces(payload)
+        return render(payload)
+    params = {}
+    if args.limit is not None:
+        params["limit"] = args.limit
+    if args.slow_only:
+        params["slow_only"] = "true"
+    if args.diff is not None:
+        params["diff"] = args.diff
+    query = f"?{urlencode(params)}" if params else ""
+    try:
+        with urlopen(f"{args.url}/debug/profile{query}") as response:
+            return render(json.load(response))
+    except HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace")
+        print(f"server returned {exc.code}: {detail}", file=sys.stderr)
+        return 1
+    except URLError as exc:
+        print(f"cannot reach {args.url}: {exc.reason}", file=sys.stderr)
+        return 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json
+    import time
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    from repro.obs.dashboard import render_dashboard
+
+    def fetch(path):
+        try:
+            with urlopen(f"{args.url}{path}") as response:
+                return json.load(response)
+        except (HTTPError, URLError, json.JSONDecodeError):
+            return None
+
+    frames = 0
+    while True:
+        health = fetch("/healthz")
+        if health is None and frames == 0:
+            print(f"cannot reach {args.url}", file=sys.stderr)
+            return 1
+        frame = render_dashboard(
+            health,
+            fetch(f"/debug/timeseries?limit={args.window}"),
+            fetch("/debug/slo"),
+        )
+        if frames and not args.no_clear:
+            # Home + clear-to-end repaints in place without scrollback spam.
+            sys.stdout.write("\x1b[H\x1b[J")
+        print(frame)
+        frames += 1
+        if args.iterations is not None and frames >= args.iterations:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from repro.serve.loadgen import run_load_benchmark, write_serve_record
 
@@ -313,6 +412,14 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         f"{tracing['tracing_overhead_frac'] * 100:.2f}% "
         f"({tracing['throughput_rps_traced']:.1f} traced vs "
         f"{tracing['throughput_rps_untraced']:.1f} untraced rps)"
+    )
+    collector = summary["collector"]
+    print(
+        f"collector overhead at {collector['clients']} clients "
+        f"({collector['interval_seconds'] * 1000:.0f}ms cadence): "
+        f"{collector['collector_overhead_frac'] * 100:.2f}% "
+        f"({collector['throughput_rps_collector_on']:.1f} on vs "
+        f"{collector['throughput_rps_collector_off']:.1f} off rps)"
     )
     path = write_serve_record(payload, args.output)
     print(f"wrote {path}")
@@ -670,7 +777,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--trace-sample",
         type=int,
-        default=8,
+        default=32,
         help="trace 1 of every N requests (1 = trace everything)",
     )
     serve.add_argument(
@@ -678,6 +785,30 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=50.0,
         help="slow-exemplar threshold in milliseconds",
+    )
+    serve.add_argument(
+        "--no-collector",
+        action="store_true",
+        help="disable the background metrics collector (no /debug/timeseries "
+        "points, frozen SLO burn rates)",
+    )
+    serve.add_argument(
+        "--collector-interval",
+        type=float,
+        default=1.0,
+        help="collector sampling cadence in seconds",
+    )
+    serve.add_argument(
+        "--collector-retention",
+        type=int,
+        default=512,
+        help="time-series points retained in the ring buffer",
+    )
+    serve.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=100.0,
+        help="latency-SLO threshold: 99%% of searches must finish within this",
     )
     serve.set_defaults(func=_cmd_serve)
 
@@ -699,6 +830,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit collapsed-stack (flamegraph) lines instead of a tree",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="merged flamegraph over a serving runtime's trace store",
+    )
+    profile.add_argument(
+        "--url", default="http://127.0.0.1:8350", help="server base URL"
+    )
+    profile.add_argument(
+        "--input",
+        help="render a saved /debug/profile payload (or a JSON list of "
+        "trace payloads) instead of fetching",
+    )
+    profile.add_argument(
+        "--limit", type=int, help="merge at most this many traces (newest first)"
+    )
+    profile.add_argument(
+        "--slow-only", action="store_true", help="merge only the slow exemplars"
+    )
+    profile.add_argument(
+        "--diff",
+        type=int,
+        help="diff mode: newest N traces vs the rest of the window "
+        "(per-trace-normalised deltas)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=20, help="stacks listed in the rendering"
+    )
+    profile.add_argument(
+        "--json", action="store_true", help="print the raw payload instead"
+    )
+    profile.set_defaults(func=_cmd_profile)
+
+    top = subparsers.add_parser(
+        "top", help="live terminal dashboard for a serving runtime"
+    )
+    top.add_argument(
+        "--url", default="http://127.0.0.1:8350", help="server base URL"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between repaints"
+    )
+    top.add_argument(
+        "--window",
+        type=int,
+        default=48,
+        help="time-series points fetched per frame (sparkline width)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        help="render this many frames then exit (default: until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of repainting in place",
+    )
+    top.set_defaults(func=_cmd_top)
 
     bench_serve = subparsers.add_parser(
         "bench-serve", help="closed-loop load benchmark of the serving runtime"

@@ -33,6 +33,7 @@ from repro.text.tokenize import word_tokenize
 
 __all__ = [
     "ROUTE_CHITCHAT",
+    "ROUTE_COUNTERS",
     "ROUTE_OBJECTIVE",
     "ROUTE_SUBJECTIVE",
     "ROUTES",
@@ -45,6 +46,11 @@ ROUTE_OBJECTIVE = "objective"
 ROUTE_CHITCHAT = "chitchat"
 #: every route label, in the fixed order metrics/benches report them.
 ROUTES = (ROUTE_CHITCHAT, ROUTE_OBJECTIVE, ROUTE_SUBJECTIVE)
+
+#: closed counter-name set for per-route metrics — call sites index this
+#: instead of f-string-ing the route so metric cardinality stays bounded
+#: by construction (and the metric-name-literal lint rule can see it).
+ROUTE_COUNTERS = {route: "conv.route." + route for route in ROUTES}
 
 #: tokens that signal a search-type intent (the dialog shim's contract).
 SEARCH_MARKERS = frozenset(

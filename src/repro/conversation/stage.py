@@ -34,7 +34,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
-from repro.conversation.classify import ParsedUtterance, QueryClassifier
+from repro.conversation.classify import (
+    ROUTE_COUNTERS,
+    ParsedUtterance,
+    QueryClassifier,
+)
 from repro.conversation.coref import CorefBinding, CoreferenceResolver
 from repro.conversation.rewrite import QueryRewriter
 from repro.conversation.salience import (
@@ -194,7 +198,7 @@ class ConversationStage:
     ) -> None:
         if self.metrics is None:
             return
-        self.metrics.incr(f"conv.route.{route}")
+        self.metrics.incr(ROUTE_COUNTERS[route])
         if bindings:
             self.metrics.incr("conv.coref.hit", len(bindings))
         if misses:

@@ -184,6 +184,8 @@ class ExtractionEngine:
 
     def _incr(self, name: str, amount: int = 1) -> None:
         if self.metrics is not None:
+            # repro: disable=metric-name-literal — nil-guard forwarder; every
+            # call site passes a literal, which the rule checks at those sites.
             self.metrics.incr(name, amount)
 
     # ------------------------------------------------------------------ tagging

@@ -1,0 +1,179 @@
+"""Aggregate profiling: merge many traces into one weighted flamegraph.
+
+A single trace answers "where did *this* request go"; operating a loaded
+service needs "where did the last N seconds go".  :func:`merge_traces`
+folds the collapsed stacks of every trace in a window into one profile —
+exclusive microseconds summed per stack path — which reads exactly like a
+sampled flamegraph, except the weights are measured span durations rather
+than sample counts.  Per-stage attribution falls out of the root frames of
+each stack, and :func:`diff_profiles` subtracts two windows (each
+normalised per trace, so unequal window sizes compare fairly) to localise
+a regression to the stage — and the frame within it — that got slower.
+
+Everything here is pure: no locks, no clocks, plain dicts in and out, so
+the CLI can profile a live server (`/debug/profile`) or a saved JSON file
+identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.render import collapsed_stack_values
+
+__all__ = [
+    "diff_profiles",
+    "merge_traces",
+    "profile_from_store",
+    "render_profile",
+    "render_profile_diff",
+]
+
+
+def merge_traces(traces: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold trace payloads into one aggregate profile.
+
+    Returns ``{"traces": n, "total_us": sum, "stacks": {path: us},
+    "stages": {root_child_name: us}}``.  ``stages`` attributes every
+    stack's exclusive time to its depth-1 frame (time exclusive to the
+    root itself lands under the root's own name), giving the per-stage
+    breakdown ``repro top`` and the diff mode key off.  Traces that fail
+    to build a span tree (no spans — a finalize raced an empty builder)
+    are skipped rather than poisoning the whole window.
+    """
+    stacks: Dict[str, int] = {}
+    stages: Dict[str, int] = {}
+    merged = 0
+    for trace in traces:
+        try:
+            pairs = collapsed_stack_values(trace)
+        except ValueError:
+            continue
+        merged += 1
+        for stack, value in pairs:
+            if value <= 0:
+                continue
+            stacks[stack] = stacks.get(stack, 0) + value
+            frames = stack.split(";")
+            stage = frames[1] if len(frames) > 1 else frames[0]
+            stages[stage] = stages.get(stage, 0) + value
+    return {
+        "traces": merged,
+        "total_us": sum(stacks.values()),
+        "stacks": stacks,
+        "stages": stages,
+    }
+
+
+def profile_from_store(
+    store,
+    limit: Optional[int] = None,
+    slow_only: bool = False,
+) -> Dict[str, Any]:
+    """Aggregate profile over a :class:`~repro.obs.store.TraceStore` window.
+
+    ``limit`` bounds how many traces are merged (newest first for the
+    recent ring, slowest first for ``slow_only``).
+    """
+    traces = store.slow(limit) if slow_only else store.recent(limit)
+    profile = merge_traces(traces)
+    profile["window"] = {
+        "source": "slow" if slow_only else "recent",
+        "limit": limit,
+    }
+    return profile
+
+
+def _per_trace(profile: Dict[str, Any], key: str) -> Dict[str, float]:
+    """Weights normalised to microseconds *per trace* for fair window diffs."""
+    count = profile.get("traces", 0)
+    if not count:
+        return {}
+    return {name: value / count for name, value in profile.get(key, {}).items()}
+
+
+def diff_profiles(
+    before: Dict[str, Any], after: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Per-trace-normalised deltas between two profiles (positive = slower).
+
+    Both windows are divided by their own trace counts before subtracting,
+    so a 100-trace "before" compares fairly against a 20-trace "after".
+    """
+    diff: Dict[str, Any] = {
+        "before_traces": before.get("traces", 0),
+        "after_traces": after.get("traces", 0),
+    }
+    for key in ("stacks", "stages"):
+        old = _per_trace(before, key)
+        new = _per_trace(after, key)
+        diff[key] = {
+            name: new.get(name, 0.0) - old.get(name, 0.0)
+            for name in set(old) | set(new)
+            if new.get(name, 0.0) != old.get(name, 0.0)
+        }
+    return diff
+
+
+def _bar(value: float, peak: float, width: int = 30) -> str:
+    if peak <= 0:
+        return ""
+    return "█" * max(1, int(round(width * value / peak)))
+
+
+def render_profile(profile: Dict[str, Any], top: int = 20) -> str:
+    """Human-readable aggregate flamegraph: stages, then hottest stacks."""
+    traces = profile.get("traces", 0)
+    total = profile.get("total_us", 0)
+    lines = [f"aggregate profile  {traces} traces  {total / 1000.0:.3f}ms total"]
+    if not traces:
+        lines.append("(no traces in window)")
+        return "\n".join(lines)
+    stages: List[Tuple[str, int]] = sorted(
+        profile.get("stages", {}).items(), key=lambda item: (-item[1], item[0])
+    )
+    peak = stages[0][1] if stages else 0
+    lines.append("")
+    lines.append("per-stage attribution:")
+    for name, value in stages:
+        share = 100.0 * value / total if total else 0.0
+        lines.append(
+            f"  {name:<28} {value / 1000.0:>10.3f}ms  {share:5.1f}%  "
+            f"{_bar(value, peak)}"
+        )
+    ranked = sorted(
+        profile.get("stacks", {}).items(), key=lambda item: (-item[1], item[0])
+    )
+    lines.append("")
+    lines.append(f"hottest stacks (top {min(top, len(ranked))} of {len(ranked)}):")
+    for stack, value in ranked[:top]:
+        lines.append(f"  {value / 1000.0:>10.3f}ms  {stack}")
+    return "\n".join(lines)
+
+
+def render_profile_diff(diff: Dict[str, Any], top: int = 20) -> str:
+    """Regression-first listing of per-trace deltas between two windows."""
+    lines = [
+        "profile diff (per-trace µs, positive = slower)  "
+        f"before={diff.get('before_traces', 0)} traces  "
+        f"after={diff.get('after_traces', 0)} traces"
+    ]
+    stages = sorted(
+        diff.get("stages", {}).items(), key=lambda item: (-item[1], item[0])
+    )
+    if not stages:
+        lines.append("(no per-stage change)")
+    else:
+        lines.append("")
+        lines.append("per-stage delta:")
+        for name, value in stages:
+            lines.append(f"  {value / 1000.0:>+10.3f}ms  {name}")
+    ranked = sorted(
+        diff.get("stacks", {}).items(), key=lambda item: (-item[1], item[0])
+    )
+    if ranked:
+        lines.append("")
+        lines.append(f"largest stack deltas (top {min(top, len(ranked))}):")
+        for stack, value in ranked[:top]:
+            lines.append(f"  {value / 1000.0:>+10.3f}ms  {stack}")
+    return "\n".join(lines)

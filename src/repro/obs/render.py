@@ -8,9 +8,14 @@ or a JSON file saved earlier.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Tuple
 
-__all__ = ["build_span_tree", "render_trace", "to_collapsed_stacks"]
+__all__ = [
+    "build_span_tree",
+    "collapsed_stack_values",
+    "render_trace",
+    "to_collapsed_stacks",
+]
 
 
 def build_span_tree(trace: Dict[str, Any]) -> Dict[str, Any]:
@@ -82,6 +87,30 @@ def render_trace(trace: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def collapsed_stack_values(trace: Dict[str, Any]) -> List[Tuple[str, int]]:
+    """``(stack, exclusive_us)`` pairs in deterministic pre-order.
+
+    ``stack`` is the semicolon-joined span-name path from the root; the
+    value is the span's *exclusive* time (own duration minus direct
+    children) in integer microseconds.  Sibling order is inherited from
+    :func:`build_span_tree` — (start, span_id) — so identical traces always
+    yield identical pair sequences, which aggregate profiling relies on.
+    """
+    root = build_span_tree(trace)
+    pairs: List[Tuple[str, int]] = []
+
+    def walk(node: Dict[str, Any], stack: List[str]) -> None:
+        stack = stack + [node["name"]]
+        child_total = sum(child["duration_seconds"] for child in node["children"])
+        exclusive = max(0.0, node["duration_seconds"] - child_total)
+        pairs.append((";".join(stack), int(round(exclusive * 1e6))))
+        for child in node["children"]:
+            walk(child, stack)
+
+    walk(root, [])
+    return pairs
+
+
 def to_collapsed_stacks(trace: Dict[str, Any]) -> str:
     """Flamegraph collapsed-stack format: ``a;b;c <exclusive-us>`` lines.
 
@@ -89,16 +118,6 @@ def to_collapsed_stacks(trace: Dict[str, Any]) -> str:
     duration minus direct children), which is what flamegraph tooling sums
     back up into inclusive widths.
     """
-    root = build_span_tree(trace)
-    lines: List[str] = []
-
-    def walk(node: Dict[str, Any], stack: List[str]) -> None:
-        stack = stack + [node["name"]]
-        child_total = sum(child["duration_seconds"] for child in node["children"])
-        exclusive = max(0.0, node["duration_seconds"] - child_total)
-        lines.append(f"{';'.join(stack)} {int(round(exclusive * 1e6))}")
-        for child in node["children"]:
-            walk(child, stack)
-
-    walk(root, [])
-    return "\n".join(lines)
+    return "\n".join(
+        f"{stack} {value}" for stack, value in collapsed_stack_values(trace)
+    )

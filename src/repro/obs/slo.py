@@ -1,0 +1,313 @@
+"""Declarative SLOs: rolling error budgets, burn rates, alert states.
+
+An :class:`SLOSpec` states an objective over the serving metrics — either
+*latency* ("99% of searches complete within 100ms", judged against one
+histogram's per-interval samples) or *availability* ("99.9% of requests do
+not 5xx", judged against counter deltas).  The :class:`SLOMonitor` consumes
+the per-interval observations the
+:class:`~repro.obs.timeseries.MetricsCollector` derives and keeps, per SLO,
+a rolling window of (good, bad) event counts from which it computes **burn
+rates**: how fast the error budget is being consumed relative to the
+sustainable rate.  A burn rate of 1.0 spends exactly the budget the target
+allows; 10× means the budget is gone in a tenth of the window.
+
+Alerting follows the multi-window pattern (Google SRE workbook): a state
+only escalates when **both** the fast window (is it burning *now*?) and the
+slow window (has it burned long enough to matter?) exceed the threshold —
+the fast window alone would page on every blip, the slow window alone would
+page long after the incident started.  The state machine is
+``ok → warn → page``: escalation is immediate, de-escalation requires
+``clear_intervals`` consecutive calm evaluations (hysteresis, so a flapping
+burn rate cannot flap the page).  Every transition emits a structured log
+event and is retained on the monitor for ``/debug/slo``.
+
+Determinism: the monitor owns no clock — elapsed time arrives as the
+measured ``interval_seconds`` of each ingest call, so tests drive the full
+ok→warn→page→recover cycle with zero wall-clock sleeps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.log import get_logger
+from repro.utils.locks import make_lock
+
+__all__ = ["SLOMonitor", "SLOSpec", "default_slos"]
+
+OBJECTIVE_LATENCY = "latency"
+OBJECTIVE_AVAILABILITY = "availability"
+
+_SEVERITY = {"ok": 0, "warn": 1, "page": 2}
+
+#: transitions retained per SLO for /debug/slo (oldest dropped first).
+_TRANSITIONS_KEPT = 32
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One service-level objective over the serving metrics.
+
+    ``target`` is the required *good* fraction (0.99 → 1% error budget).
+    Latency objectives read ``histogram`` and call a sample good iff it is
+    at or under ``threshold_ms``; availability objectives diff
+    ``total_counter`` / ``bad_counter`` between collector samples.
+    """
+
+    name: str
+    objective: str
+    target: float
+    histogram: Optional[str] = None
+    threshold_ms: float = 100.0
+    total_counter: Optional[str] = None
+    bad_counter: Optional[str] = None
+
+    def __post_init__(self):
+        if self.objective not in (OBJECTIVE_LATENCY, OBJECTIVE_AVAILABILITY):
+            raise ValueError(
+                f"objective must be {OBJECTIVE_LATENCY!r} or "
+                f"{OBJECTIVE_AVAILABILITY!r}, got {self.objective!r}"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must lie in (0, 1), got {self.target}")
+        if self.objective == OBJECTIVE_LATENCY:
+            if not self.histogram:
+                raise ValueError(f"latency SLO {self.name!r} needs a histogram")
+            if self.threshold_ms <= 0:
+                raise ValueError(f"threshold_ms must be > 0, got {self.threshold_ms}")
+        else:
+            if not self.total_counter or not self.bad_counter:
+                raise ValueError(
+                    f"availability SLO {self.name!r} needs total_counter and bad_counter"
+                )
+
+    def observe(
+        self,
+        counter_deltas: Dict[str, int],
+        histogram_samples: Dict[str, Sequence[float]],
+    ) -> Tuple[int, int]:
+        """This interval's (good, bad) event counts for the spec."""
+        if self.objective == OBJECTIVE_LATENCY:
+            samples = histogram_samples.get(self.histogram, ())
+            threshold = self.threshold_ms / 1000.0
+            bad = sum(1 for sample in samples if sample > threshold)
+            return len(samples) - bad, bad
+        total = max(0, counter_deltas.get(self.total_counter, 0))
+        bad = min(total, max(0, counter_deltas.get(self.bad_counter, 0)))
+        return total - bad, bad
+
+
+def default_slos() -> Tuple[SLOSpec, ...]:
+    """The serve runtime's stock objectives (tunable via ``repro serve``)."""
+    return (
+        SLOSpec(
+            name="search-latency",
+            objective=OBJECTIVE_LATENCY,
+            target=0.99,
+            histogram="latency.search_seconds",
+            threshold_ms=100.0,
+        ),
+        SLOSpec(
+            name="availability",
+            objective=OBJECTIVE_AVAILABILITY,
+            target=0.999,
+            total_counter="requests.search",
+            bad_counter="errors.server",
+        ),
+    )
+
+
+class _SLOState:
+    """Rolling window + alert state for one spec."""
+
+    __slots__ = ("spec", "window", "state", "calm_streak", "transitions", "elapsed")
+
+    def __init__(self, spec: SLOSpec):
+        self.spec = spec
+        #: (interval_seconds, good, bad) per collector interval, newest last.
+        self.window: deque = deque()
+        self.state = "ok"
+        self.calm_streak = 0
+        self.transitions: deque = deque(maxlen=_TRANSITIONS_KEPT)
+        self.elapsed = 0.0
+
+
+def _burn(entries: Sequence[Tuple[float, int, int]], budget: float) -> float:
+    total = sum(good + bad for _, good, bad in entries)
+    if total == 0:
+        return 0.0
+    bad = sum(bad for _, _, bad in entries)
+    return (bad / total) / budget
+
+
+class SLOMonitor:
+    """Track burn rates and alert states for a set of :class:`SLOSpec`.
+
+    ``warn_burn`` / ``page_burn`` are burn-rate thresholds a window must
+    exceed; both windows must agree before the state escalates.  The
+    defaults (2× to warn, 10× to page) mean "warn when the budget would be
+    gone in half the window, page when it would be gone in a tenth".
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SLOSpec] = (),
+        fast_window_seconds: float = 60.0,
+        slow_window_seconds: float = 600.0,
+        warn_burn: float = 2.0,
+        page_burn: float = 10.0,
+        clear_intervals: int = 2,
+        logger=None,
+    ):
+        if fast_window_seconds <= 0 or slow_window_seconds < fast_window_seconds:
+            raise ValueError(
+                "windows must satisfy 0 < fast_window_seconds <= slow_window_seconds"
+            )
+        if not 0 < warn_burn <= page_burn:
+            raise ValueError("thresholds must satisfy 0 < warn_burn <= page_burn")
+        if clear_intervals < 1:
+            raise ValueError(f"clear_intervals must be >= 1, got {clear_intervals}")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names in {names}")
+        self.fast_window_seconds = fast_window_seconds
+        self.slow_window_seconds = slow_window_seconds
+        self.warn_burn = warn_burn
+        self.page_burn = page_burn
+        self.clear_intervals = clear_intervals
+        self.logger = logger if logger is not None else get_logger("repro.obs.slo")
+        self._lock = make_lock("obs.slo")
+        self._states = [_SLOState(spec) for spec in specs]
+
+    @property
+    def specs(self) -> Tuple[SLOSpec, ...]:
+        return tuple(state.spec for state in self._states)
+
+    # -------------------------------------------------------------- ingestion
+
+    def ingest(
+        self,
+        interval_seconds: float,
+        counter_deltas: Dict[str, int],
+        histogram_samples: Dict[str, Sequence[float]],
+    ) -> Dict[str, Dict[str, Any]]:
+        """Fold one collector interval into every SLO; returns compact states.
+
+        The return value is what the collector stamps onto the time-series
+        point: ``{slo_name: {"state", "fast_burn", "slow_burn"}}``.
+        """
+        with self._lock:
+            return {
+                state.spec.name: self._ingest_one(
+                    state, interval_seconds, counter_deltas, histogram_samples
+                )
+                for state in self._states
+            }
+
+    def _ingest_one(
+        self,
+        state: _SLOState,
+        interval_seconds: float,
+        counter_deltas: Dict[str, int],
+        histogram_samples: Dict[str, Sequence[float]],
+    ) -> Dict[str, Any]:
+        good, bad = state.spec.observe(counter_deltas, histogram_samples)
+        state.elapsed += interval_seconds
+        state.window.append((interval_seconds, good, bad))
+        retained = sum(dt for dt, _, _ in state.window)
+        while len(state.window) > 1 and retained - state.window[0][0] >= self.slow_window_seconds:
+            retained -= state.window.popleft()[0]
+        fast_burn, slow_burn = self._burn_rates(state)
+        self._transition(state, fast_burn, slow_burn)
+        return {"state": state.state, "fast_burn": fast_burn, "slow_burn": slow_burn}
+
+    def _burn_rates(self, state: _SLOState) -> Tuple[float, float]:
+        budget = 1.0 - state.spec.target
+        entries = list(state.window)
+        fast: List[Tuple[float, int, int]] = []
+        span = 0.0
+        for entry in reversed(entries):
+            fast.append(entry)
+            span += entry[0]
+            if span >= self.fast_window_seconds:
+                break
+        return _burn(fast, budget), _burn(entries, budget)
+
+    def _transition(self, state: _SLOState, fast_burn: float, slow_burn: float) -> None:
+        # Both windows must agree before escalating (multi-window rule).
+        agreed = min(fast_burn, slow_burn)
+        if agreed >= self.page_burn:
+            computed = "page"
+        elif agreed >= self.warn_burn:
+            computed = "warn"
+        else:
+            computed = "ok"
+        previous = state.state
+        if _SEVERITY[computed] >= _SEVERITY[previous]:
+            state.calm_streak = 0
+            state.state = computed
+        else:
+            # De-escalation needs `clear_intervals` consecutive calm reads.
+            state.calm_streak += 1
+            if state.calm_streak >= self.clear_intervals:
+                state.calm_streak = 0
+                state.state = computed
+        if state.state != previous:
+            event = {
+                "slo": state.spec.name,
+                "from": previous,
+                "to": state.state,
+                "fast_burn": round(fast_burn, 4),
+                "slow_burn": round(slow_burn, 4),
+                "elapsed_seconds": round(state.elapsed, 3),
+            }
+            state.transitions.append(event)
+            level = "error" if state.state == "page" else (
+                "warning" if state.state == "warn" else "info"
+            )
+            self.logger.log(level, "slo state change", **event)
+
+    # ------------------------------------------------------------- inspection
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Full payload for ``/debug/slo``."""
+        with self._lock:
+            slos = []
+            for state in self._states:
+                fast_burn, slow_burn = self._burn_rates(state)
+                total = sum(good + bad for _, good, bad in state.window)
+                bad = sum(bad for _, _, bad in state.window)
+                spec = state.spec
+                slos.append(
+                    {
+                        "name": spec.name,
+                        "objective": spec.objective,
+                        "target": spec.target,
+                        "threshold_ms": (
+                            spec.threshold_ms
+                            if spec.objective == OBJECTIVE_LATENCY
+                            else None
+                        ),
+                        "state": state.state,
+                        "fast_burn": fast_burn,
+                        "slow_burn": slow_burn,
+                        # Fraction of the slow window's budget still unspent
+                        # (burn 1.0 == spending exactly the whole budget).
+                        "budget_remaining_frac": max(0.0, 1.0 - slow_burn),
+                        "window": {
+                            "seconds": sum(dt for dt, _, _ in state.window),
+                            "events": total,
+                            "bad": bad,
+                        },
+                        "transitions": list(state.transitions),
+                    }
+                )
+        return {
+            "fast_window_seconds": self.fast_window_seconds,
+            "slow_window_seconds": self.slow_window_seconds,
+            "warn_burn": self.warn_burn,
+            "page_burn": self.page_burn,
+            "slos": slos,
+        }

@@ -25,6 +25,16 @@ __all__ = ["GenerationalCache", "ServingCache"]
 
 _MISS = object()
 
+#: closed (level, outcome) → counter-name map: the two cache levels each get
+#: exactly two counters, spelled out here so metric cardinality is bounded
+#: by construction (see the metric-name-literal lint rule).
+_CACHE_COUNTERS = {
+    ("cache.tags", True): "cache.tags.hit",
+    ("cache.tags", False): "cache.tags.miss",
+    ("cache.ranking", True): "cache.ranking.hit",
+    ("cache.ranking", False): "cache.ranking.miss",
+}
+
 
 class GenerationalCache:
     """A thread-safe LRU map whose entries expire by index generation.
@@ -168,7 +178,7 @@ class ServingCache:
 
     def _count(self, base: str, hit: bool) -> None:
         if self.metrics is not None:
-            self.metrics.incr(f"{base}.hit" if hit else f"{base}.miss")
+            self.metrics.incr(_CACHE_COUNTERS[(base, hit)])
         # Stamp the lookup outcome onto the active request trace (no-op
         # untraced), so a span tree shows which cache level answered.
         obs.annotate(**{base: "hit" if hit else "miss"})

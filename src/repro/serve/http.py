@@ -5,8 +5,13 @@ Stdlib only (:mod:`http.server`).  Endpoints:
 ================================  =============================================
 ``GET  /healthz``                 liveness + index generation
 ``GET  /metrics``                 :meth:`MetricsRegistry.snapshot` as JSON
-``GET  /debug/traces``            recent traces + slow exemplars (summaries)
+``GET  /debug/traces``            recent traces + slow exemplars (summaries);
+                                  ``?limit=`` and ``?slow_only=`` filters
 ``GET  /debug/trace/<id>``        one trace's full span tree
+``GET  /debug/timeseries``        collector ring (``?limit=`` newest points)
+``GET  /debug/profile``           merged flamegraph over the trace store
+                                  (``?limit=``, ``?slow_only=``, ``?diff=``)
+``GET  /debug/slo``               burn rates, budgets and alert states
 ``POST /search``                  rank entities for ``tags`` or an ``utterance``
 ``POST /session/<id>/say``        one conversational turn in session ``<id>``
 ``POST /admin/reindex``           fold the tag history; bump the generation
@@ -24,7 +29,8 @@ import json
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.serve.protocol import (
     ProtocolError,
@@ -44,6 +50,70 @@ MAX_BODY_BYTES = 64 * 1024
 _SAY_PATH = re.compile(r"^/session/(?P<session_id>[A-Za-z0-9._~-]{1,128})/say$")
 
 _TRACE_PATH = re.compile(r"^/debug/trace/(?P<trace_id>[A-Za-z0-9._-]{1,64})$")
+
+#: upper bound for ``?limit=``-style parameters — callers wanting "all of a
+#: bounded store" can pass the store's capacity; anything larger is a typo.
+MAX_QUERY_LIMIT = 10_000
+
+_FLAG_VALUES = {
+    "1": True, "true": True, "yes": True,
+    "0": False, "false": False, "no": False,
+}
+
+
+def query_int(
+    params: Dict[str, list],
+    name: str,
+    default: Optional[int] = None,
+    minimum: int = 1,
+    maximum: int = MAX_QUERY_LIMIT,
+) -> Optional[int]:
+    """Parse one optional integer query parameter with bounds validation.
+
+    Out-of-range and non-numeric values raise :class:`ProtocolError` (the
+    uniform envelope, code ``bad_query``) instead of being clamped —
+    silently clamping would hand an operator a differently-sized window
+    than the one they asked for.
+    """
+    values = params.get(name)
+    if not values:
+        return default
+    raw = values[-1]
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ProtocolError(
+            f"query parameter {name!r} must be an integer, got {raw!r}",
+            code="bad_query",
+        ) from None
+    if not minimum <= value <= maximum:
+        raise ProtocolError(
+            f"query parameter {name!r} must lie in [{minimum}, {maximum}], "
+            f"got {value}",
+            code="bad_query",
+        )
+    return value
+
+
+def query_flag(params: Dict[str, list], name: str, default: bool = False) -> bool:
+    """Parse one optional boolean query parameter (``?slow_only=true``).
+
+    A bare ``?slow_only`` (no value) reads as true; unrecognised values
+    raise the uniform envelope rather than guessing.
+    """
+    values = params.get(name)
+    if not values:
+        return default
+    raw = values[-1].lower()
+    if raw == "":
+        return True
+    if raw not in _FLAG_VALUES:
+        raise ProtocolError(
+            f"query parameter {name!r} must be a boolean "
+            f"(one of {sorted(_FLAG_VALUES)}), got {values[-1]!r}",
+            code="bad_query",
+        )
+    return _FLAG_VALUES[raw]
 
 
 def make_handler(runtime: SaccsRuntime):
@@ -101,20 +171,51 @@ def make_handler(runtime: SaccsRuntime):
         # ------------------------------------------------------------- routes
 
         def do_GET(self):  # noqa: N802 - stdlib casing
-            if self.path == "/healthz":
+            # Split path from query up front: routes match on the bare path
+            # and read parameters from the parsed mapping, so "/debug/traces"
+            # and "/debug/traces?limit=5" hit the same handler.
+            split = urlsplit(self.path)
+            path = split.path
+            params = parse_qs(split.query, keep_blank_values=True)
+            if path == "/healthz":
                 self._dispatch(lambda: (200, runtime.health()))
-            elif self.path == "/metrics":
+            elif path == "/metrics":
                 self._dispatch(lambda: (200, runtime.metrics_snapshot()))
-            elif self.path == "/debug/traces":
-                self._dispatch(lambda: (200, runtime.traces_snapshot()))
+            elif path == "/debug/traces":
+                self._dispatch(lambda: (200, self._traces_payload(params)))
+            elif path == "/debug/timeseries":
+                self._dispatch(
+                    lambda: (
+                        200,
+                        runtime.timeseries_snapshot(query_int(params, "limit")),
+                    )
+                )
+            elif path == "/debug/profile":
+                self._dispatch(
+                    lambda: (
+                        200,
+                        runtime.profile_payload(
+                            limit=query_int(params, "limit"),
+                            slow_only=query_flag(params, "slow_only"),
+                            diff=query_int(params, "diff"),
+                        ),
+                    )
+                )
+            elif path == "/debug/slo":
+                self._dispatch(lambda: (200, runtime.slo_snapshot()))
             else:
-                match = _TRACE_PATH.match(self.path)
+                match = _TRACE_PATH.match(path)
                 if match:
                     self._dispatch(
                         lambda: (200, runtime.trace_payload(match.group("trace_id")))
                     )
                     return
-                self._send_json(404, error_payload("not_found", f"no route {self.path!r}"))
+                self._send_json(404, error_payload("not_found", f"no route {path!r}"))
+
+        def _traces_payload(self, params: Dict[str, list]) -> dict:
+            limit = query_int(params, "limit", default=20)
+            slow_only = query_flag(params, "slow_only")
+            return runtime.traces_snapshot(limit=limit, slow_only=slow_only)
 
         def do_POST(self):  # noqa: N802 - stdlib casing
             if self.path == "/search":

@@ -91,15 +91,23 @@ class MetricsRegistry:
     effectiveness is readable straight off ``/metrics``.
     """
 
-    def __init__(self, window_size: int = 4096, clock=time.perf_counter):
+    def __init__(
+        self,
+        window_size: int = 4096,
+        clock=time.perf_counter,
+        wall_clock=time.time,
+    ):
         if window_size <= 0:
             raise ValueError("window_size must be positive")
         self._lock = make_lock("serve.metrics")
         self._window_size = window_size
         self._clock = clock
+        # Wall clock is injectable too (it feeds uptime_seconds): hard-coding
+        # time.time() here made uptime untestable while durations were not.
+        self._wall_clock = wall_clock
         self._counters: Dict[str, int] = {}
         self._histograms: Dict[str, _Histogram] = {}
-        self._started = time.time()
+        self._started = wall_clock()
 
     # -------------------------------------------------------------- recording
 
@@ -148,8 +156,26 @@ class MetricsRegistry:
             if hits + misses:
                 ratios[base] = hits / (hits + misses)
         return {
-            "uptime_seconds": time.time() - self._started,
+            "uptime_seconds": self._wall_clock() - self._started,
             "counters": counters,
             "histograms": histograms,
             "ratios": ratios,
         }
+
+    def collect(self) -> Dict[str, object]:
+        """Raw cumulative state for delta-based samplers (the collector).
+
+        One lock round-trip yields every counter plus, per histogram, the
+        cumulative observation count and the retained window *samples* —
+        what :class:`~repro.obs.timeseries.MetricsCollector` needs to
+        compute per-interval rates and windowed percentiles.  ``snapshot``
+        stays the human/endpoint view; this is the machine view.
+        """
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "windows": {
+                    name: (histogram.count, tuple(histogram.window))
+                    for name, histogram in self._histograms.items()
+                },
+            }

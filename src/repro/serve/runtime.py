@@ -35,7 +35,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.conversation.classify import ROUTE_SUBJECTIVE
+from repro.conversation.classify import ROUTE_COUNTERS, ROUTE_SUBJECTIVE
 from repro.conversation.stage import ConversationStage
 from repro.core.filtering import filter_and_rank
 from repro.core.saccs import IndexingRound, Saccs
@@ -44,7 +44,10 @@ from repro.core.extractor import TagExtractor
 from repro.core.tags import SubjectiveTag
 from repro.obs import tracing as obs
 from repro.obs.log import get_logger
+from repro.obs.profile import diff_profiles, merge_traces, profile_from_store
 from repro.obs.render import build_span_tree
+from repro.obs.slo import SLOMonitor, SLOSpec, default_slos
+from repro.obs.timeseries import MetricsCollector, TimeSeriesStore
 from repro.obs.tracing import NullTracer, Tracer
 from repro.serve.cache import ServingCache
 from repro.serve.metrics import MetricsRegistry
@@ -83,6 +86,13 @@ class ServeConfig:
     #: instead of stalling for a full interpreter switch interval; 0
     #: disables pacing and lets the rebuild run flat out.
     rebuild_pace_seconds: float = 0.0005
+    #: background metrics collector (continuous telemetry for /debug/timeseries,
+    #: SLO burn rates and `repro top`); False leaves /metrics point-in-time only.
+    collector_enabled: bool = True
+    #: sampling cadence of the collector thread.
+    collector_interval_seconds: float = 1.0
+    #: time-series points retained (ring buffer; ~8.5 min at 1s cadence).
+    collector_retention: int = 512
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -93,6 +103,10 @@ class ServeConfig:
             raise ValueError("max_wait_ms must be >= 0")
         if self.rebuild_pace_seconds < 0:
             raise ValueError("rebuild_pace_seconds must be >= 0")
+        if self.collector_interval_seconds <= 0:
+            raise ValueError("collector_interval_seconds must be > 0")
+        if self.collector_retention < 1:
+            raise ValueError("collector_retention must be >= 1")
 
 
 class _Pending:
@@ -150,6 +164,7 @@ class SaccsRuntime:
         config: Optional[ServeConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        slos: Optional[Sequence[SLOSpec]] = None,
     ):
         self.saccs = saccs
         self.config = config or ServeConfig()
@@ -185,6 +200,19 @@ class SaccsRuntime:
         self._batches: "queue.Queue" = queue.Queue()
         self._threads: List[threading.Thread] = []
         self._running = False
+        # Continuous telemetry: the SLO monitor exists regardless (its specs
+        # describe targets, not machinery) but only the collector thread
+        # feeds it, so --no-collector also freezes burn-rate accounting.
+        self.slo = SLOMonitor(default_slos() if slos is None else tuple(slos))
+        self.timeseries = TimeSeriesStore(self.config.collector_retention)
+        self.collector: Optional[MetricsCollector] = None
+        if self.config.collector_enabled:
+            self.collector = MetricsCollector(
+                self.metrics,
+                interval_seconds=self.config.collector_interval_seconds,
+                store=self.timeseries,
+                slo=self.slo,
+            )
 
     # -------------------------------------------------------------- lifecycle
 
@@ -207,12 +235,20 @@ class SaccsRuntime:
                 )
             for thread in self._threads:
                 thread.start()
+            if self.collector is not None:
+                self.collector.start()
         return self
 
     def stop(self) -> None:
         with self._lifecycle_lock:
             if not self._running:
                 return
+            if self.collector is not None:
+                # repro: disable=lock-held-blocking — stop() only joins the
+                # sampler thread, which wakes on its event immediately; the
+                # lifecycle lock must cover it so a racing start() cannot
+                # respawn the collector mid-teardown.
+                self.collector.stop()
             self._running = False
             # repro: disable=lock-held-blocking — the request queue is
             # unbounded, so put() is a non-blocking append; holding the
@@ -325,7 +361,7 @@ class SaccsRuntime:
                 with obs.span("conv.classify") as sp:
                     route = parsed.route
                     sp.set(route=route)
-                self.metrics.incr(f"conv.route.{route}")
+                self.metrics.incr(ROUTE_COUNTERS[route])
                 if route != ROUTE_SUBJECTIVE:
                     # No subjective content to extract: chitchat and
                     # objective turns never reach the encoder — the
@@ -514,14 +550,72 @@ class SaccsRuntime:
 
     # ------------------------------------------------------------------ debug
 
-    def traces_snapshot(self, limit: int = 20) -> Dict[str, object]:
-        """Recent traces + slow exemplars for ``/debug/traces``."""
+    def traces_snapshot(
+        self, limit: int = 20, slow_only: bool = False
+    ) -> Dict[str, object]:
+        """Recent traces + slow exemplars for ``/debug/traces``.
+
+        ``slow_only`` drops the recent ring from the payload — operators
+        tailing exemplars during an incident don't want the healthy
+        traffic interleaved.
+        """
         store = self.tracer.store
         if store is None:
             return {"enabled": False, "recent": [], "slow": []}
         snapshot = store.snapshot(limit)
         snapshot["enabled"] = True
+        if slow_only:
+            snapshot["recent"] = []
         return snapshot
+
+    def timeseries_snapshot(self, limit: Optional[int] = None) -> Dict[str, object]:
+        """Collector ring for ``/debug/timeseries`` (newest ``limit`` points)."""
+        payload = self.timeseries.snapshot(limit)
+        payload["enabled"] = self.collector is not None
+        payload["interval_seconds"] = self.config.collector_interval_seconds
+        return payload
+
+    def slo_snapshot(self) -> Dict[str, object]:
+        """Burn rates, budgets and alert states for ``/debug/slo``."""
+        payload = self.slo.snapshot()
+        payload["collector_enabled"] = self.collector is not None
+        return payload
+
+    def profile_payload(
+        self,
+        limit: Optional[int] = None,
+        slow_only: bool = False,
+        diff: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Aggregate flamegraph over the trace store for ``/debug/profile``.
+
+        ``diff`` splits the recent window in two — the newest ``diff``
+        traces versus the ones before them — and returns the
+        per-trace-normalised delta alongside both halves, which localises
+        "it just got slower" to a stage without leaving the endpoint.
+        """
+        store = self.tracer.store
+        if store is None:
+            raise ProtocolError(
+                "profiling needs tracing enabled on this runtime (start the "
+                "server without --no-trace)",
+                status=404,
+                code="tracing_disabled",
+            )
+        if diff is None:
+            payload = profile_from_store(store, limit=limit, slow_only=slow_only)
+            payload["enabled"] = True
+            return payload
+        window = store.recent(limit)  # newest first
+        after, before = window[:diff], window[diff:]
+        before_profile = merge_traces(before)
+        after_profile = merge_traces(after)
+        return {
+            "enabled": True,
+            "diff": diff_profiles(before_profile, after_profile),
+            "before": before_profile,
+            "after": after_profile,
+        }
 
     def trace_payload(self, trace_id: str) -> Dict[str, object]:
         """Full span tree for ``/debug/trace/<id>``; 404s map to codes."""

@@ -71,11 +71,17 @@ CANONICAL_ORDER: Tuple[str, ...] = (
     "core.extract.tagger",
     "core.extract.cache",
     "serve.cache",
+    # The collector holds its sampling lock across metrics.collect(), the
+    # time-series append and the SLO ingest, so it sits above all three.
+    "obs.collector",
     "serve.metrics",
     "utils.timings",
     "obs.tracer",
     "obs.trace_builder",
     "obs.trace_store",
+    "obs.timeseries",
+    # SLO transitions log while holding the monitor lock → above obs.log.*.
+    "obs.slo",
     "obs.log.registry",
     "obs.log.emit",
 )

@@ -1,0 +1,18 @@
+"""Seeded metric-name-literal violations (line numbers are asserted)."""
+
+
+class Handler:
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+    def handle(self, user_id, route, elapsed):
+        self.metrics.incr(f"requests.user.{user_id}")
+        self.metrics.observe("latency." + route, elapsed)
+        name = "requests." + route
+        self.metrics.incr(name)
+        with self.metrics.time("stage.%s_seconds" % route):
+            pass
+
+
+def record(metrics, route):
+    metrics.incr("conv.route.{}".format(route))

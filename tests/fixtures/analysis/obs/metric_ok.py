@@ -1,0 +1,26 @@
+"""Clean near-misses for metric-name-literal.
+
+Literals, module-level constants and constant-map lookups are all fine;
+dynamic names on receivers that are *not* a metrics registry must not
+trip the receiver heuristic.
+"""
+
+SEARCH_COUNTER = "requests.search"
+ROUTE_COUNTERS = {route: "conv.route." + route for route in ("a", "b")}
+
+
+class Handler:
+    def __init__(self, metrics, journal):
+        self.metrics = metrics
+        self.journal = journal
+
+    def handle(self, route, elapsed):
+        self.metrics.incr("requests.search")
+        self.metrics.incr(SEARCH_COUNTER)
+        self.metrics.incr(ROUTE_COUNTERS[route])
+        self.metrics.observe(name="latency.search_seconds", value=elapsed)
+        with self.metrics.time("stage.rank_seconds"):
+            pass
+        # Not a metrics registry: the receiver heuristic must not fire.
+        self.journal.observe(f"event.{route}", elapsed)
+        self.metrics.incr()  # wrong arity, but not a name finding

@@ -347,3 +347,117 @@ class TestSessionsOverHttp:
         assert first["results"] == [[e, s] for e, s in expected]
         assert second["results"] == first["results"]
         assert second["cached"] is True  # level-2 hit via the cached tag extraction
+
+
+class TestTelemetryEndpoints:
+    """`/debug/timeseries`, `/debug/profile`, `/debug/slo` and query params."""
+
+    @pytest.fixture(scope="class")
+    def server(self, world):
+        from repro.obs import TraceStore, Tracer
+
+        tracer = Tracer(store=TraceStore(slow_threshold_seconds=0.0))
+        runtime = SaccsRuntime(
+            _oracle_saccs(world),
+            ServeConfig(cache_size=64, collector_interval_seconds=0.02),
+            tracer=tracer,
+        )
+        with SaccsHttpServer(runtime) as server:
+            for query in QUERIES[:3]:
+                _post(f"{server.url}/search", {"tags": query})
+            yield server
+
+    @staticmethod
+    def _envelope(excinfo):
+        return json.loads(excinfo.value.read())["error"]
+
+    def _wait_for_points(self, server, minimum=1, deadline=10.0):
+        import time
+
+        end = time.monotonic() + deadline
+        while time.monotonic() < end:
+            payload = _get(f"{server.url}/debug/timeseries")
+            if len(payload["points"]) >= minimum:
+                return payload
+            time.sleep(0.02)
+        raise AssertionError(f"collector produced < {minimum} points in {deadline}s")
+
+    def test_timeseries_points_carry_rates_and_slo_states(self, server):
+        payload = self._wait_for_points(server)
+        assert payload["enabled"] is True
+        assert payload["retention"] == 512
+        point = payload["points"][-1]
+        assert set(point) >= {
+            "t", "interval_seconds", "counters", "rates", "ratios",
+            "histograms", "slo",
+        }
+        assert point["counters"]["requests.search"] >= 3
+        assert sorted(point["slo"]) == ["availability", "search-latency"]
+        assert point["slo"]["availability"]["state"] == "ok"
+
+    def test_timeseries_limit_keeps_newest(self, server):
+        self._wait_for_points(server, minimum=2)
+        payload = _get(f"{server.url}/debug/timeseries?limit=1")
+        assert len(payload["points"]) == 1
+        assert payload["appended"] >= 2
+
+    @pytest.mark.parametrize("query", ["limit=0", "limit=abc", "limit=999999999"])
+    def test_bad_limit_rejected_with_envelope(self, server, query):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server.url}/debug/timeseries?{query}")
+        assert excinfo.value.code == 400
+        error = self._envelope(excinfo)
+        assert error["code"] == "bad_query"
+        assert "limit" in error["message"]
+
+    def test_bad_flag_rejected_with_envelope(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server.url}/debug/traces?slow_only=maybe")
+        assert excinfo.value.code == 400
+        assert self._envelope(excinfo)["code"] == "bad_query"
+
+    def test_traces_limit_and_slow_only_filters(self, server):
+        full = _get(f"{server.url}/debug/traces")
+        assert len(full["recent"]) >= 3
+        limited = _get(f"{server.url}/debug/traces?limit=1")
+        assert len(limited["recent"]) == 1
+        # threshold 0 marks every trace slow; slow_only drops the recent ring
+        slow = _get(f"{server.url}/debug/traces?slow_only=true")
+        assert slow["recent"] == [] and len(slow["slow"]) >= 1
+        bare = _get(f"{server.url}/debug/traces?slow_only")
+        assert bare["recent"] == []  # bare flag reads as true
+
+    def test_slo_snapshot_over_http(self, server):
+        payload = _get(f"{server.url}/debug/slo")
+        assert payload["collector_enabled"] is True
+        assert payload["warn_burn"] == 2.0 and payload["page_burn"] == 10.0
+        by_name = {slo["name"]: slo for slo in payload["slos"]}
+        assert by_name["search-latency"]["objective"] == "latency"
+        assert by_name["availability"]["objective"] == "availability"
+        assert all(slo["state"] == "ok" for slo in payload["slos"])
+
+    def test_profile_aggregates_the_trace_window(self, server):
+        payload = _get(f"{server.url}/debug/profile")
+        assert payload["enabled"] is True
+        assert payload["traces"] >= 3
+        assert "serve.search" in payload["stages"]
+        assert payload["window"]["source"] == "recent"
+        slow = _get(f"{server.url}/debug/profile?slow_only=true")
+        assert slow["window"]["source"] == "slow"
+
+    def test_profile_diff_splits_the_window(self, server):
+        payload = _get(f"{server.url}/debug/profile?diff=1")
+        assert sorted(payload) == ["after", "before", "diff", "enabled"]
+        assert payload["after"]["traces"] == 1
+        assert payload["before"]["traces"] >= 2
+        assert "stages" in payload["diff"]
+
+    def test_profile_404s_without_tracing(self, world):
+        runtime = SaccsRuntime(
+            _oracle_saccs(world), ServeConfig(cache_size=4, collector_enabled=False)
+        )
+        with SaccsHttpServer(runtime) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/debug/profile")
+        assert excinfo.value.code == 404
+        assert self._envelope(excinfo)["code"] == "tracing_disabled"

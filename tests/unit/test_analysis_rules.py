@@ -51,6 +51,20 @@ def test_lock_family_near_misses_are_clean():
     assert fixture_findings("serve/locks_ok.py") == []
 
 
+def test_observability_family_seeded_violations():
+    assert fixture_findings("obs/metric_bad.py") == [
+        ("metric-name-literal", 9),
+        ("metric-name-literal", 10),
+        ("metric-name-literal", 12),
+        ("metric-name-literal", 13),
+        ("metric-name-literal", 18),
+    ]
+
+
+def test_observability_family_near_misses_are_clean():
+    assert fixture_findings("obs/metric_ok.py") == []
+
+
 def test_determinism_family_seeded_violations():
     assert fixture_findings("core/determinism_bad.py") == [
         ("global-rng", 10),
@@ -187,6 +201,7 @@ def test_every_rule_family_has_a_seeded_true_positive():
         "determinism",
         "lock-discipline",
         "numpy-kernel",
+        "observability",
         "persistence",
     }
 
@@ -374,17 +389,18 @@ def test_baseline_rejects_unknown_version(tmp_path):
 # ------------------------------------------------------ registry / engine
 
 
-def test_registry_has_six_families_and_unique_ids():
+def test_registry_has_seven_families_and_unique_ids():
     rules = all_rules()
     ids = [rule.rule_id for rule in rules]
     assert len(ids) == len(set(ids))
-    assert len(rules) >= 18
+    assert len(rules) >= 19
     assert set(rules_by_family()) == {
         "api-hygiene",
         "concurrency",
         "determinism",
         "lock-discipline",
         "numpy-kernel",
+        "observability",
         "persistence",
     }
     for rule in rules:

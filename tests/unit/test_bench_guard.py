@@ -92,6 +92,20 @@ class TestOverheadGuard:
         assert any("speedup floor" in message for message in failures)
         assert any("overhead ceiling" in message for message in failures)
 
+    def test_collector_overhead_is_guarded_like_tracing(self):
+        # The bench-serve collector cell rides the same generic overhead
+        # tag: a record claiming >5% collector cost must fail the guard.
+        payload = {"summary": {"collector": {"collector_overhead_frac": 0.07}}}
+        found, failures = check_record(payload)
+        assert dict(found) == {
+            "summary.collector.collector_overhead_frac": 0.07
+        }
+        assert len(failures) == 1 and "collector_overhead_frac" in failures[0]
+        _, clean = check_record(
+            {"summary": {"collector": {"collector_overhead_frac": 0.01}}}
+        )
+        assert not clean
+
 
 class TestBypassGuard:
     """The conversation-stage extractor-bypass floor from BENCH_conv.json."""
@@ -166,6 +180,18 @@ class TestCommittedRecords:
         checked, failures = check_files(records)
         assert not failures, "\n".join(failures)
         assert checked > 0, "guard found no speedup ratios — records changed shape?"
+
+    def test_serve_record_collector_cell_meets_the_bar(self):
+        path = REPO_ROOT / "BENCH_serve.json"
+        if not path.exists():
+            pytest.skip("BENCH_serve.json not generated yet (run repro bench-serve)")
+        payload = json.loads(path.read_text())
+        collector = payload["summary"].get("collector")
+        if collector is None:
+            pytest.skip("BENCH_serve.json predates the collector overhead cell")
+        assert collector["collector_overhead_frac"] <= 0.05
+        assert collector["throughput_rps_collector_on"] > 0.0
+        assert collector["throughput_rps_collector_off"] > 0.0
 
     def test_extract_record_meets_the_bar(self):
         path = REPO_ROOT / "BENCH_extract.json"

@@ -47,6 +47,56 @@ class TestParser:
         assert args.paths == ["src", "tests"]
         assert args.format == "json"
 
+    def test_serve_collector_knobs(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.no_collector is False
+        assert args.collector_interval == 1.0
+        assert args.collector_retention == 512
+        assert args.slo_latency_ms == 100.0
+        args = build_parser().parse_args(
+            ["serve", "--no-collector", "--collector-interval", "0.5",
+             "--collector-retention", "64", "--slo-latency-ms", "250"]
+        )
+        assert args.no_collector is True
+        assert args.collector_interval == 0.5
+        assert args.collector_retention == 64
+        assert args.slo_latency_ms == 250.0
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.url == "http://127.0.0.1:8350"
+        assert args.input is None
+        assert args.limit is None
+        assert args.slow_only is False
+        assert args.diff is None
+        assert args.top == 20
+        assert args.json is False
+
+    def test_profile_diff_and_input(self):
+        args = build_parser().parse_args(
+            ["profile", "--input", "traces.json", "--diff", "5", "--top", "3",
+             "--slow-only", "--json"]
+        )
+        assert args.input == "traces.json"
+        assert args.diff == 5 and args.top == 3
+        assert args.slow_only is True and args.json is True
+
+    def test_top_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.url == "http://127.0.0.1:8350"
+        assert args.interval == 2.0
+        assert args.window == 48
+        assert args.iterations is None
+        assert args.no_clear is False
+
+    def test_top_knobs(self):
+        args = build_parser().parse_args(
+            ["top", "--url", "http://host:1", "--interval", "0.5",
+             "--iterations", "3", "--no-clear"]
+        )
+        assert args.url == "http://host:1"
+        assert args.iterations == 3 and args.no_clear is True
+
 
 class TestCommands:
     def test_full_workflow(self, tmp_path, capsys):
@@ -99,6 +149,71 @@ class TestCommands:
         main(["world", "generate", "--entities", "8", "--reviews", "4", "--out", world_path])
         assert main(["index", "build", "--world", world_path, "--out", index_path,
                      "--theta-mode", "dynamic", "--tags", "delicious food"]) == 0
+
+
+def _saved_trace(trace_id="t1"):
+    def span(span_id, parent, name, start, duration):
+        return {
+            "span_id": span_id,
+            "parent_id": parent,
+            "name": name,
+            "start": start,
+            "duration_seconds": duration,
+            "attributes": {},
+        }
+
+    return {
+        "trace_id": trace_id,
+        "name": "serve.search",
+        "duration_seconds": 0.010,
+        "slow": False,
+        "spans": [
+            span("s1", None, "serve.search", 0.0, 0.010),
+            span("s2", "s1", "serve.extract", 1.0, 0.004),
+        ],
+    }
+
+
+class TestProfileCli:
+    """`repro profile` offline paths (saved payloads, no server)."""
+
+    def test_renders_a_saved_trace_list(self, tmp_path, capsys):
+        path = tmp_path / "traces.json"
+        path.write_text(json.dumps([_saved_trace("t1"), _saved_trace("t2")]))
+        assert main(["profile", "--input", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate profile  2 traces" in out
+        assert "serve.extract" in out
+
+    def test_renders_a_saved_diff_payload(self, tmp_path, capsys):
+        from repro.obs import diff_profiles, merge_traces
+
+        before = merge_traces([_saved_trace("b1")])
+        slower = _saved_trace("a1")
+        slower["spans"][1]["duration_seconds"] = 0.008
+        after = merge_traces([slower])
+        path = tmp_path / "diff.json"
+        path.write_text(json.dumps({"diff": diff_profiles(before, after)}))
+        assert main(["profile", "--input", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "profile diff" in out
+        assert "serve.extract" in out
+
+    def test_json_flag_emits_raw_payload(self, tmp_path, capsys):
+        path = tmp_path / "traces.json"
+        path.write_text(json.dumps([_saved_trace()]))
+        assert main(["profile", "--input", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["traces"] == 1
+        assert "serve.search;serve.extract" in payload["stacks"]
+
+    def test_unreachable_server_fails_cleanly(self, capsys):
+        assert main(["profile", "--url", "http://127.0.0.1:9"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_top_unreachable_server_fails_cleanly(self, capsys):
+        assert main(["top", "--url", "http://127.0.0.1:9", "--iterations", "1"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
 
 
 class TestServeSnapshotWarmStart:

@@ -17,6 +17,7 @@ from repro.obs import (
     TraceStore,
     Tracer,
     build_span_tree,
+    collapsed_stack_values,
     get_logger,
     render_trace,
     to_collapsed_stacks,
@@ -504,4 +505,97 @@ class TestRender:
             "serve.search;a 3000000",
             "serve.search;b 3000000",  # 5s - 2s child
             "serve.search;b;b1 2000000",
+        ]
+
+    def test_collapsed_stack_values_match_the_text_form(self):
+        pairs = collapsed_stack_values(sample_trace())
+        assert pairs == [
+            ("serve.search", 2_000_000),
+            ("serve.search;a", 3_000_000),
+            ("serve.search;b", 3_000_000),
+            ("serve.search;b;b1", 2_000_000),
+        ]
+        assert to_collapsed_stacks(sample_trace()) == "\n".join(
+            f"{stack} {value}" for stack, value in pairs
+        )
+
+    def test_collapsed_stacks_sibling_ties_break_on_span_id(self):
+        # Two siblings share start=1.0: pre-order must follow span_id, so
+        # the pair sequence is identical however the span list is shuffled.
+        def span(span_id, parent_id, name, start, end):
+            return {
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "name": name,
+                "start": start,
+                "end": end,
+                "duration_seconds": end - start,
+                "attributes": {},
+            }
+
+        spans = [
+            span(1, None, "root", 0.0, 10.0),
+            span(3, 1, "second", 1.0, 3.0),
+            span(2, 1, "first", 1.0, 2.0),
+        ]
+        expected = [
+            ("root", 7_000_000),
+            ("root;first", 1_000_000),
+            ("root;second", 2_000_000),
+        ]
+        for shuffled in (spans, spans[::-1]):
+            trace = {"trace_id": "t1", "spans": list(shuffled)}
+            assert collapsed_stack_values(trace) == expected
+
+    def test_collapsed_stacks_reject_empty_trace(self):
+        with pytest.raises(ValueError, match="no spans"):
+            to_collapsed_stacks({"trace_id": "empty", "spans": []})
+
+    def test_collapsed_stacks_single_span(self):
+        trace = {
+            "trace_id": "t1",
+            "spans": [
+                {
+                    "span_id": 1,
+                    "parent_id": None,
+                    "name": "serve.search",
+                    "start": 0.0,
+                    "end": 0.25,
+                    "duration_seconds": 0.25,
+                    "attributes": {},
+                }
+            ],
+        }
+        assert to_collapsed_stacks(trace) == "serve.search 250000"
+
+    def test_collapsed_stacks_clamp_overlong_children_to_zero(self):
+        # A child reporting more time than its parent (clock skew between
+        # writers) must clamp the parent's exclusive time at zero, never
+        # emit a negative weight.
+        trace = {
+            "trace_id": "t1",
+            "spans": [
+                {
+                    "span_id": 1,
+                    "parent_id": None,
+                    "name": "root",
+                    "start": 0.0,
+                    "end": 1.0,
+                    "duration_seconds": 1.0,
+                    "attributes": {},
+                },
+                {
+                    "span_id": 2,
+                    "parent_id": 1,
+                    "name": "child",
+                    "start": 0.0,
+                    "end": 2.0,
+                    "duration_seconds": 2.0,
+                    "attributes": {},
+                },
+            ],
+        }
+        assert collapsed_stack_values(trace) == [
+            ("root", 0),
+            ("root;child", 2_000_000),
         ]

@@ -145,6 +145,35 @@ class TestMetricsRegistry:
             thread.join()
         assert metrics.counter("n") == 8000
 
+    def test_uptime_uses_injected_wall_clock(self):
+        # Regression: uptime_seconds was pinned to time.time() even though
+        # every duration already used the injected clock — an uptime of
+        # exactly 42s was untestable.
+        wall = FakeClock()
+        wall.now = 1_000.0
+        metrics = MetricsRegistry(wall_clock=wall)
+        assert metrics.snapshot()["uptime_seconds"] == 0.0
+        wall.advance(42.0)
+        assert metrics.snapshot()["uptime_seconds"] == pytest.approx(42.0)
+
+    def test_collect_returns_counters_and_window_samples(self):
+        metrics = MetricsRegistry(window_size=2)
+        metrics.incr("requests", 3)
+        for value in (1.0, 2.0, 3.0):
+            metrics.observe("latency", value)
+        collected = metrics.collect()
+        assert collected["counters"] == {"requests": 3}
+        count, samples = collected["windows"]["latency"]
+        assert count == 3  # cumulative, beyond the window
+        assert samples == (2.0, 3.0)  # the retained window only
+
+    def test_collect_is_a_snapshot_not_a_view(self):
+        metrics = MetricsRegistry()
+        metrics.incr("requests")
+        collected = metrics.collect()
+        metrics.incr("requests")
+        assert collected["counters"]["requests"] == 1
+
 
 class TestGenerationalCache:
     def test_put_get_same_generation(self):
@@ -365,6 +394,8 @@ class TestServeConfig:
             {"workers": 0},
             {"max_wait_ms": -1.0},
             {"rebuild_pace_seconds": -0.001},
+            {"collector_interval_seconds": 0.0},
+            {"collector_retention": 0},
         ],
     )
     def test_invalid_config_rejected(self, kwargs):
@@ -465,6 +496,88 @@ class TestRuntimeLifecycle:
         finally:
             runtime.stop()
         assert runtime.health()["status"] == "stopped"
+
+
+class TestRuntimeTelemetry:
+    """Collector/SLO wiring on the runtime, driven through the stub facade."""
+
+    def make_runtime(self, **config_kwargs):
+        from repro.serve import SaccsRuntime
+
+        config_kwargs.setdefault("workers", 1)
+        return SaccsRuntime(_StubSaccs(), ServeConfig(**config_kwargs))
+
+    def test_collector_thread_follows_the_lifecycle(self):
+        runtime = self.make_runtime(collector_interval_seconds=60.0)
+        assert runtime.collector is not None
+        assert runtime.collector.running is False
+        runtime.start()
+        try:
+            assert runtime.collector.running is True
+        finally:
+            runtime.stop()
+        assert runtime.collector.running is False
+
+    def test_no_collector_config_disables_sampling(self):
+        runtime = self.make_runtime(collector_enabled=False)
+        assert runtime.collector is None
+        with runtime:
+            payload = runtime.timeseries_snapshot()
+        assert payload["enabled"] is False
+        assert payload["points"] == []
+        assert runtime.slo_snapshot()["collector_enabled"] is False
+
+    def test_timeseries_snapshot_shape(self):
+        runtime = self.make_runtime(
+            collector_retention=7, collector_interval_seconds=60.0
+        )
+        payload = runtime.timeseries_snapshot()
+        assert payload["enabled"] is True
+        assert payload["retention"] == 7
+        assert payload["interval_seconds"] == 60.0
+
+    def test_slo_snapshot_carries_default_specs(self):
+        runtime = self.make_runtime()
+        names = [slo["name"] for slo in runtime.slo_snapshot()["slos"]]
+        assert names == ["search-latency", "availability"]
+
+    def test_custom_slo_specs_replace_the_defaults(self):
+        from repro.obs import SLOSpec
+        from repro.serve import SaccsRuntime
+
+        spec = SLOSpec(
+            name="say-latency",
+            objective="latency",
+            target=0.95,
+            histogram="latency.say_seconds",
+            threshold_ms=250.0,
+        )
+        runtime = SaccsRuntime(_StubSaccs(), ServeConfig(workers=1), slos=[spec])
+        (slo,) = runtime.slo_snapshot()["slos"]
+        assert slo["name"] == "say-latency"
+        assert slo["threshold_ms"] == 250.0
+
+    def test_profile_payload_requires_tracing(self):
+        runtime = self.make_runtime()  # default tracer has no store
+        with pytest.raises(ProtocolError) as excinfo:
+            runtime.profile_payload()
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "tracing_disabled"
+
+    def test_traces_snapshot_slow_only_drops_recent(self):
+        from repro.obs import TraceStore, Tracer
+        from repro.serve import SaccsRuntime
+
+        store = TraceStore(slow_threshold_seconds=0.0)  # everything is slow
+        runtime = SaccsRuntime(
+            _StubSaccs(), ServeConfig(workers=1), tracer=Tracer(store=store)
+        )
+        with runtime.tracer.trace("serve.search"):
+            pass
+        full = runtime.traces_snapshot()
+        assert len(full["recent"]) == 1 and len(full["slow"]) == 1
+        slow = runtime.traces_snapshot(slow_only=True)
+        assert slow["recent"] == [] and len(slow["slow"]) == 1
 
 
 class _Entity:

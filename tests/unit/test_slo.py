@@ -1,0 +1,268 @@
+"""Unit tests for ``repro.obs.slo`` — burn rates, budgets, alert states.
+
+The monitor owns no clock: elapsed time arrives as ``interval_seconds``
+per ingest, so every test here — including the full ok→warn→page→recover
+cycle — runs with zero wall-clock sleeps.
+"""
+
+import pytest
+
+from repro.obs import SLOMonitor, SLOSpec, default_slos
+
+
+class FakeLogger:
+    """Capture structured log calls for transition assertions."""
+
+    def __init__(self):
+        self.events = []
+
+    def log(self, level, message, **fields):
+        self.events.append((level, message, fields))
+
+
+LATENCY = SLOSpec(
+    name="lat",
+    objective="latency",
+    target=0.99,
+    histogram="latency.search_seconds",
+    threshold_ms=100.0,
+)
+AVAILABILITY = SLOSpec(
+    name="avail",
+    objective="availability",
+    target=0.999,
+    total_counter="requests.search",
+    bad_counter="errors.server",
+)
+
+
+def make_monitor(spec=LATENCY, **kwargs):
+    kwargs.setdefault("fast_window_seconds", 10.0)
+    kwargs.setdefault("slow_window_seconds", 30.0)
+    kwargs.setdefault("logger", FakeLogger())
+    return SLOMonitor([spec], **kwargs)
+
+
+def ingest_latency(monitor, samples, interval=10.0):
+    """One collector interval carrying latency samples (seconds)."""
+    result = monitor.ingest(interval, {}, {"latency.search_seconds": samples})
+    return result["lat"]
+
+
+GOOD = 0.010  # 10ms — under the 100ms threshold
+BAD = 0.500  # 500ms — over it
+
+
+# ------------------------------------------------------------------- spec
+
+
+class TestSLOSpec:
+    def test_rejects_unknown_objective(self):
+        with pytest.raises(ValueError, match="objective"):
+            SLOSpec(name="x", objective="throughput", target=0.99)
+
+    @pytest.mark.parametrize("target", [0.0, 1.0, -0.5, 1.5])
+    def test_rejects_target_outside_unit_interval(self, target):
+        with pytest.raises(ValueError, match="target"):
+            SLOSpec(
+                name="x",
+                objective="latency",
+                target=target,
+                histogram="h",
+            )
+
+    def test_latency_requires_histogram_and_positive_threshold(self):
+        with pytest.raises(ValueError, match="histogram"):
+            SLOSpec(name="x", objective="latency", target=0.99)
+        with pytest.raises(ValueError, match="threshold_ms"):
+            SLOSpec(
+                name="x",
+                objective="latency",
+                target=0.99,
+                histogram="h",
+                threshold_ms=0.0,
+            )
+
+    def test_availability_requires_both_counters(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", objective="availability", target=0.999)
+        with pytest.raises(ValueError):
+            SLOSpec(
+                name="x",
+                objective="availability",
+                target=0.999,
+                total_counter="requests.search",
+            )
+
+    def test_latency_observe_splits_on_threshold(self):
+        good, bad = LATENCY.observe({}, {"latency.search_seconds": [GOOD, GOOD, BAD]})
+        assert (good, bad) == (2, 1)
+        # Exactly at threshold counts as good (<=).
+        good, bad = LATENCY.observe({}, {"latency.search_seconds": [0.100]})
+        assert (good, bad) == (1, 0)
+
+    def test_availability_observe_diffs_and_clamps(self):
+        good, bad = AVAILABILITY.observe(
+            {"requests.search": 100, "errors.server": 3}, {}
+        )
+        assert (good, bad) == (97, 3)
+        # More errors than requests clamps to the total, never negative good.
+        good, bad = AVAILABILITY.observe(
+            {"requests.search": 2, "errors.server": 5}, {}
+        )
+        assert (good, bad) == (0, 2)
+        # Negative deltas (counter reset) clamp to zero.
+        good, bad = AVAILABILITY.observe(
+            {"requests.search": -4, "errors.server": -1}, {}
+        )
+        assert (good, bad) == (0, 0)
+
+    def test_default_slos_cover_latency_and_availability(self):
+        specs = default_slos()
+        assert [spec.objective for spec in specs] == ["latency", "availability"]
+        assert all(0.0 < spec.target < 1.0 for spec in specs)
+
+
+# ---------------------------------------------------------------- monitor
+
+
+class TestSLOMonitorValidation:
+    def test_rejects_inverted_windows(self):
+        with pytest.raises(ValueError, match="window"):
+            SLOMonitor([LATENCY], fast_window_seconds=60.0, slow_window_seconds=10.0)
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SLOMonitor([LATENCY], warn_burn=10.0, page_burn=2.0)
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOMonitor([LATENCY, LATENCY])
+
+    def test_rejects_nonpositive_clear_intervals(self):
+        with pytest.raises(ValueError, match="clear_intervals"):
+            SLOMonitor([LATENCY], clear_intervals=0)
+
+
+class TestBurnRates:
+    def test_all_good_burns_nothing(self):
+        monitor = make_monitor()
+        result = ingest_latency(monitor, [GOOD] * 100)
+        assert result == {"state": "ok", "fast_burn": 0.0, "slow_burn": 0.0}
+
+    def test_burn_is_bad_fraction_over_budget(self):
+        # 5% bad against a 1% budget → burn rate 5×.
+        monitor = make_monitor()
+        result = ingest_latency(monitor, [BAD] * 5 + [GOOD] * 95)
+        assert result["fast_burn"] == pytest.approx(5.0)
+
+    def test_empty_interval_burns_nothing(self):
+        monitor = make_monitor()
+        result = ingest_latency(monitor, [])
+        assert result["fast_burn"] == 0.0
+        assert result["state"] == "ok"
+
+    def test_slow_window_evicts_old_intervals(self):
+        monitor = make_monitor()  # slow window 30s, intervals 10s
+        ingest_latency(monitor, [BAD] * 100)  # 100× burn
+        for _ in range(4):
+            result = ingest_latency(monitor, [GOOD] * 100)
+        # The all-bad interval has aged out of the 30s slow window.
+        assert result["slow_burn"] == 0.0
+
+
+class TestStateMachine:
+    def test_full_cycle_ok_warn_page_recover_without_sleeping(self):
+        """The acceptance cycle: ok → warn → page → ok, injected time only."""
+        logger = FakeLogger()
+        monitor = make_monitor(logger=logger, clear_intervals=2)
+        states = []
+
+        def drive(samples, intervals):
+            for _ in range(intervals):
+                states.append(ingest_latency(monitor, samples)["state"])
+
+        drive([GOOD] * 100, 3)  # healthy baseline fills the slow window
+        assert states[-1] == "ok"
+        drive([BAD] * 5 + [GOOD] * 95, 4)  # 5× burn: over warn, under page
+        assert states[-1] == "warn"
+        drive([BAD] * 15 + [GOOD] * 85, 4)  # 15× burn: over page
+        assert states[-1] == "page"
+        drive([GOOD] * 100, 6)  # calm long enough to clear hysteresis
+        assert states[-1] == "ok"
+        # The walk visited every state, escalating and recovering in order.
+        seen = list(dict.fromkeys(states))
+        assert seen == ["ok", "warn", "page"] and states[-1] == "ok"
+        transitions = [
+            (fields["from"], fields["to"])
+            for _level, message, fields in logger.events
+            if message == "slo state change"
+        ]
+        assert transitions[0] == ("ok", "warn")
+        assert ("warn", "page") in transitions
+        assert transitions[-1][1] == "ok"
+
+    def test_escalation_needs_both_windows_to_agree(self):
+        # Fast window sees a 100× spike, but the slow window (still mostly
+        # healthy history) stays under warn — no escalation on one blip.
+        monitor = make_monitor(slow_window_seconds=1000.0)
+        for _ in range(99):
+            ingest_latency(monitor, [GOOD] * 100)
+        result = ingest_latency(monitor, [BAD] * 100)
+        assert result["fast_burn"] == pytest.approx(100.0)
+        assert result["slow_burn"] < 2.0
+        assert result["state"] == "ok"
+
+    def test_one_calm_read_does_not_deescalate(self):
+        monitor = make_monitor(clear_intervals=2)
+        ingest_latency(monitor, [BAD] * 100)
+        assert ingest_latency(monitor, [BAD] * 100)["state"] == "page"
+        # A single calm interval: hysteresis holds the page.
+        assert ingest_latency(monitor, [GOOD] * 100, interval=40.0)["state"] == "page"
+
+    def test_page_severity_logs_error_level(self):
+        logger = FakeLogger()
+        monitor = make_monitor(logger=logger)
+        ingest_latency(monitor, [BAD] * 100)
+        levels = [level for level, _message, _fields in logger.events]
+        assert levels == ["error"]  # straight to page on 100× agreed burn
+
+    def test_ingest_reports_every_spec(self):
+        monitor = SLOMonitor([LATENCY, AVAILABILITY], logger=FakeLogger())
+        result = monitor.ingest(
+            1.0,
+            {"requests.search": 10, "errors.server": 0},
+            {"latency.search_seconds": [GOOD]},
+        )
+        assert sorted(result) == ["avail", "lat"]
+        assert all(entry["state"] == "ok" for entry in result.values())
+
+
+class TestSnapshot:
+    def test_snapshot_shape_and_budget(self):
+        monitor = make_monitor()
+        ingest_latency(monitor, [BAD] * 5 + [GOOD] * 95)
+        payload = monitor.snapshot()
+        assert payload["fast_window_seconds"] == 10.0
+        assert payload["warn_burn"] == 2.0 and payload["page_burn"] == 10.0
+        (slo,) = payload["slos"]
+        assert slo["name"] == "lat"
+        assert slo["objective"] == "latency"
+        assert slo["threshold_ms"] == 100.0
+        assert slo["window"] == {"seconds": 10.0, "events": 100, "bad": 5}
+        # Burn 5× means the budget is overspent: nothing remains.
+        assert slo["budget_remaining_frac"] == 0.0
+        assert slo["transitions"][-1]["to"] == "warn"
+
+    def test_budget_remaining_under_sustainable_burn(self):
+        monitor = make_monitor()
+        # 0.5% bad on a 1% budget → burn 0.5× → half the budget left.
+        result = ingest_latency(monitor, [BAD] * 1 + [GOOD] * 199)
+        assert result["slow_burn"] == pytest.approx(0.5)
+        (slo,) = monitor.snapshot()["slos"]
+        assert slo["budget_remaining_frac"] == pytest.approx(0.5)
+
+    def test_availability_snapshot_has_no_threshold(self):
+        monitor = SLOMonitor([AVAILABILITY], logger=FakeLogger())
+        (slo,) = monitor.snapshot()["slos"]
+        assert slo["threshold_ms"] is None

@@ -1,0 +1,221 @@
+"""Unit tests for ``repro.obs.timeseries`` — the collector and its ring.
+
+All delta math is driven through ``sample_once`` on injected tick clocks:
+no collector thread, no sleeps, fully deterministic intervals.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsCollector, TimeSeriesStore
+from repro.serve.metrics import MetricsRegistry
+
+
+class TickClock:
+    """Monotonic fake clock: every read advances by ``step``."""
+
+    def __init__(self, step=1.0, start=0.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+def make_collector(window_size=64, step=0.25, **kwargs):
+    registry = MetricsRegistry(window_size=window_size)
+    kwargs.setdefault("clock", TickClock(step=step))
+    kwargs.setdefault("wall_clock", TickClock(step=1.0, start=1000.0))
+    collector = MetricsCollector(registry, **kwargs)
+    return registry, collector
+
+
+# -------------------------------------------------------------------- store
+
+
+class TestTimeSeriesStore:
+    def test_rejects_nonpositive_retention(self):
+        with pytest.raises(ValueError, match="retention"):
+            TimeSeriesStore(retention=0)
+
+    def test_ring_evicts_oldest_and_counts_appends(self):
+        store = TimeSeriesStore(retention=3)
+        for index in range(5):
+            store.append({"n": index})
+        assert len(store) == 3
+        assert store.appended == 5
+        assert [point["n"] for point in store.points()] == [2, 3, 4]
+        assert store.latest() == {"n": 4}
+
+    def test_points_limit_keeps_newest(self):
+        store = TimeSeriesStore(retention=10)
+        for index in range(6):
+            store.append({"n": index})
+        assert [point["n"] for point in store.points(limit=2)] == [4, 5]
+
+    def test_latest_on_empty_store(self):
+        assert TimeSeriesStore().latest() is None
+
+    def test_snapshot_shape(self):
+        store = TimeSeriesStore(retention=4)
+        store.append({"n": 0})
+        payload = store.snapshot(limit=8)
+        assert payload["retention"] == 4
+        assert payload["appended"] == 1
+        assert [point["n"] for point in payload["points"]] == [0]
+
+
+# ---------------------------------------------------------------- collector
+
+
+class TestCollectorSampling:
+    def test_rejects_nonpositive_interval(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="interval_seconds"):
+            MetricsCollector(registry, interval_seconds=0.0)
+
+    def test_first_sample_primes_and_emits_nothing(self):
+        _registry, collector = make_collector()
+        assert collector.sample_once() is None
+        assert len(collector.store) == 0
+
+    def test_counter_deltas_become_true_rates(self):
+        registry, collector = make_collector(step=0.25)
+        collector.sample_once()  # prime
+        for _ in range(10):
+            registry.incr("requests.search")
+        point = collector.sample_once()
+        # TickClock(0.25): sample start-to-start spacing is 0.5s — two
+        # reads per sample (start + self-cost observation).
+        assert point["interval_seconds"] == pytest.approx(0.5)
+        assert point["rates"]["requests.search"] == pytest.approx(20.0)
+        assert point["counters"]["requests.search"] == 10
+
+    def test_rates_reset_between_intervals(self):
+        registry, collector = make_collector()
+        collector.sample_once()
+        registry.incr("requests.search", 8)
+        collector.sample_once()
+        point = collector.sample_once()  # quiet interval
+        assert point["rates"]["requests.search"] == 0.0
+
+    def test_interval_hit_ratio_ignores_cumulative_history(self):
+        registry, collector = make_collector()
+        # History: 100% hits before the baseline sample.
+        registry.incr("cache.tags.hit", 50)
+        collector.sample_once()
+        # This interval: 3 hits, 1 miss → 75%, not the cumulative ~96%.
+        registry.incr("cache.tags.hit", 3)
+        registry.incr("cache.tags.miss", 1)
+        point = collector.sample_once()
+        assert point["ratios"] == {"cache.tags": pytest.approx(0.75)}
+
+    def test_quiet_ratio_and_histogram_are_omitted_not_zero(self):
+        registry, collector = make_collector()
+        registry.incr("cache.tags.hit")
+        registry.observe("latency.search_seconds", 0.01)
+        collector.sample_once()
+        point = collector.sample_once()
+        assert point["ratios"] == {}
+        assert "latency.search_seconds" not in point["histograms"]
+
+    def test_windowed_percentiles_cover_only_this_interval(self):
+        registry, collector = make_collector()
+        registry.observe("latency.search_seconds", 9.0)  # stale outlier
+        collector.sample_once()
+        for value in (0.010, 0.020, 0.030, 0.040):
+            registry.observe("latency.search_seconds", value)
+        point = collector.sample_once()
+        hist = point["histograms"]["latency.search_seconds"]
+        assert hist["count"] == 4
+        assert hist["truncated"] is False
+        # The 9s outlier predates the interval: the windowed p99 can't see it.
+        assert hist["p99"] == pytest.approx(0.040)
+        assert hist["mean"] == pytest.approx(0.025)
+
+    def test_truncation_stamped_when_interval_outruns_window(self):
+        registry, collector = make_collector(window_size=4)
+        collector.sample_once()
+        for index in range(6):
+            registry.observe("latency.search_seconds", 0.01 * (index + 1))
+        point = collector.sample_once()
+        hist = point["histograms"]["latency.search_seconds"]
+        assert hist["count"] == 6  # the true delta, from the cumulative count
+        assert hist["truncated"] is True  # ...but only 4 samples back the tail
+
+    def test_collector_observes_its_own_cost(self):
+        registry, collector = make_collector(step=0.25)
+        collector.sample_once()
+        point = collector.sample_once()
+        # The prime's self-cost observation (0.25 ticks) lands in the
+        # registry and surfaces as a windowed histogram next interval.
+        assert point["histograms"]["collector.sample_seconds"]["count"] == 1
+        assert point["histograms"]["collector.sample_seconds"]["p50"] == pytest.approx(0.25)
+
+    def test_slo_states_ride_along_on_points(self):
+        class FakeSLO:
+            def __init__(self):
+                self.calls = []
+
+            def ingest(self, interval_seconds, deltas, samples):
+                self.calls.append((interval_seconds, deltas, samples))
+                return {"lat": {"state": "ok", "fast_burn": 0.0, "slow_burn": 0.0}}
+
+        slo = FakeSLO()
+        registry, collector = make_collector(slo=slo)
+        collector.sample_once()
+        registry.incr("requests.search", 4)
+        registry.observe("latency.search_seconds", 0.02)
+        point = collector.sample_once()
+        assert point["slo"] == {
+            "lat": {"state": "ok", "fast_burn": 0.0, "slow_burn": 0.0}
+        }
+        (interval, deltas, samples), = slo.calls[-1:]
+        assert deltas["requests.search"] == 4
+        assert samples["latency.search_seconds"] == [0.02]
+
+    def test_points_accumulate_in_the_bound_store(self):
+        store = TimeSeriesStore(retention=2)
+        registry, collector = make_collector(store=store)
+        collector.sample_once()
+        for _ in range(4):
+            registry.incr("requests.search")
+            collector.sample_once()
+        assert len(store) == 2
+        assert store.appended == 4
+
+
+class TestCollectorThread:
+    def test_start_stop_lifecycle(self):
+        _registry, collector = make_collector(interval_seconds=60.0)
+        assert collector.running is False
+        collector.start()
+        try:
+            assert collector.running is True
+            threads = {thread.name for thread in threading.enumerate()}
+            assert "saccs-collector" in threads
+            collector.start()  # idempotent: no second thread
+            assert (
+                sum(
+                    1
+                    for thread in threading.enumerate()
+                    if thread.name == "saccs-collector"
+                )
+                == 1
+            )
+        finally:
+            collector.stop()
+        assert collector.running is False
+        collector.stop()  # idempotent
+
+    def test_restart_after_stop(self):
+        _registry, collector = make_collector(interval_seconds=60.0)
+        collector.start()
+        collector.stop()
+        collector.start()
+        try:
+            assert collector.running is True
+        finally:
+            collector.stop()
